@@ -1,0 +1,23 @@
+"""Benchmark: the Section 6.7 cost-model applications, quantified."""
+
+from repro.experiments import ext_applications
+
+
+def test_ext_applications(run_experiment):
+    result = run_experiment(ext_applications)
+    by_metric = {(r["application"], r["metric"]): r for r in result.rows}
+
+    prediction = by_metric[("prediction", "job-latency pearson")]
+    assert prediction["learned"] > 0.5
+
+    coverage = by_metric[("prediction", "90% interval coverage %")]
+    assert 60.0 <= coverage["learned"] <= 100.0
+
+    jct = by_metric[("scheduling", "mean job completion s")]
+    # Learned estimates schedule no worse than default (small tolerance) and
+    # land near the perfect-knowledge oracle.
+    assert jct["learned"] <= jct["default"] * 1.05
+    assert jct["learned"] <= jct["oracle"] * 1.25
+
+    progress = by_metric[("progress", "mean |progress error|")]
+    assert progress["learned"] < progress["default"]

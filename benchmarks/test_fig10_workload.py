@@ -1,0 +1,8 @@
+"""Benchmark: Figure 10 — day-over-day workload changes."""
+
+from repro.experiments import fig10_workload_changes
+
+
+def test_fig10_workload(run_experiment):
+    result = run_experiment(fig10_workload_changes)
+    assert any(abs(row["input_volume_pct"]) > 1.0 for row in result.rows)

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 11 — ML-algorithm CV CDFs per model class (cluster 4)."""
+
+from repro.experiments import fig11_cv_cdfs
+
+
+def test_fig11_cv_cdfs(run_experiment):
+    result = run_experiment(fig11_cv_cdfs)
+    default = result.row_by("algorithm", "Default")
+    learned = [row for row in result.rows if row["algorithm"] != "Default"]
+    assert learned
+    # Every learner on every class beats the default model's error.
+    assert all(row["median_error_pct"] < default["median_error_pct"] for row in learned)

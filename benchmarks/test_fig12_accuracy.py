@@ -1,0 +1,12 @@
+"""Benchmark: Figure 12 — accuracy CDFs on all jobs, four clusters."""
+
+from repro.experiments import fig12_13_accuracy_cdfs
+
+
+def test_fig12_accuracy(run_experiment):
+    result = run_experiment(fig12_13_accuracy_cdfs, adhoc_only=False)
+    by_cluster = {}
+    for row in result.rows:
+        by_cluster.setdefault(row["cluster"], {})[row["model"]] = row
+    for cluster, models in by_cluster.items():
+        assert models["combined"]["central_mass_0.5_2x"] > models["default"]["central_mass_0.5_2x"]

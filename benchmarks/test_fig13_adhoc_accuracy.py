@@ -1,0 +1,12 @@
+"""Benchmark: Figure 13 — accuracy CDFs on ad-hoc jobs only."""
+
+from repro.experiments import fig12_13_accuracy_cdfs
+
+
+def test_fig13_adhoc_accuracy(run_experiment):
+    result = run_experiment(fig12_13_accuracy_cdfs, adhoc_only=True)
+    combined_rows = [r for r in result.rows if r["model"] == "combined"]
+    assert combined_rows
+    # Combined model still covers and beats default on ad-hoc-only jobs.
+    for row in combined_rows:
+        assert row["coverage_pct"] == 100.0

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 14 — robustness over a one-month test horizon."""
+
+from repro.experiments import fig14_robustness
+
+
+def test_fig14_robustness(run_experiment):
+    result = run_experiment(fig14_robustness)
+    coverage = result.series["coverage_op_subgraph"]
+    # Subgraph coverage decays over the month; combined stays total.
+    assert coverage[-1] <= coverage[0]
+    assert all(v == 100.0 for v in result.series["coverage_combined"])

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 15 — Cleo vs CardLearner."""
+
+from repro.experiments import fig15_cardlearner
+
+
+def test_fig15_cardlearner(run_experiment):
+    result = run_experiment(fig15_cardlearner)
+    errors = {row["configuration"]: row["median_error_pct"] for row in result.rows}
+    # Learned cardinalities alone cannot fix the cost model; Cleo can.
+    assert errors["cleo"] < errors["default+cardlearner"] / 2
+    assert errors["default+cardlearner"] < errors["default"] * 1.5

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 16 — hash-join weights across subexpression sets."""
+
+from repro.experiments import fig16_hashjoin_weights
+
+
+def test_fig16_hashjoin(run_experiment):
+    result = run_experiment(fig16_hashjoin_weights)
+    masses = {
+        row["set"]: row.get("partition_feature_mass")
+        for row in result.rows
+        if "partition_feature_mass" in row
+    }
+    assert len(masses) >= 1  # at least one set fitted
+    # Where both sets fit, their weight profiles must differ.
+    if len(masses) == 2:
+        values = list(masses.values())
+        assert abs(values[0] - values[1]) > 1e-3

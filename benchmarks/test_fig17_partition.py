@@ -1,0 +1,14 @@
+"""Benchmark: Figure 17 — partition-exploration accuracy vs efficiency."""
+
+from repro.experiments import fig17_partition_exploration
+
+
+def test_fig17_partition(run_experiment):
+    result = run_experiment(fig17_partition_exploration)
+    analytical = result.series["median_error_analytical"][0]
+    geometric = result.series["median_error_geometric"]
+    counts = result.series["sample_counts"]
+    # The analytical single-shot beats small sampling budgets...
+    assert analytical <= geometric[0] + 1e-9
+    # ...and large sampling budgets eventually converge to the optimum.
+    assert geometric[-1] <= geometric[0]

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 18 — cumulative feature ablation."""
+
+from repro.experiments import fig18_feature_ablation
+
+
+def test_fig18_ablation(run_experiment):
+    result = run_experiment(fig18_feature_ablation)
+    errors = result.series["median_error_pct"]
+    # Perfect cardinalities alone leave several times the full-feature error.
+    assert errors[1] > errors[-1] * 1.5
+    assert min(errors) == errors[-1] or min(errors) < errors[1]

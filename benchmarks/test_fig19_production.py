@@ -1,0 +1,16 @@
+"""Benchmark: Figure 19 — production jobs replanned with Cleo."""
+
+from repro.experiments import fig19_production_performance
+
+
+def test_fig19_production(run_experiment):
+    result = run_experiment(fig19_production_performance)
+    summary = result.row_by("job", "summary")
+    # Partition exploration must add plan changes on top of structural ones.
+    assert (
+        summary["plan_change_pct_with_partition"]
+        >= summary["plan_change_pct_structural"]
+    )
+    # A majority of executed (changed) jobs improve latency.
+    assert summary["jobs_improved_pct"] >= 50.0
+    assert summary["cumulative_latency_improvement_pct"] > 0

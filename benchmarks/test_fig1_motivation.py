@@ -1,0 +1,9 @@
+"""Benchmark: Figure 1 — default/tuned cost model accuracy."""
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(run_experiment):
+    result = run_experiment(fig1_motivation)
+    # Shape: every heuristic variant stays weakly correlated.
+    assert all(row["pearson"] < 0.6 for row in result.rows)

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 20 — the TPC-H case study."""
+
+from repro.experiments import fig20_tpch
+
+
+def test_fig20_tpch(run_experiment):
+    result = run_experiment(fig20_tpch)
+    changed = [row for row in result.rows if row["query"] != "summary"]
+    # Several queries change plans; the majority improve latency.
+    assert len(changed) >= 3
+    improved = [r for r in changed if r["latency_improvement_pct"] > 0]
+    assert len(improved) >= len(changed) / 2

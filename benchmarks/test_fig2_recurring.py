@@ -1,0 +1,8 @@
+"""Benchmark: Figure 2 — 150 instances of an hourly recurring job."""
+
+from repro.experiments import fig2_recurring
+
+
+def test_fig2_recurring(run_experiment):
+    result = run_experiment(fig2_recurring)
+    assert result.row_by("metric", "latency (minutes)")["spread_x"] > 1.2

@@ -1,0 +1,8 @@
+"""Benchmark: Figure 3 — ad-hoc job fraction per cluster/day."""
+
+from repro.experiments import fig3_adhoc
+
+
+def test_fig3_adhoc(run_experiment):
+    result = run_experiment(fig3_adhoc)
+    assert all(2.0 <= row["adhoc_pct"] <= 30.0 for row in result.rows)

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 5 — feature weights of the subgraph models."""
+
+from repro.experiments import fig5_6_feature_weights
+
+
+def test_fig5_feature_weights(run_experiment):
+    result = run_experiment(fig5_6_feature_weights)
+    conc = {row["model"]: row["concentration"] for row in result.rows}
+    assert conc["op_subgraph"] >= conc["op_input"]

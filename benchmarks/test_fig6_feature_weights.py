@@ -1,0 +1,10 @@
+"""Benchmark: Figure 6 — feature weights of the generalized models."""
+
+from repro.experiments import fig5_6_feature_weights
+
+
+def test_fig6_feature_weights(run_experiment):
+    result = run_experiment(fig5_6_feature_weights)
+    # Generalized models must spread weight over more features.
+    conc = {row["model"]: row["concentration"] for row in result.rows}
+    assert conc["operator"] <= conc["op_subgraph"]

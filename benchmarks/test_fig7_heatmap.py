@@ -1,0 +1,11 @@
+"""Benchmark: Figure 7 — per-operator error bands per model."""
+
+from repro.experiments import fig7_heatmap
+
+
+def test_fig7_heatmap(run_experiment):
+    result = run_experiment(fig7_heatmap)
+    combined = result.row_by("model", "combined")
+    operator = result.row_by("model", "operator")
+    assert combined["coverage_pct"] == 100.0
+    assert combined["within_0.8_1.25x_pct"] >= operator["within_0.8_1.25x_pct"]

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 8(c) — model lookups per exploration strategy."""
+
+from repro.experiments import fig8c_lookups
+
+
+def test_fig8c_lookups(run_experiment):
+    result = run_experiment(fig8c_lookups)
+    at_40 = {row["strategy"]: row["lookups_40_ops"] for row in result.rows}
+    assert at_40["analytical"] == 200  # the paper's "maximum of 200 look-ups"
+    assert at_40["exhaustive"] > at_40["sampling-geometric(s=5)"] > at_40["analytical"]

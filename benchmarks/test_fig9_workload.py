@@ -1,0 +1,10 @@
+"""Benchmark: Figure 9 — workload summary table."""
+
+from repro.experiments import fig9_workload_summary
+
+
+def test_fig9_workload(run_experiment):
+    result = run_experiment(fig9_workload_summary)
+    overall = result.row_by("cluster", "overall")
+    assert overall["recurring_jobs"] > 0.7 * overall["total_jobs"]
+    assert overall["common_subexpr"] > 0.5 * overall["total_subexpr"]

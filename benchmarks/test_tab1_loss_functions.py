@@ -1,0 +1,10 @@
+"""Benchmark: Table 1 — regression loss comparison (5-fold CV)."""
+
+from repro.experiments import tab1_loss_functions
+
+
+def test_tab1_loss_functions(run_experiment):
+    result = run_experiment(tab1_loss_functions)
+    errors = {row["loss_function"]: row["median_error_pct"] for row in result.rows}
+    # The paper's conclusion: MSLE is the best loss for cost models.
+    assert errors["mean_squared_log_error"] == min(errors.values())

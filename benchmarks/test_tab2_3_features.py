@@ -1,0 +1,9 @@
+"""Benchmark: Tables 2-3 — feature set with elastic-net selection."""
+
+from repro.experiments import tab2_3_features
+
+
+def test_tab2_3_features(run_experiment):
+    result = run_experiment(tab2_3_features)
+    # Every paper feature must be selected by at least one subgraph model.
+    assert all(row["models_selecting"] > 0 for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark: Table 4 — ML algorithms on the operator-subgraph model."""
+
+from repro.experiments import tab4_subgraph_models
+
+
+def test_tab4_subgraph_models(run_experiment):
+    result = run_experiment(tab4_subgraph_models)
+    default = result.row_by("model", "Default")
+    for row in result.rows:
+        if row["model"] == "Default":
+            continue
+        assert row["median_error_pct"] < default["median_error_pct"]
+        assert row["correlation"] > default["correlation"]

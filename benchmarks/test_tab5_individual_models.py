@@ -1,0 +1,13 @@
+"""Benchmark: Table 5 — accuracy/coverage of all learned models."""
+
+from repro.experiments import tab5_individual_models
+
+
+def test_tab5_individual_models(run_experiment):
+    result = run_experiment(tab5_individual_models)
+    cov = {row["model"]: row["coverage_pct"] for row in result.rows}
+    err = {row["model"]: row["median_error_pct"] for row in result.rows}
+    assert cov["op_subgraph"] <= cov["op_input"] <= cov["operator"]
+    assert cov["combined"] == 100.0
+    assert err["op_subgraph"] < err["operator"]
+    assert err["combined"] < err["Default"]

@@ -1,0 +1,13 @@
+"""Benchmark: Table 7 — cluster-1 breakdown, all vs ad-hoc jobs."""
+
+from repro.experiments import tab7_cluster1_breakdown
+
+
+def test_tab7_breakdown(run_experiment):
+    result = run_experiment(tab7_cluster1_breakdown)
+    all_rows = {r["model"]: r for r in result.rows if r["jobs"] == "all"}
+    adhoc_rows = {r["model"]: r for r in result.rows if r["jobs"] == "adhoc"}
+    # Ad-hoc subgraph coverage must drop well below all-jobs coverage.
+    assert adhoc_rows["op_subgraph"]["coverage_pct"] < all_rows["op_subgraph"]["coverage_pct"]
+    # But ad-hoc jobs still get substantial subexpression coverage (>10%).
+    assert adhoc_rows["op_subgraph"]["coverage_pct"] > 10.0

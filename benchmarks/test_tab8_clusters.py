@@ -1,0 +1,10 @@
+"""Benchmark: Table 8 — default vs combined per cluster."""
+
+from repro.experiments import tab8_all_clusters
+
+
+def test_tab8_clusters(run_experiment):
+    result = run_experiment(tab8_all_clusters)
+    for row in result.rows:
+        assert row["learned_corr"] > row["default_corr"]
+        assert row["learned_err_pct"] < row["default_err_pct"]

@@ -1,0 +1,55 @@
+"""Robustness study: how long do learned cost models stay accurate?
+
+Reproduces the Figure 14 protocol: train once (days 1-2 individual models,
+day 3 combined), then watch coverage, median error, and correlation as the
+test window slides out to four weeks — the measurement behind the paper's
+"retrain every ~10 days" recommendation.
+
+Run:  python examples/robustness_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CleoTrainer, evaluate_predictor_on_log, evaluate_store_on_log
+from repro.core.config import ModelKind
+from repro.execution.hardware import ClusterSpec
+from repro.workload import ClusterWorkloadConfig, WorkloadGenerator, WorkloadRunner
+
+WINDOWS = (2, 7, 14, 21, 28)
+
+
+def main() -> None:
+    cluster = ClusterSpec(name="democluster")
+    generator = WorkloadGenerator(
+        ClusterWorkloadConfig(
+            cluster_name="democluster", n_tables=8, n_fragments=14, n_templates=20, seed=3
+        )
+    )
+    runner = WorkloadRunner(cluster=cluster, seed=3)
+    horizon = max(WINDOWS) + 3
+    print(f"running {horizon} days of workload ...")
+    log = runner.run_days(generator, days=range(1, horizon + 1))
+
+    predictor = CleoTrainer().train(log, individual_days=[1, 2], combined_days=[3])
+    print(f"trained on days 1-3: {predictor.model_count} models\n")
+
+    header = f"{'window':>7} | " + " | ".join(
+        f"{kind.value:>20}" for kind in ModelKind
+    ) + f" | {'combined':>20}"
+    print(header)
+    print("-" * len(header))
+    for window in WINDOWS:
+        test = log.filter(days=[3 + window])
+        cells = []
+        for kind, quality in evaluate_store_on_log(predictor.store, test).items():
+            cells.append(
+                f"{quality.coverage_pct:5.1f}% /{quality.median_error_pct:6.1f}%"
+            )
+        combined = evaluate_predictor_on_log(predictor, test)
+        cells.append(f"100.0% /{combined.median_error_pct:6.1f}%")
+        print(f"{window:>5}d  | " + " | ".join(f"{c:>20}" for c in cells))
+    print("\ncells are: coverage % / median error %")
+
+
+if __name__ == "__main__":
+    main()

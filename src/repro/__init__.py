@@ -1,0 +1,37 @@
+"""Cleo: learned cost models for big data query processing (SIGMOD 2020).
+
+A from-scratch reproduction of Siddiqui et al., "Cost Models for Big Data
+Query Processing: Learning, Retrofitting, and Our Findings".  The package
+is organized as the paper's system plus every substrate it depends on:
+
+* :mod:`repro.core` — the contribution: per-template learned cost models,
+  the combined meta-ensemble, the training feedback loop, and the
+  optimizer-facing cost model;
+* :mod:`repro.optimizer` — a Cascades-style planner with the paper's
+  resource-aware extensions (resource context, partition exploration);
+* :mod:`repro.execution` — the SCOPE-like distributed execution simulator
+  that stands in for production clusters;
+* :mod:`repro.workload` — production-shaped synthetic workloads and the
+  full TPC-H query suite;
+* :mod:`repro.ml`, :mod:`repro.features`, :mod:`repro.cardinality`,
+  :mod:`repro.cost`, :mod:`repro.plan`, :mod:`repro.data` — supporting
+  substrates (all numpy-only, no sklearn);
+* :mod:`repro.applications` — the Section 6.7 use cases on the trained
+  models: performance prediction, SLO allocation, scheduling, progress
+  estimation, what-if analysis;
+* :mod:`repro.experiments` — one module per table/figure of the paper,
+  plus ablations; :mod:`repro.cli` drives everything from the shell.
+
+Quickstart::
+
+    from repro.workload import ClusterWorkloadConfig, WorkloadGenerator, WorkloadRunner
+    from repro.execution.hardware import ClusterSpec
+    from repro.core import CleoTrainer
+
+    generator = WorkloadGenerator(ClusterWorkloadConfig(cluster_name="c1"))
+    runner = WorkloadRunner(cluster=ClusterSpec(name="c1"))
+    log = runner.run_days(generator, days=range(1, 4))
+    predictor = CleoTrainer().train(log)
+"""
+
+__version__ = "1.1.0"

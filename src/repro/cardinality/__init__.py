@@ -1,0 +1,20 @@
+"""Cardinality estimation: default estimator, perfect feedback, CardLearner.
+
+The default estimator reproduces the failure mode the paper measures: each
+operator's local selectivity estimate is off by a deterministic per-template
+factor, and the errors *compound* as they propagate up the plan (Section 2.4).
+Perfect feedback replaces every estimate by the true cardinality — the ideal
+any learned cardinality model could reach — and CardLearner is the Poisson
+regression baseline of Section 6.4.
+"""
+
+from repro.cardinality.cardlearner import CardLearner
+from repro.cardinality.estimator import CardinalityEstimator, EstimatorConfig
+from repro.cardinality.perfect import PerfectCardinalityEstimator
+
+__all__ = [
+    "CardLearner",
+    "CardinalityEstimator",
+    "EstimatorConfig",
+    "PerfectCardinalityEstimator",
+]

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's day-to-day loops without writing code:
+
+* ``workload``   — generate + execute a synthetic cluster workload and
+  print its Figure-9-style profile;
+* ``train``      — run a workload, train Cleo on the early days, and save
+  the predictor to a JSON model file (the paper's "models can be served
+  from a text file", Section 5.1);
+* ``evaluate``   — load a saved model file and score it against the same
+  workload's held-out day, printing the per-model-kind quality table;
+* ``experiment`` — regenerate any paper table/figure or ablation by id
+  (``--list`` enumerates them), printing the same report the benchmark
+  suite persists.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.harness import ExperimentResult
+
+# Lazy imports inside handlers keep `--help` fast.
+
+
+def _experiment_registry() -> dict[str, Callable[[str, int], ExperimentResult]]:
+    """Experiment id -> runner(scale, seed)."""
+    from repro.experiments import (
+        ablations,
+        ext_applications,
+        fig1_motivation,
+        fig2_recurring,
+        fig3_adhoc,
+        fig5_6_feature_weights,
+        fig7_heatmap,
+        fig8c_lookups,
+        fig9_workload_summary,
+        fig10_workload_changes,
+        fig11_cv_cdfs,
+        fig12_13_accuracy_cdfs,
+        fig14_robustness,
+        fig15_cardlearner,
+        fig16_hashjoin_weights,
+        fig17_partition_exploration,
+        fig18_feature_ablation,
+        fig19_production_performance,
+        fig20_tpch,
+        tab1_loss_functions,
+        tab2_3_features,
+        tab4_subgraph_models,
+        tab5_individual_models,
+        tab6_combined_meta,
+        tab7_cluster1_breakdown,
+        tab8_all_clusters,
+    )
+
+    registry: dict[str, Callable[[str, int], ExperimentResult]] = {
+        "fig1": fig1_motivation.run,
+        "fig2": fig2_recurring.run,
+        "fig3": fig3_adhoc.run,
+        "fig5_6": fig5_6_feature_weights.run,
+        "fig7": fig7_heatmap.run,
+        "fig8c": fig8c_lookups.run,
+        "fig9": fig9_workload_summary.run,
+        "fig10": fig10_workload_changes.run,
+        "fig11": fig11_cv_cdfs.run,
+        "fig12": lambda scale, seed: fig12_13_accuracy_cdfs.run(scale, seed, adhoc_only=False),
+        "fig13": lambda scale, seed: fig12_13_accuracy_cdfs.run(scale, seed, adhoc_only=True),
+        "fig14": fig14_robustness.run,
+        "fig15": fig15_cardlearner.run,
+        "fig16": fig16_hashjoin_weights.run,
+        "fig17": fig17_partition_exploration.run,
+        "fig18": fig18_feature_ablation.run,
+        "fig19": fig19_production_performance.run,
+        "fig20": fig20_tpch.run,
+        "tab1": tab1_loss_functions.run,
+        "tab2_3": tab2_3_features.run,
+        "tab4": tab4_subgraph_models.run,
+        "tab5": tab5_individual_models.run,
+        "tab6": tab6_combined_meta.run,
+        "tab7": tab7_cluster1_breakdown.run,
+        "tab8": tab8_all_clusters.run,
+        "ablation_jitter": ablations.run_jitter_ablation,
+        "ablation_nonneg": ablations.run_nonneg_ablation,
+        "ablation_noise": ablations.run_noise_sensitivity,
+        "ablation_window": ablations.run_window_ablation,
+        "ablation_meta": ablations.run_meta_ablation,
+        "ablation_global": ablations.run_specialization_ablation,
+        "ext_applications": ext_applications.run,
+    }
+    return registry
+
+
+def _build_workload(args: argparse.Namespace):
+    """Shared workload construction for workload/train/evaluate."""
+    from repro.execution.hardware import ClusterSpec
+    from repro.workload import ClusterWorkloadConfig, WorkloadGenerator, WorkloadRunner
+
+    config = ClusterWorkloadConfig(
+        cluster_name=args.cluster,
+        n_tables=args.tables,
+        n_fragments=args.fragments,
+        n_templates=args.templates,
+        seed=args.seed,
+    )
+    generator = WorkloadGenerator(config)
+    runner = WorkloadRunner(
+        cluster=ClusterSpec(name=args.cluster), seed=args.seed, keep_plans=True
+    )
+    return generator, runner
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload.analysis import profile_workload
+
+    generator, runner = _build_workload(args)
+    log = runner.run_days(generator, days=range(1, args.days + 1))
+    profile = profile_workload(log)
+    print(f"cluster {args.cluster}: {args.days} days, seed {args.seed}")
+    print(f"  jobs:                    {profile.total_jobs}")
+    print(f"  recurring jobs:          {profile.recurring_jobs} "
+          f"({100 * profile.recurring_fraction:.0f}%)")
+    print(f"  recurring templates:     {profile.recurring_templates}")
+    print(f"  subexpressions:          {profile.total_subexpressions}")
+    print(f"  common subexpressions:   {profile.common_subexpressions} "
+          f"({100 * profile.common_fraction:.0f}%)")
+    print(f"  trainable (>=5 occurr.): {profile.trainable_subexpressions} "
+          f"({100 * profile.trainable_fraction:.0f}%)")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import CleoTrainer
+    from repro.core.serialization import save_predictor
+
+    if args.days < 3:
+        print("train needs at least 3 days (2 train + 1 combined)", file=sys.stderr)
+        return 2
+    generator, runner = _build_workload(args)
+    log = runner.run_days(generator, days=range(1, args.days + 1))
+    train_days = list(range(1, args.days))
+    predictor = CleoTrainer().train(
+        log, individual_days=train_days, combined_days=[args.days - 1]
+    )
+    save_predictor(predictor, args.out)
+    print(f"trained {predictor.model_count} models on days {train_days} "
+          f"({len(log.filter(days=train_days))} jobs)")
+    print(f"saved model file: {args.out} "
+          f"({predictor.memory_bytes / 1024:.0f} KiB in memory)")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core import evaluate_predictor_on_log, evaluate_store_on_log
+    from repro.core.serialization import load_predictor
+
+    predictor = load_predictor(args.model)
+    generator, runner = _build_workload(args)
+    log = runner.run_days(generator, days=[args.day])
+    print(f"evaluating {args.model} on day {args.day} "
+          f"({len(log)} jobs, {log.operator_count} operators)")
+    print(f"  {'model':<22} {'corr':>6} {'median_err':>11} {'coverage':>9}")
+    for kind, quality in evaluate_store_on_log(predictor.store, log).items():
+        print(f"  {quality.name:<22} {quality.pearson:6.2f} "
+              f"{quality.median_error_pct:10.1f}% {quality.coverage_pct:8.1f}%")
+    combined = evaluate_predictor_on_log(predictor, log)
+    print(f"  {'combined':<22} {combined.pearson:6.2f} "
+          f"{combined.median_error_pct:10.1f}% {100.0:8.1f}%")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.list or args.id is None:
+        print("available experiment ids:")
+        for key in registry:
+            print(f"  {key}")
+        return 0 if args.list else 2
+    runner = registry.get(args.id)
+    if runner is None:
+        print(f"unknown experiment id {args.id!r}; use --list", file=sys.stderr)
+        return 2
+    result = runner(args.scale, args.seed)
+    print(result.to_text())
+    return 0
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cluster", default="cluster1", help="cluster name (default: cluster1)")
+    parser.add_argument("--tables", type=int, default=8, help="base tables (default: 8)")
+    parser.add_argument("--fragments", type=int, default=14, help="shared plan fragments (default: 14)")
+    parser.add_argument("--templates", type=int, default=24, help="recurring templates (default: 24)")
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed (default: 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cleo reproduction: learned cost models for big data query processing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_workload = sub.add_parser("workload", help="run a synthetic workload, print its profile")
+    _add_workload_options(p_workload)
+    p_workload.add_argument("--days", type=int, default=3, help="days to run (default: 3)")
+    p_workload.set_defaults(func=cmd_workload)
+
+    p_train = sub.add_parser("train", help="train Cleo on a workload and save the model file")
+    _add_workload_options(p_train)
+    p_train.add_argument("--days", type=int, default=3, help="days to run (default: 3)")
+    p_train.add_argument("--out", default="cleo_models.json", help="output model file")
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved model file on a held-out day")
+    _add_workload_options(p_eval)
+    p_eval.add_argument("--model", required=True, help="model file from `repro train`")
+    p_eval.add_argument("--day", type=int, default=3, help="held-out day (default: 3)")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure or ablation")
+    p_exp.add_argument("id", nargs="?", help="experiment id, e.g. tab5 or fig14")
+    p_exp.add_argument("--list", action="store_true", help="list available experiment ids")
+    p_exp.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"),
+                       help="workload scale (default: tiny)")
+    p_exp.add_argument("--seed", type=int, default=0, help="deterministic seed (default: 0)")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Shared infrastructure: hashing, seeded randomness, and statistics.
+
+These utilities are deliberately dependency-light (numpy only) and fully
+deterministic so that every experiment in the reproduction can be re-run
+bit-for-bit from a seed.
+"""
+
+from repro.common.errors import (
+    CleoError,
+    InvalidPlanError,
+    ModelNotTrainedError,
+    OptimizationError,
+)
+from repro.common.hashing import combine_hashes, stable_hash, stable_unit_float
+from repro.common.rng import RngFactory, derive_rng
+from repro.common.stats import (
+    Cdf,
+    error_ratio,
+    geometric_partition_samples,
+    median_error_pct,
+    pearson,
+    percentile,
+)
+
+__all__ = [
+    "Cdf",
+    "CleoError",
+    "InvalidPlanError",
+    "ModelNotTrainedError",
+    "OptimizationError",
+    "RngFactory",
+    "combine_hashes",
+    "derive_rng",
+    "error_ratio",
+    "geometric_partition_samples",
+    "median_error_pct",
+    "pearson",
+    "percentile",
+    "stable_hash",
+    "stable_unit_float",
+]

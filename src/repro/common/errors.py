@@ -1,0 +1,33 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`CleoError`, so callers
+can catch one type at an API boundary without masking unrelated bugs.
+"""
+
+
+class CleoError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidPlanError(CleoError):
+    """A query plan is structurally invalid (bad arity, missing child, ...)."""
+
+
+class ModelNotTrainedError(CleoError):
+    """A prediction was requested from a model that has not been fitted."""
+
+
+class OptimizationError(CleoError):
+    """The optimizer could not produce a physical plan for a logical plan."""
+
+
+class WorkloadError(CleoError):
+    """Workload generation was configured inconsistently."""
+
+
+class SimulationError(CleoError):
+    """The execution simulator was asked to run an unrunnable plan."""
+
+
+class ValidationError(CleoError):
+    """An application-level API was called with inconsistent arguments."""

@@ -1,0 +1,120 @@
+"""The combined model: a meta-ensemble over the individual predictions.
+
+Section 4.3: a FastTree (gradient-boosted trees) regressor consumes the
+predictions of the four individual models as meta-features, together with
+cardinalities, per-partition cardinalities, and the partition count, and
+outputs a corrected cost.  It characterizes where each individual model is
+reliable, covers every operator (the operator model always predicts), and
+degrades gracefully where specialized models are missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CleoConfig, ModelKind
+from repro.core.model_store import ModelStore
+from repro.features.featurizer import FeatureInput
+from repro.ml.base import Regressor
+from repro.ml.gbm import FastTreeRegressor
+from repro.plan.signatures import SignatureBundle
+
+#: Meta-feature layout: 4 predictions, 4 coverage flags, then the extra
+#: features of Section 4.3 — cardinalities (I, B, C), per-partition
+#: cardinalities (I/P, B/P, C/P), and the partition count P.
+META_FEATURE_NAMES: tuple[str, ...] = (
+    "pred_op_subgraph",
+    "pred_op_subgraph_approx",
+    "pred_op_input",
+    "pred_operator",
+    "has_op_subgraph",
+    "has_op_subgraph_approx",
+    "has_op_input",
+    "has_operator",
+    "I",
+    "B",
+    "C",
+    "I/P",
+    "B/P",
+    "C/P",
+    "P",
+)
+
+_KIND_ORDER: tuple[ModelKind, ...] = (
+    ModelKind.OP_SUBGRAPH,
+    ModelKind.OP_SUBGRAPH_APPROX,
+    ModelKind.OP_INPUT,
+    ModelKind.OPERATOR,
+)
+
+
+def build_meta_row(
+    store: ModelStore, features: FeatureInput, bundle: SignatureBundle
+) -> np.ndarray:
+    """One meta-feature row: individual predictions + coverage + extras.
+
+    Missing individual predictions are imputed with the most general
+    available prediction; the coverage flags let the trees learn where each
+    model's prediction is real versus imputed.
+    """
+    predictions: list[float | None] = []
+    for kind in _KIND_ORDER:
+        model = store.lookup(kind, bundle)
+        predictions.append(model.predict_one(features) if model is not None else None)
+
+    available = [p for p in predictions if p is not None]
+    impute = available[-1] if available else 0.0  # most general available
+    filled = [p if p is not None else impute for p in predictions]
+    flags = [1.0 if p is not None else 0.0 for p in predictions]
+
+    f = features
+    extras = [
+        f.input_card,
+        f.base_card,
+        f.output_card,
+        f.input_card / f.partition_count,
+        f.base_card / f.partition_count,
+        f.output_card / f.partition_count,
+        f.partition_count,
+    ]
+    return np.array(filled + flags + extras, dtype=float)
+
+
+class CombinedModel:
+    """The trained meta-ensemble (FastTree by default, pluggable for Table 6)."""
+
+    def __init__(
+        self, store: ModelStore, config: CleoConfig | None = None, regressor: Regressor | None = None
+    ) -> None:
+        self.store = store
+        self.config = config or CleoConfig()
+        if regressor is None:
+            regressor = FastTreeRegressor(
+                n_estimators=self.config.meta_trees,
+                max_depth=self.config.meta_depth,
+                subsample=self.config.meta_subsample,
+                learning_rate=self.config.meta_learning_rate,
+                log_target=True,
+                seed=self.config.seed,
+            )
+        self.regressor = regressor
+        self._fitted = False
+
+    def fit_rows(self, rows: np.ndarray, latencies: np.ndarray) -> "CombinedModel":
+        """Fit on pre-built meta rows (the trainer builds them in bulk)."""
+        self.regressor.fit(rows, np.asarray(latencies, dtype=float))
+        self._fitted = True
+        return self
+
+    def predict_one(self, features: FeatureInput, bundle: SignatureBundle) -> float:
+        row = build_meta_row(self.store, features, bundle)
+        return self.predict_rows(row.reshape(1, -1))[0]
+
+    def predict_rows(self, rows: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("combined model used before fit")
+        return np.clip(np.asarray(self.regressor.predict(rows), dtype=float), 0.0, None)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted

@@ -1,0 +1,63 @@
+"""Configuration for Cleo's learning pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ModelKind(enum.Enum):
+    """The four individual model granularities (Sections 3-4), ordered from
+    most specialized (most accurate, least coverage) to most general."""
+
+    OP_SUBGRAPH = "op_subgraph"
+    OP_SUBGRAPH_APPROX = "op_subgraph_approx"
+    OP_INPUT = "op_input"
+    OPERATOR = "operator"
+
+    @property
+    def uses_context_features(self) -> bool:
+        """CL and D features are added by the generalized models (Sec. 4.2)."""
+        return self is not ModelKind.OP_SUBGRAPH
+
+
+#: Specificity order used by fallback chains (most specific first).
+SPECIFICITY_ORDER: tuple[ModelKind, ...] = (
+    ModelKind.OP_SUBGRAPH,
+    ModelKind.OP_SUBGRAPH_APPROX,
+    ModelKind.OP_INPUT,
+    ModelKind.OPERATOR,
+)
+
+
+@dataclass(frozen=True)
+class CleoConfig:
+    """Hyperparameters of the training pipeline.
+
+    Defaults follow the paper where stated: at least 5 occurrences before a
+    subgraph gets a model, elastic net with l1_ratio 0.5, FastTree with 20
+    trees of depth 5 and 0.9 subsampling.  The elastic-net alpha is smaller
+    than sklearn's 1.0 default because our features are standardized against
+    log-scale targets; the paper's alpha applies to its internal scaling.
+    """
+
+    min_samples: int = 5
+    elastic_alpha: float = 0.01
+    elastic_l1_ratio: float = 0.5
+    elastic_max_iter: int = 120
+    elastic_tol: float = 1e-5
+    #: Project partition-dependent feature weights to >= 0 (see DESIGN.md
+    #: deviation 2).  Disable only for the ablation study.
+    constrain_partition_weights: bool = True
+    meta_trees: int = 20
+    meta_depth: int = 5
+    meta_subsample: float = 0.9
+    meta_learning_rate: float = 0.3
+    max_meta_samples: int = 200_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if self.elastic_alpha < 0:
+            raise ValueError("elastic_alpha must be >= 0")

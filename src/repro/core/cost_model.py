@@ -1,0 +1,63 @@
+"""Cleo as an optimizer-facing cost model.
+
+Implements the same protocol as the default cost model, so retrofitting it
+into the planner is a drop-in replacement of the cost call in Optimize
+Inputs (step 10 of Figure 8a) — the paper's "minimally invasive" goal.
+"""
+
+from __future__ import annotations
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.learned_model import ResourceProfile
+from repro.core.predictor import CleoPredictor
+from repro.features.extract import feature_input_for
+from repro.plan.physical import PhysicalOp
+from repro.plan.signatures import SignatureBundle
+
+
+class CleoCostModel:
+    """Prices operators with the learned models.
+
+    Signature bundles are cached per operator object (they are partition-
+    independent), so partition exploration — which re-prices the same
+    operator at many candidate counts — only pays for featurization.
+    """
+
+    def __init__(self, predictor: CleoPredictor) -> None:
+        self.predictor = predictor
+        # id -> (op, bundle); holding the op reference keeps ids stable.
+        self._bundles: dict[int, tuple[PhysicalOp, SignatureBundle]] = {}
+
+    def _bundle(self, op: PhysicalOp) -> SignatureBundle:
+        entry = self._bundles.get(id(op))
+        if entry is not None and entry[0] is op:
+            return entry[1]
+        bundle = SignatureBundle.of(op)
+        self._bundles[id(op)] = (op, bundle)
+        return bundle
+
+    def operator_cost(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        features = feature_input_for(op, estimator, partition_override)
+        return self.predictor.predict(features, self._bundle(op))
+
+    def resource_profile(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> ResourceProfile | None:
+        """(theta_p, theta_c, theta_0) for the partition-exploration step."""
+        features = feature_input_for(op, estimator)
+        return self.predictor.resource_profile(features, self._bundle(op))
+
+    @property
+    def lookup_count(self) -> int:
+        return self.predictor.lookup_count
+
+    def reset_lookup_count(self) -> None:
+        self.predictor.reset_lookup_count()
+
+    def clear_cache(self) -> None:
+        self._bundles.clear()

@@ -1,0 +1,174 @@
+"""One learned cost model: an elastic net over the derived features.
+
+Each template (subgraph / approx / input / operator) gets an instance.  The
+underlying model is the paper's configuration exactly: a linear model over
+the derived features (Tables 2-3) trained with mean-squared log error
+(Section 3.2) and L1+L2 regularization (Section 3.4).  Because the model is
+linear in *raw* feature space, the resource-exploration coefficients
+``(theta_p, theta_c, theta_0)`` of Section 5.3 are direct reads of the
+fitted weights — the same model serves both cost prediction and analytical
+partition optimization, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CleoConfig
+from repro.features.featurizer import (
+    INVERSE_P_FEATURES,
+    FeatureInput,
+    feature_matrix,
+    feature_names,
+    feature_vector,
+)
+from repro.ml.proximal import ElasticNetMSLE
+
+_MAX_PREDICT_SECONDS = 1e7  # clamp: a single operator below ~116 days
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Operator cost as a function of its stage's partition count.
+
+    ``cost(P) = theta_p / P + theta_c * P + theta_0``.
+    """
+
+    theta_p: float
+    theta_c: float
+    theta_0: float
+
+    def cost_at(self, partitions: float) -> float:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        return self.theta_p / partitions + self.theta_c * partitions + self.theta_0
+
+    def optimal_partitions(self, max_partitions: int) -> int:
+        """Minimize over [1, max_partitions], the paper's three sign cases.
+
+        (i) theta_p > 0, theta_c < 0: more partitions always help -> max.
+        (ii) theta_p < 0, theta_c > 0: partitions only hurt -> min.
+        (iii) same sign: interior stationary point sqrt(theta_p/theta_c);
+        for the negative-negative case that point is a cost *maximum*, so
+        the better boundary wins.  All candidates are evaluated and the
+        cheapest taken, which subsumes the case analysis safely.
+        """
+        candidates = {1, max_partitions}
+        if self.theta_c != 0 and self.theta_p / self.theta_c > 0:
+            ratio = self.theta_p / self.theta_c
+            if np.isfinite(ratio):
+                stationary = int(round(float(np.sqrt(ratio))))
+            else:  # degenerate near-zero theta_c: stationary point beyond range
+                stationary = max_partitions
+            candidates.add(min(max(stationary, 1), max_partitions))
+        return min(sorted(candidates), key=self.cost_at)
+
+
+class LearnedCostModel:
+    """Elastic-net (MSLE) cost model for a single template."""
+
+    def __init__(self, include_context: bool, config: CleoConfig | None = None) -> None:
+        self.include_context = include_context
+        self.config = config or CleoConfig()
+        # Partition-dependent features are physically monotone cost
+        # contributors (parallel work shrinks with P, scheduling overhead
+        # grows with P); constraining their weights non-negative keeps the
+        # model sane when partition exploration extrapolates far outside the
+        # logged range of P.
+        names = feature_names(include_context)
+        if self.config.constrain_partition_weights:
+            nonneg = tuple(
+                j
+                for j, name in enumerate(names)
+                if name in INVERSE_P_FEATURES or name == "P"
+            )
+        else:
+            nonneg = ()
+        self._net = ElasticNetMSLE(
+            alpha=self.config.elastic_alpha,
+            l1_ratio=self.config.elastic_l1_ratio,
+            max_iter=self.config.elastic_max_iter,
+            tol=self.config.elastic_tol,
+            nonneg_indices=nonneg,
+        )
+        self.n_samples = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(self, inputs: list[FeatureInput], latencies: np.ndarray) -> "LearnedCostModel":
+        latencies = np.asarray(latencies, dtype=float).ravel()
+        if len(inputs) != len(latencies):
+            raise ValueError("inputs and latencies must align")
+        matrix = feature_matrix(inputs, include_context=self.include_context)
+        self._net.fit(matrix, np.clip(latencies, 0.0, None))
+        self.n_samples = len(inputs)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict_one(self, features: FeatureInput) -> float:
+        vec = feature_vector(features, include_context=self.include_context)
+        raw = float(self._net.predict(vec.reshape(1, -1))[0])
+        return float(min(raw, _MAX_PREDICT_SECONDS))
+
+    def predict_many(self, inputs: list[FeatureInput]) -> np.ndarray:
+        matrix = feature_matrix(inputs, include_context=self.include_context)
+        return np.minimum(self._net.predict(matrix), _MAX_PREDICT_SECONDS)
+
+    # ------------------------------------------------------------------ #
+    # Resource profile (Section 5.3)
+    # ------------------------------------------------------------------ #
+
+    def resource_profile(self, features: FeatureInput) -> ResourceProfile:
+        """Extract (theta_p, theta_c, theta_0) from the fitted weights.
+
+        Only partition-dependent features move with P; evaluating every
+        feature at P=1 turns each 1/P-family feature into its numerator, so
+        the thetas are exact linear-algebra reads of the fit.
+        """
+        weights, intercept = self._net.coefficients_raw()
+        names = feature_names(self.include_context)
+        at_one = feature_vector(
+            features.with_partition_count(1.0), include_context=self.include_context
+        )
+        theta_p = 0.0
+        theta_c = 0.0
+        theta_0 = intercept
+        for j, name in enumerate(names):
+            if name in INVERSE_P_FEATURES:
+                theta_p += weights[j] * at_one[j]
+            elif name == "P":
+                theta_c += weights[j]
+            else:
+                theta_0 += weights[j] * at_one[j]
+        return ResourceProfile(theta_p=theta_p, theta_c=theta_c, theta_0=theta_0)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def feature_weights(self) -> dict[str, float]:
+        """Standardized weights per feature name (Figures 5-6, 16)."""
+        if not self._fitted:
+            raise RuntimeError("feature_weights before fit()")
+        assert self._net.coef_ is not None
+        names = feature_names(self.include_context)
+        return {name: float(w) for name, w in zip(names, self._net.coef_)}
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate serialized size (the paper's ~600 MB footprint note)."""
+        width = len(feature_names(self.include_context))
+        return (width + 1) * 8 + 64

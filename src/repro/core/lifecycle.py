@@ -1,0 +1,281 @@
+"""Model lifecycle: versioned registry, retraining cadence, drift control.
+
+Section 5.1 of the paper fixes the feedback loop's cadence empirically:
+"a training window of two days and a training frequency of every ten days
+results in acceptable accuracy and coverage".  Section 6.7 adds the
+operational safeguards used in production: monitor models in
+pre-production, discard the ones that regress, and rely on the continuous
+feedback loop to self-correct.
+
+This module packages those mechanics:
+
+* :class:`RetrainPolicy` — the knobs (window, frequency, drift trigger);
+* :class:`ModelRegistry` — versioned predictor snapshots with rollback,
+  the stand-in for the paper's model store "backed by a SQL database";
+* :class:`LifecycleManager` — replays a multi-day run log through the
+  policy: trains on schedule, publishes versions, scores each day with the
+  active version, triggers early retrains on drift, and rolls back
+  versions that regress against their predecessor (the Section 6.7
+  pre-production check).
+
+The per-day quality series it produces is what the training-window
+ablation benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.core.config import CleoConfig
+from repro.core.predictor import CleoPredictor
+from repro.core.robustness import ModelQuality, evaluate_predictor_on_log
+from repro.core.trainer import CleoTrainer
+from repro.execution.runtime_log import RunLog
+
+
+@dataclass(frozen=True)
+class RetrainPolicy:
+    """When and on how much data to retrain.
+
+    Attributes:
+        window_days: how many trailing days feed the individual models
+            (the paper's choice: 2).
+        frequency_days: scheduled days between retrains (the paper: 10).
+        drift_threshold_pct: optional early-retrain trigger — retrain the
+            next morning whenever a day's median error exceeds this.
+        regression_factor: a freshly published version whose first-day
+            median error exceeds the previous version's by more than this
+            factor is rolled back (Section 6.7's pre-production gate).
+    """
+
+    window_days: int = 2
+    frequency_days: int = 10
+    drift_threshold_pct: float | None = None
+    regression_factor: float | None = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_days < 1:
+            raise ValidationError("window_days must be >= 1")
+        if self.frequency_days < 1:
+            raise ValidationError("frequency_days must be >= 1")
+        if self.drift_threshold_pct is not None and self.drift_threshold_pct <= 0:
+            raise ValidationError("drift_threshold_pct must be positive")
+        if self.regression_factor is not None and self.regression_factor <= 1.0:
+            raise ValidationError("regression_factor must exceed 1.0")
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published predictor snapshot."""
+
+    version: int
+    trained_on_day: int
+    window: tuple[int, ...]
+    predictor: CleoPredictor
+
+    def describe(self) -> str:
+        days = ", ".join(str(d) for d in self.window)
+        return (
+            f"v{self.version} (published day {self.trained_on_day}, "
+            f"window [{days}], {self.predictor.model_count} models)"
+        )
+
+
+class ModelRegistry:
+    """Versioned predictor snapshots with activation and rollback.
+
+    The paper serves models "either from a text file ... or using a web
+    service that is backed by a SQL database"; operationally the registry
+    is that store's control plane — every published version is retained so
+    a regressing one can be discarded without retraining.
+    """
+
+    def __init__(self) -> None:
+        self._versions: list[ModelVersion] = []
+        self._active: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Publishing and activation
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self, predictor: CleoPredictor, day: int, window: tuple[int, ...]
+    ) -> ModelVersion:
+        """Store a new version and make it active."""
+        version = ModelVersion(
+            version=len(self._versions) + 1,
+            trained_on_day=day,
+            window=window,
+            predictor=predictor,
+        )
+        self._versions.append(version)
+        self._active = len(self._versions) - 1
+        return version
+
+    def active(self) -> ModelVersion:
+        if self._active is None:
+            raise ValidationError("registry has no published version")
+        return self._versions[self._active]
+
+    def rollback(self) -> ModelVersion:
+        """Reactivate the version preceding the active one."""
+        if self._active is None or self._active == 0:
+            raise ValidationError("no earlier version to roll back to")
+        self._active -= 1
+        return self._versions[self._active]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    @property
+    def has_active(self) -> bool:
+        return self._active is not None
+
+    def get(self, version: int) -> ModelVersion:
+        for candidate in self._versions:
+            if candidate.version == version:
+                return candidate
+        raise ValidationError(f"unknown version {version}")
+
+    def history(self) -> tuple[ModelVersion, ...]:
+        return tuple(self._versions)
+
+
+@dataclass(frozen=True)
+class DayOutcome:
+    """One day of the lifecycle replay."""
+
+    day: int
+    active_version: int
+    quality: ModelQuality
+    retrained: bool
+    rolled_back: bool
+
+    @property
+    def median_error_pct(self) -> float:
+        return self.quality.median_error_pct
+
+    @property
+    def pearson(self) -> float:
+        return self.quality.pearson
+
+
+@dataclass
+class LifecycleManager:
+    """Replays a run log through a retraining policy, day by day.
+
+    Each simulated morning the manager decides whether to retrain (by
+    schedule or by yesterday's drift), publishes and gates the resulting
+    version, and then scores the active version on the day's fresh jobs.
+    Day scoring is strictly out-of-sample: the active version never saw
+    the day it is scored on.
+    """
+
+    policy: RetrainPolicy = field(default_factory=RetrainPolicy)
+    config: CleoConfig | None = None
+    registry: ModelRegistry = field(default_factory=ModelRegistry)
+
+    def __post_init__(self) -> None:
+        self._trainer = CleoTrainer(self.config)
+        self._last_train_day: int | None = None
+        self._drift_pending = False
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def run(self, log: RunLog, days: list[int] | None = None) -> list[DayOutcome]:
+        """Replay ``days`` (default: all days after the first window).
+
+        The first ``window_days`` days are history used for the initial
+        training; outcomes start on the following day.
+        """
+        all_days = log.days
+        if len(all_days) <= self.policy.window_days:
+            raise ValidationError(
+                f"log must span more than window_days={self.policy.window_days} days"
+            )
+        score_days = days if days is not None else all_days[self.policy.window_days:]
+        outcomes: list[DayOutcome] = []
+        for day in score_days:
+            outcomes.append(self.step(log, day))
+        return outcomes
+
+    def step(self, log: RunLog, day: int) -> DayOutcome:
+        """One simulated day: maybe retrain, then score the active version."""
+        day_log = log.filter(days=[day])
+        if not len(day_log):
+            raise ValidationError(f"log has no jobs on day {day}")
+
+        retrained = False
+        rolled_back = False
+        if self._should_retrain(day):
+            window = self._window_for(log, day)
+            predictor = self._trainer.train(
+                log.filter(days=list(window)),
+                individual_days=list(window),
+                combined_days=[window[-1]],
+            )
+            previous = self.registry.active() if self.registry.has_active else None
+            self.registry.publish(predictor, day, window)
+            self._last_train_day = day
+            self._drift_pending = False
+            retrained = True
+            rolled_back = self._gate_new_version(previous, day_log)
+
+        quality = evaluate_predictor_on_log(
+            self.registry.active().predictor, day_log, name=f"day{day}"
+        )
+        if (
+            self.policy.drift_threshold_pct is not None
+            and quality.median_error_pct > self.policy.drift_threshold_pct
+        ):
+            self._drift_pending = True
+        return DayOutcome(
+            day=day,
+            active_version=self.registry.active().version,
+            quality=quality,
+            retrained=retrained,
+            rolled_back=rolled_back,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Policy internals
+    # ------------------------------------------------------------------ #
+
+    def _should_retrain(self, day: int) -> bool:
+        if not self.registry.has_active or self._last_train_day is None:
+            return True
+        if self._drift_pending:
+            return True
+        return day - self._last_train_day >= self.policy.frequency_days
+
+    def _window_for(self, log: RunLog, day: int) -> tuple[int, ...]:
+        """The trailing ``window_days`` days of data strictly before ``day``."""
+        history = [d for d in log.days if d < day]
+        if not history:
+            raise ValidationError(f"no history before day {day} to train on")
+        return tuple(history[-self.policy.window_days:])
+
+    def _gate_new_version(
+        self, previous: ModelVersion | None, day_log: RunLog
+    ) -> bool:
+        """Section 6.7 pre-production gate; returns True when rolled back."""
+        if previous is None or self.policy.regression_factor is None:
+            return False
+        fresh = evaluate_predictor_on_log(
+            self.registry.active().predictor, day_log, name="fresh"
+        )
+        old = evaluate_predictor_on_log(previous.predictor, day_log, name="previous")
+        if fresh.median_error_pct > old.median_error_pct * self.policy.regression_factor:
+            self.registry.rollback()
+            # The rolled-back version stays published (hence inspectable)
+            # but inactive; the next scheduled retrain tries again.
+            return True
+        return False

@@ -1,0 +1,72 @@
+"""Model store: the signature-keyed hash map loaded by the optimizer.
+
+"All models relevant for a cluster are loaded upfront by the optimizer, into
+a hash map with keys as signatures of models, to avoid expensive lookup calls
+during optimization" (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SPECIFICITY_ORDER, ModelKind
+from repro.core.learned_model import LearnedCostModel
+from repro.plan.signatures import SignatureBundle
+
+
+def signature_for(kind: ModelKind, bundle: SignatureBundle) -> int:
+    """The bundle component that keys models of ``kind``."""
+    if kind is ModelKind.OP_SUBGRAPH:
+        return bundle.strict
+    if kind is ModelKind.OP_SUBGRAPH_APPROX:
+        return bundle.approx
+    if kind is ModelKind.OP_INPUT:
+        return bundle.input
+    return bundle.operator
+
+
+@dataclass
+class ModelStore:
+    """All trained individual models for one cluster."""
+
+    models: dict[ModelKind, dict[int, LearnedCostModel]] = field(
+        default_factory=lambda: {kind: {} for kind in ModelKind}
+    )
+
+    def add(self, kind: ModelKind, signature: int, model: LearnedCostModel) -> None:
+        self.models[kind][signature] = model
+
+    def get(self, kind: ModelKind, signature: int) -> LearnedCostModel | None:
+        return self.models[kind].get(signature)
+
+    def lookup(self, kind: ModelKind, bundle: SignatureBundle) -> LearnedCostModel | None:
+        return self.get(kind, signature_for(kind, bundle))
+
+    def most_specific(
+        self, bundle: SignatureBundle
+    ) -> tuple[ModelKind, LearnedCostModel] | None:
+        """The most specialized model covering this operator, if any."""
+        for kind in SPECIFICITY_ORDER:
+            model = self.lookup(kind, bundle)
+            if model is not None:
+                return kind, model
+        return None
+
+    def count(self, kind: ModelKind | None = None) -> int:
+        if kind is not None:
+            return len(self.models[kind])
+        return sum(len(by_sig) for by_sig in self.models.values())
+
+    def covers(self, kind: ModelKind, bundle: SignatureBundle) -> bool:
+        return self.lookup(kind, bundle) is not None
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of all loaded models."""
+        return sum(
+            model.memory_bytes for by_sig in self.models.values() for model in by_sig.values()
+        )
+
+    def describe(self) -> str:
+        parts = [f"{kind.value}: {len(by_sig)}" for kind, by_sig in self.models.items()]
+        return f"ModelStore({', '.join(parts)})"

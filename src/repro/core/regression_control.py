@@ -1,0 +1,136 @@
+"""Regression-avoidance techniques from Section 6.7.
+
+The paper lists several practical ways to keep learned cost models from
+regressing production jobs; two are implemented here:
+
+* **Dual planning** ("optimize a query twice, with and without Cleo, and
+  select the plan with the better overall latency as predicted by the
+  learned models, since they are highly accurate and correlated"):
+  :class:`DualPlanner`.
+* **Model quarantine** ("monitor the performance of jobs ... isolate models
+  that lead to performance regression and discard them from the feedback"):
+  :class:`ModelQuarantine` compares predictions against observed runtimes
+  and removes persistently wrong templates from the store, letting them
+  self-correct on the next training cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.config import ModelKind
+from repro.core.model_store import ModelStore, signature_for
+from repro.core.predictor import CleoPredictor
+from repro.cost.interface import CostModel, plan_cost
+from repro.execution.runtime_log import RunLog
+from repro.plan.logical import LogicalOp
+
+if TYPE_CHECKING:  # the optimizer imports core; avoid the import cycle
+    from repro.optimizer.planner import PlannedJob, QueryPlanner
+
+
+@dataclass
+class DualPlanOutcome:
+    """Result of planning a query under both optimizers."""
+
+    chosen: PlannedJob
+    default_plan: PlannedJob
+    cleo_plan: PlannedJob
+    used_cleo: bool
+
+
+class DualPlanner:
+    """Optimize twice and keep the plan the learned models prefer.
+
+    Both optimizations take only milliseconds-scale planner time (the
+    paper's point), and the learned models act as the judge because they are
+    the accurate, runtime-correlated scorer.
+    """
+
+    def __init__(
+        self,
+        default_planner: QueryPlanner,
+        cleo_planner: QueryPlanner,
+        judge: CostModel,
+        estimator: CardinalityEstimator,
+    ) -> None:
+        self.default_planner = default_planner
+        self.cleo_planner = cleo_planner
+        self.judge = judge
+        self.estimator = estimator
+
+    def plan(self, logical_root: LogicalOp) -> DualPlanOutcome:
+        default_job = self.default_planner.plan(logical_root)
+        cleo_job = self.cleo_planner.plan(logical_root)
+        default_cost = plan_cost(self.judge, default_job.plan, self.estimator)
+        cleo_cost = plan_cost(self.judge, cleo_job.plan, self.estimator)
+        use_cleo = cleo_cost <= default_cost
+        return DualPlanOutcome(
+            chosen=cleo_job if use_cleo else default_job,
+            default_plan=default_job,
+            cleo_plan=cleo_job,
+            used_cleo=use_cleo,
+        )
+
+
+@dataclass
+class QuarantineReport:
+    """What the quarantine pass removed."""
+
+    removed: dict[ModelKind, int] = field(default_factory=dict)
+    inspected: int = 0
+
+    @property
+    def total_removed(self) -> int:
+        return sum(self.removed.values())
+
+
+class ModelQuarantine:
+    """Discard individual models whose predictions regress against reality.
+
+    A model is quarantined when, over at least ``min_observations`` test
+    records, its median |log prediction ratio| exceeds ``tolerance_factor``
+    (e.g. 4.0 means "persistently off by more than 4x").  Removal is safe:
+    the fallback chain and the combined model's coverage flags degrade
+    gracefully, and the next training cycle can re-learn the template.
+    """
+
+    def __init__(self, tolerance_factor: float = 4.0, min_observations: int = 5) -> None:
+        if tolerance_factor <= 1.0:
+            raise ValueError("tolerance_factor must exceed 1.0")
+        self.tolerance_factor = tolerance_factor
+        self.min_observations = min_observations
+
+    def audit(self, store: ModelStore, log: RunLog) -> QuarantineReport:
+        """Remove persistently wrong models, returning what was dropped."""
+        ratios: dict[tuple[ModelKind, int], list[float]] = {}
+        inspected = 0
+        for record in log.operator_records():
+            inspected += 1
+            for kind in ModelKind:
+                signature = signature_for(kind, record.signatures)
+                model = store.get(kind, signature)
+                if model is None:
+                    continue
+                predicted = model.predict_one(record.features)
+                ratio = abs(
+                    np.log((predicted + 1e-3) / (record.actual_latency + 1e-3))
+                )
+                ratios.setdefault((kind, signature), []).append(float(ratio))
+
+        report = QuarantineReport(inspected=inspected)
+        threshold = float(np.log(self.tolerance_factor))
+        for (kind, signature), values in ratios.items():
+            if len(values) < self.min_observations:
+                continue
+            if float(np.median(values)) > threshold:
+                del store.models[kind][signature]
+                report.removed[kind] = report.removed.get(kind, 0) + 1
+        return report
+
+    def audit_predictor(self, predictor: CleoPredictor, log: RunLog) -> QuarantineReport:
+        return self.audit(predictor.store, log)

@@ -1,0 +1,99 @@
+"""Robustness evaluation: accuracy, coverage, and retention metrics.
+
+The paper defines a robust cost model by three properties (Section 1): high
+accuracy, high coverage, and high retention (stable accuracy long after
+training).  These helpers compute the per-model metrics behind Tables 5/7/8
+and the retention curves of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.stats import median_error_pct, pearson, percentile_error_pct
+from repro.core.config import ModelKind
+from repro.core.model_store import ModelStore
+from repro.core.predictor import CleoPredictor
+from repro.execution.runtime_log import OperatorRecord, RunLog
+
+
+@dataclass(frozen=True)
+class ModelQuality:
+    """The paper's metric bundle for one model on one test set."""
+
+    name: str
+    n_total: int
+    n_covered: int
+    pearson: float
+    median_error_pct: float
+    p95_error_pct: float
+
+    @property
+    def coverage_pct(self) -> float:
+        if self.n_total == 0:
+            return float("nan")
+        return 100.0 * self.n_covered / self.n_total
+
+    def row(self) -> dict[str, float | str | int]:
+        return {
+            "model": self.name,
+            "correlation": round(self.pearson, 3),
+            "median_error_pct": round(self.median_error_pct, 1),
+            "p95_error_pct": round(self.p95_error_pct, 1),
+            "coverage_pct": round(self.coverage_pct, 1),
+            "n": self.n_total,
+        }
+
+
+def _quality(
+    name: str, predicted: list[float], actual: list[float], n_total: int
+) -> ModelQuality:
+    pred = np.asarray(predicted)
+    act = np.asarray(actual)
+    return ModelQuality(
+        name=name,
+        n_total=n_total,
+        n_covered=len(pred),
+        pearson=pearson(pred, act) if len(pred) > 1 else float("nan"),
+        median_error_pct=median_error_pct(pred, act),
+        p95_error_pct=percentile_error_pct(pred, act, 95.0),
+    )
+
+
+def evaluate_store_on_log(
+    store: ModelStore, log: RunLog, kinds: tuple[ModelKind, ...] = tuple(ModelKind)
+) -> dict[ModelKind, ModelQuality]:
+    """Per-kind accuracy over *covered* records plus coverage fraction."""
+    records = list(log.operator_records())
+    out: dict[ModelKind, ModelQuality] = {}
+    for kind in kinds:
+        predicted: list[float] = []
+        actual: list[float] = []
+        for record in records:
+            model = store.lookup(kind, record.signatures)
+            if model is None:
+                continue
+            predicted.append(model.predict_one(record.features))
+            actual.append(record.actual_latency)
+        out[kind] = _quality(kind.value, predicted, actual, len(records))
+    return out
+
+
+def evaluate_predictor_on_log(
+    predictor: CleoPredictor, log: RunLog, name: str = "combined"
+) -> ModelQuality:
+    """Combined-model accuracy over every record (always 100% coverage)."""
+    records = list(log.operator_records())
+    predicted = [predictor.predict_record(r) for r in records]
+    actual = [r.actual_latency for r in records]
+    return _quality(name, predicted, actual, len(records))
+
+
+def evaluate_baseline_on_records(
+    records: list[OperatorRecord], costs: list[float], name: str = "default"
+) -> ModelQuality:
+    """Quality of an arbitrary cost series (e.g. the default cost model)."""
+    actual = [r.actual_latency for r in records]
+    return _quality(name, costs, actual, len(records))

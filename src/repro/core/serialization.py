@@ -1,0 +1,239 @@
+"""Model serialization: the feedback-loop transport format.
+
+"Once trained, we serialize the models and feed them back to the optimizer.
+The models can be served either from a text file, using an additional
+compiler flag, or using a web service" (Section 5.1).  This module is that
+text-file path: a JSON format that round-trips a full
+:class:`~repro.core.model_store.ModelStore` and the combined model's
+metadata, so a trained Cleo can be persisted by the trainer and loaded by an
+optimizer process.
+
+The individual models are linear, so their serialized form is exact (weights
++ scaler + target scale).  The combined FastTree model serializes its full
+tree ensemble.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.combined import CombinedModel
+from repro.core.config import CleoConfig, ModelKind
+from repro.core.learned_model import LearnedCostModel
+from repro.core.model_store import ModelStore
+from repro.core.predictor import CleoPredictor
+from repro.ml.gbm import FastTreeRegressor
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Individual models
+# --------------------------------------------------------------------- #
+
+
+def _learned_model_to_dict(model: LearnedCostModel) -> dict[str, Any]:
+    net = model._net
+    scaler = net._scaler
+    if net.coef_ is None or scaler.mean_ is None or scaler.scale_ is None:
+        raise ValueError("cannot serialize an unfitted model")
+    return {
+        "include_context": model.include_context,
+        "n_samples": model.n_samples,
+        "coef": net.coef_.tolist(),
+        "intercept": net.intercept_,
+        "y_scale": net._y_scale,
+        "scaler_mean": scaler.mean_.tolist(),
+        "scaler_scale": scaler.scale_.tolist(),
+        "nonneg_indices": list(net.nonneg_indices),
+    }
+
+
+def _learned_model_from_dict(payload: dict[str, Any], config: CleoConfig) -> LearnedCostModel:
+    model = LearnedCostModel(include_context=payload["include_context"], config=config)
+    net = model._net
+    net.coef_ = np.asarray(payload["coef"], dtype=float)
+    net.intercept_ = float(payload["intercept"])
+    net._y_scale = float(payload["y_scale"])
+    net.nonneg_indices = tuple(payload["nonneg_indices"])
+    net._scaler.mean_ = np.asarray(payload["scaler_mean"], dtype=float)
+    net._scaler.scale_ = np.asarray(payload["scaler_scale"], dtype=float)
+    model.n_samples = int(payload["n_samples"])
+    model._fitted = True
+    return model
+
+
+# --------------------------------------------------------------------- #
+# FastTree (combined model)
+# --------------------------------------------------------------------- #
+
+
+def _fasttree_to_dict(model: FastTreeRegressor) -> dict[str, Any]:
+    trees = []
+    for tree in model.trees_:
+        assert tree._arrays is not None
+        feature, threshold, left, right, value = tree._arrays
+        trees.append(
+            {
+                "feature": feature.tolist(),
+                "threshold": threshold.tolist(),
+                "left": left.tolist(),
+                "right": right.tolist(),
+                "value": value.tolist(),
+                "max_depth": tree.max_depth,
+            }
+        )
+    return {
+        "base_prediction": model.base_prediction_,
+        "learning_rate": model.learning_rate,
+        "log_target": model.log_target,
+        "trees": trees,
+    }
+
+
+def _fasttree_from_dict(payload: dict[str, Any]) -> FastTreeRegressor:
+    from repro.ml.tree import DecisionTreeRegressor
+
+    model = FastTreeRegressor(
+        n_estimators=max(1, len(payload["trees"])),
+        learning_rate=float(payload["learning_rate"]),
+        log_target=bool(payload["log_target"]),
+    )
+    model.base_prediction_ = float(payload["base_prediction"])
+    model.trees_ = []
+    for tree_payload in payload["trees"]:
+        tree = DecisionTreeRegressor(max_depth=int(tree_payload["max_depth"]))
+        tree._arrays = (
+            np.asarray(tree_payload["feature"], dtype=np.int64),
+            np.asarray(tree_payload["threshold"], dtype=float),
+            np.asarray(tree_payload["left"], dtype=np.int64),
+            np.asarray(tree_payload["right"], dtype=np.int64),
+            np.asarray(tree_payload["value"], dtype=float),
+        )
+        model.trees_.append(tree)
+    return model
+
+
+# --------------------------------------------------------------------- #
+# Store / predictor
+# --------------------------------------------------------------------- #
+
+
+def store_to_dict(store: ModelStore) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "models": {
+            kind.value: {
+                str(signature): _learned_model_to_dict(model)
+                for signature, model in by_sig.items()
+            }
+            for kind, by_sig in store.models.items()
+        },
+    }
+
+
+def store_from_dict(payload: dict[str, Any], config: CleoConfig | None = None) -> ModelStore:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {payload.get('format_version')!r}")
+    config = config or CleoConfig()
+    store = ModelStore()
+    for kind_name, by_sig in payload["models"].items():
+        kind = ModelKind(kind_name)
+        for signature, model_payload in by_sig.items():
+            store.add(kind, int(signature), _learned_model_from_dict(model_payload, config))
+    return store
+
+
+def predictor_to_dict(predictor: CleoPredictor) -> dict[str, Any]:
+    """Serializable form of a trained predictor (store + combined model)."""
+    payload: dict[str, Any] = store_to_dict(predictor.store)
+    if predictor.combined is not None and predictor.combined.is_fitted:
+        regressor = predictor.combined.regressor
+        if not isinstance(regressor, FastTreeRegressor):
+            raise ValueError("only FastTree combined models are serializable")
+        payload["combined"] = _fasttree_to_dict(regressor)
+    return payload
+
+
+def predictor_from_dict(
+    payload: dict[str, Any], config: CleoConfig | None = None
+) -> CleoPredictor:
+    """Inverse of :func:`predictor_to_dict`."""
+    config = config or CleoConfig()
+    store = store_from_dict(payload, config)
+    combined = None
+    if "combined" in payload:
+        combined = CombinedModel(store, config=config, regressor=_fasttree_from_dict(payload["combined"]))
+        combined._fitted = True
+    return CleoPredictor(store=store, combined=combined)
+
+
+def save_predictor(predictor: CleoPredictor, path: str | Path) -> None:
+    """Serialize a trained predictor (store + combined model) to JSON."""
+    Path(path).write_text(json.dumps(predictor_to_dict(predictor)))
+
+
+def load_predictor(path: str | Path, config: CleoConfig | None = None) -> CleoPredictor:
+    """Load a predictor previously written by :func:`save_predictor`."""
+    return predictor_from_dict(json.loads(Path(path).read_text()), config)
+
+
+# --------------------------------------------------------------------- #
+# Model registry (lifecycle)
+# --------------------------------------------------------------------- #
+
+
+def registry_to_dict(registry: "ModelRegistry") -> dict[str, Any]:
+    """Serializable form of a versioned model registry."""
+    from repro.core.lifecycle import ModelRegistry  # local: avoid cycle
+
+    assert isinstance(registry, ModelRegistry)
+    return {
+        "format_version": FORMAT_VERSION,
+        "active_version": registry.active().version if registry.has_active else None,
+        "versions": [
+            {
+                "version": version.version,
+                "trained_on_day": version.trained_on_day,
+                "window": list(version.window),
+                "predictor": predictor_to_dict(version.predictor),
+            }
+            for version in registry.history()
+        ],
+    }
+
+
+def registry_from_dict(
+    payload: dict[str, Any], config: CleoConfig | None = None
+) -> "ModelRegistry":
+    """Inverse of :func:`registry_to_dict` (active version restored)."""
+    from repro.core.lifecycle import ModelRegistry
+
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {payload.get('format_version')!r}")
+    registry = ModelRegistry()
+    for entry in payload["versions"]:
+        registry.publish(
+            predictor_from_dict(entry["predictor"], config),
+            day=entry["trained_on_day"],
+            window=tuple(entry["window"]),
+        )
+    active = payload.get("active_version")
+    if active is not None:
+        while registry.active().version != active:
+            registry.rollback()
+    return registry
+
+
+def save_registry(registry: "ModelRegistry", path: str | Path) -> None:
+    """Persist a model registry (all versions + the active pointer)."""
+    Path(path).write_text(json.dumps(registry_to_dict(registry)))
+
+
+def load_registry(path: str | Path, config: CleoConfig | None = None) -> "ModelRegistry":
+    """Load a registry previously written by :func:`save_registry`."""
+    return registry_from_dict(json.loads(Path(path).read_text()), config)

@@ -1,0 +1,115 @@
+"""The training pipeline: from run logs to a ready predictor.
+
+Mirrors Section 5.1's feedback loop: individual models are trained
+independently per template signature (in SCOPE, in parallel on SCOPE
+itself), then the combined model is trained on a *later* slice of the
+workload so that the meta-features reflect the individual models'
+generalization rather than their training fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.combined import CombinedModel, build_meta_row
+from repro.core.config import CleoConfig, ModelKind
+from repro.core.learned_model import LearnedCostModel
+from repro.core.model_store import ModelStore, signature_for
+from repro.core.predictor import CleoPredictor
+from repro.execution.runtime_log import RunLog
+from repro.features.featurizer import FeatureInput
+from repro.ml.base import Regressor
+
+
+class CleoTrainer:
+    """Trains the model store and the combined meta-model from run logs."""
+
+    def __init__(self, config: CleoConfig | None = None) -> None:
+        self.config = config or CleoConfig()
+
+    # ------------------------------------------------------------------ #
+    # Individual models
+    # ------------------------------------------------------------------ #
+
+    def train_individual(self, log: RunLog) -> ModelStore:
+        """One elastic net per (model kind, template signature).
+
+        Only templates with at least ``config.min_samples`` occurrences get a
+        model (the paper requires 5 occurrences per subgraph).
+        """
+        groups: dict[tuple[ModelKind, int], tuple[list[FeatureInput], list[float]]] = {}
+        for record in log.operator_records():
+            for kind in ModelKind:
+                key = (kind, signature_for(kind, record.signatures))
+                bucket = groups.get(key)
+                if bucket is None:
+                    bucket = ([], [])
+                    groups[key] = bucket
+                bucket[0].append(record.features)
+                bucket[1].append(record.actual_latency)
+
+        store = ModelStore()
+        for (kind, signature), (inputs, latencies) in groups.items():
+            if len(inputs) < self.config.min_samples:
+                continue
+            model = LearnedCostModel(
+                include_context=kind.uses_context_features, config=self.config
+            )
+            model.fit(inputs, np.asarray(latencies))
+            store.add(kind, signature, model)
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Combined model
+    # ------------------------------------------------------------------ #
+
+    def train_combined(
+        self,
+        store: ModelStore,
+        log: RunLog,
+        regressor: Regressor | None = None,
+    ) -> CombinedModel:
+        """Fit the meta-ensemble on the individual models' predictions."""
+        combined = CombinedModel(store, config=self.config, regressor=regressor)
+        rows: list[np.ndarray] = []
+        targets: list[float] = []
+        for record in log.operator_records():
+            rows.append(build_meta_row(store, record.features, record.signatures))
+            targets.append(record.actual_latency)
+        if not rows:
+            raise ValueError("no operator records to train the combined model on")
+        matrix = np.vstack(rows)
+        target_arr = np.asarray(targets)
+        if len(rows) > self.config.max_meta_samples:
+            rng = np.random.default_rng(self.config.seed)
+            take = rng.choice(len(rows), size=self.config.max_meta_samples, replace=False)
+            matrix, target_arr = matrix[take], target_arr[take]
+        combined.fit_rows(matrix, target_arr)
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # End-to-end
+    # ------------------------------------------------------------------ #
+
+    def train(
+        self,
+        log: RunLog,
+        individual_days: list[int] | None = None,
+        combined_days: list[int] | None = None,
+    ) -> CleoPredictor:
+        """Full pipeline; day splits default to "all but last / last".
+
+        The paper's cadence: two days of training data for the individual
+        models, the following day for the combined model.
+        """
+        days = log.days
+        if individual_days is None or combined_days is None:
+            if len(days) >= 2:
+                individual_days = individual_days or days[:-1]
+                combined_days = combined_days or [days[-1]]
+            else:
+                individual_days = individual_days or days
+                combined_days = combined_days or days
+        store = self.train_individual(log.filter(days=individual_days))
+        combined = self.train_combined(store, log.filter(days=combined_days))
+        return CleoPredictor(store=store, combined=combined)

@@ -1,0 +1,13 @@
+"""Heuristic cost models: the baselines Cleo replaces.
+
+``DefaultCostModel`` reproduces the paper's default SCOPE cost model — a
+hand-crafted combination of statistics whose estimates are "usually way off"
+(Section 2.4) — and ``TunedCostModel`` the manually-improved variant that is
+"available for SCOPE queries under a flag" and only marginally better.
+"""
+
+from repro.cost.default_model import DefaultCostModel
+from repro.cost.interface import CostModel, plan_cost
+from repro.cost.tuned_model import TunedCostModel
+
+__all__ = ["CostModel", "DefaultCostModel", "TunedCostModel", "plan_cost"]

@@ -1,0 +1,79 @@
+"""The default (hand-crafted) cost model.
+
+Structurally similar to the ground truth — per-row CPU and per-byte IO terms
+combined with estimated statistics — but wrong in all the ways the paper
+documents for SCOPE's default model (Section 2.4):
+
+* it consumes *estimated* cardinalities whose errors compound up the plan;
+* it knows nothing about the hidden per-template multipliers (data skew,
+  pipelining interactions, input-specific behaviour);
+* user-defined Process operators are priced as ordinary compute ("custom
+  user code ends up as black boxes in the cost models");
+* its constants were "tuned" for an older regime: CPU is over-weighted by
+  roughly 5x and network exchange under-weighted, so estimates skew toward
+  over-estimation (the solid red curve of Figure 1 sits right of 1);
+* it ignores per-partition scheduling overheads and straggler skew, so its
+  costs keep improving with more partitions — the over-partitioning habit
+  the paper observes in SCOPE jobs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.plan.physical import PhysOpType, PhysicalOp
+
+#: (cpu_per_row, io_per_byte, out_per_row, nlogn) — deliberately generic and
+#: mis-calibrated relative to the simulator's ground truth: CPU-heavy
+#: operators are over-priced by 5-10x (legacy hardware calibration), while
+#: UDFs and network exchange are badly under-priced.
+DEFAULT_COEFFICIENTS: dict[PhysOpType, tuple[float, float, float, bool]] = {
+    PhysOpType.EXTRACT: (8.0e-7, 4.0e-9, 0.0, False),
+    PhysOpType.FILTER: (3.0e-6, 0.0, 0.0, False),
+    PhysOpType.COMPUTE: (1.2e-6, 0.0, 0.0, False),
+    PhysOpType.PROCESS: (1.2e-6, 0.0, 0.0, False),  # UDF priced as compute
+    PhysOpType.HASH_JOIN: (2.5e-5, 0.0, 2.0e-6, False),
+    PhysOpType.MERGE_JOIN: (2.0e-6, 0.0, 2.0e-6, False),
+    PhysOpType.HASH_AGGREGATE: (2.2e-5, 0.0, 3.0e-6, False),
+    PhysOpType.STREAM_AGGREGATE: (1.5e-6, 0.0, 3.0e-6, False),
+    PhysOpType.LOCAL_AGGREGATE: (1.0e-5, 0.0, 3.0e-6, False),
+    PhysOpType.SORT: (1.5e-6, 0.0, 0.0, True),
+    PhysOpType.TOP_K: (8.0e-6, 0.0, 0.0, False),
+    PhysOpType.EXCHANGE: (3.0e-7, 9.0e-9, 0.0, False),  # network under-priced
+    PhysOpType.UNION_ALL: (8.0e-7, 0.0, 0.0, False),
+    PhysOpType.OUTPUT: (1.5e-6, 2.4e-8, 0.0, False),
+}
+
+
+class DefaultCostModel:
+    """SCOPE's default hand-crafted cost model (reproduction)."""
+
+    #: Global inflation factor: legacy calibration against older hardware.
+    inflation = 8.0
+
+    #: "Robustness" saturation: row estimates are clamped to a magic constant
+    #: so that a single mis-estimated operator cannot blow up a plan's cost.  A classic hand-tuned-cost-model hack — and the reason
+    #: such models flat-line on exactly the operators that matter most.
+    row_cap = 2.0e6
+
+    def __init__(self, coefficients: dict[PhysOpType, tuple[float, float, float, bool]] | None = None) -> None:
+        self.coefficients = coefficients or DEFAULT_COEFFICIENTS
+
+    def operator_cost(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        cpu, io, out, nlogn = self.coefficients[op.op_type]
+        partitions = float(partition_override or op.partition_count)
+        rows_in = min(estimator.estimate_input(op), self.row_cap) / partitions
+        rows_out = min(estimator.estimate(op), self.row_cap) / partitions
+        row_bytes = op.children[0].row_bytes if op.children else op.row_bytes
+        cost = io * rows_in * row_bytes + out * rows_out
+        if nlogn:
+            cost += cpu * rows_in * math.log2(rows_in + 2.0)
+        else:
+            cost += cpu * rows_in
+        return self.inflation * cost + 1e-4

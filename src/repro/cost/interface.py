@@ -1,0 +1,37 @@
+"""Cost model interface shared by heuristic and learned models.
+
+A cost model prices the *exclusive* cost of a physical operator — its own
+runtime contribution — given the optimizer's cardinality estimates; the total
+plan cost combines exclusive costs bottom-up exactly like SCOPE's default
+models do (Section 3.2).  Costs are in seconds of estimated latency.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.plan.physical import PhysicalOp
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything that can price an operator."""
+
+    def operator_cost(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        """Exclusive cost of ``op``; ``partition_override`` re-prices the
+        operator as if it ran with a different partition count (used by
+        partition exploration) without rebuilding the plan."""
+        ...
+
+
+def plan_cost(
+    model: CostModel, root: PhysicalOp, estimator: CardinalityEstimator
+) -> float:
+    """Total plan cost: sum of exclusive operator costs over the tree."""
+    return float(sum(model.operator_cost(op, estimator) for op in root.walk()))

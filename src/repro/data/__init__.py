@@ -1,0 +1,23 @@
+"""Data layer: schemas, table statistics, catalogs, and TPC-H.
+
+The reproduction simulates query execution at the *statistics* level — no
+actual rows are materialized.  A :class:`~repro.data.catalog.Catalog` maps
+table names to :class:`~repro.data.schema.TableDef` plus
+:class:`~repro.data.statistics.TableStats`, and the TPC-H module provides the
+benchmark's schema with analytically derived statistics at any scale factor.
+"""
+
+from repro.data.catalog import Catalog
+from repro.data.schema import Column, DataType, TableDef
+from repro.data.statistics import ColumnStats, TableStats
+from repro.data.tpch import tpch_catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "TableDef",
+    "TableStats",
+    "tpch_catalog",
+]

@@ -1,0 +1,254 @@
+"""TPC-H schema and analytically derived statistics.
+
+The paper's TPC-H study (Section 6.6.2) runs at scale factor 1000 (1 TB).
+Because the reproduction simulates execution at the statistics level, the
+"data generator" here produces exact TPC-H base-table cardinalities and
+per-column statistics (distinct counts, value ranges) straight from the TPC-H
+specification, at any scale factor.
+"""
+
+from __future__ import annotations
+
+from repro.data.catalog import Catalog
+from repro.data.schema import Column, DataType, TableDef
+from repro.data.statistics import ColumnStats, TableStats
+
+# Days between 1992-01-01 and 1998-12-31, the TPC-H date domain; dates are
+# encoded as integer day offsets from 1992-01-01.
+DATE_MIN = 0
+DATE_MAX = 2556
+_D = DataType
+
+
+def _table(name: str, *cols: tuple[str, DataType] | tuple[str, DataType, int]) -> TableDef:
+    columns = []
+    for spec in cols:
+        if len(spec) == 3:
+            cname, dtype, width = spec
+            columns.append(Column(cname, dtype, avg_width=width))
+        else:
+            cname, dtype = spec
+            columns.append(Column(cname, dtype))
+    return TableDef(name, tuple(columns))
+
+
+REGION = _table(
+    "region",
+    ("r_regionkey", _D.INT),
+    ("r_name", _D.STRING, 12),
+    ("r_comment", _D.STRING, 80),
+)
+
+NATION = _table(
+    "nation",
+    ("n_nationkey", _D.INT),
+    ("n_name", _D.STRING, 16),
+    ("n_regionkey", _D.INT),
+    ("n_comment", _D.STRING, 80),
+)
+
+SUPPLIER = _table(
+    "supplier",
+    ("s_suppkey", _D.BIGINT),
+    ("s_name", _D.STRING, 18),
+    ("s_address", _D.STRING, 24),
+    ("s_nationkey", _D.INT),
+    ("s_phone", _D.STRING, 15),
+    ("s_acctbal", _D.DECIMAL),
+    ("s_comment", _D.STRING, 62),
+)
+
+CUSTOMER = _table(
+    "customer",
+    ("c_custkey", _D.BIGINT),
+    ("c_name", _D.STRING, 18),
+    ("c_address", _D.STRING, 24),
+    ("c_nationkey", _D.INT),
+    ("c_phone", _D.STRING, 15),
+    ("c_acctbal", _D.DECIMAL),
+    ("c_mktsegment", _D.STRING, 10),
+    ("c_comment", _D.STRING, 72),
+)
+
+PART = _table(
+    "part",
+    ("p_partkey", _D.BIGINT),
+    ("p_name", _D.STRING, 32),
+    ("p_mfgr", _D.STRING, 25),
+    ("p_brand", _D.STRING, 10),
+    ("p_type", _D.STRING, 20),
+    ("p_size", _D.INT),
+    ("p_container", _D.STRING, 10),
+    ("p_retailprice", _D.DECIMAL),
+    ("p_comment", _D.STRING, 14),
+)
+
+PARTSUPP = _table(
+    "partsupp",
+    ("ps_partkey", _D.BIGINT),
+    ("ps_suppkey", _D.BIGINT),
+    ("ps_availqty", _D.INT),
+    ("ps_supplycost", _D.DECIMAL),
+    ("ps_comment", _D.STRING, 124),
+)
+
+ORDERS = _table(
+    "orders",
+    ("o_orderkey", _D.BIGINT),
+    ("o_custkey", _D.BIGINT),
+    ("o_orderstatus", _D.STRING, 1),
+    ("o_totalprice", _D.DECIMAL),
+    ("o_orderdate", _D.DATE),
+    ("o_orderpriority", _D.STRING, 15),
+    ("o_clerk", _D.STRING, 15),
+    ("o_shippriority", _D.INT),
+    ("o_comment", _D.STRING, 48),
+)
+
+LINEITEM = _table(
+    "lineitem",
+    ("l_orderkey", _D.BIGINT),
+    ("l_partkey", _D.BIGINT),
+    ("l_suppkey", _D.BIGINT),
+    ("l_linenumber", _D.INT),
+    ("l_quantity", _D.DECIMAL),
+    ("l_extendedprice", _D.DECIMAL),
+    ("l_discount", _D.DECIMAL),
+    ("l_tax", _D.DECIMAL),
+    ("l_returnflag", _D.STRING, 1),
+    ("l_linestatus", _D.STRING, 1),
+    ("l_shipdate", _D.DATE),
+    ("l_commitdate", _D.DATE),
+    ("l_receiptdate", _D.DATE),
+    ("l_shipinstruct", _D.STRING, 25),
+    ("l_shipmode", _D.STRING, 10),
+    ("l_comment", _D.STRING, 26),
+)
+
+ALL_TABLES = (REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP, ORDERS, LINEITEM)
+
+# Base row counts at SF = 1 from the TPC-H specification.
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}
+
+# Tables whose cardinality does not scale with SF.
+_FIXED_TABLES = {"region", "nation"}
+
+
+def _rows(table: str, sf: float) -> float:
+    base = _BASE_ROWS[table]
+    return float(base) if table in _FIXED_TABLES else float(base) * sf
+
+
+def _key(n: float) -> ColumnStats:
+    return ColumnStats(distinct_count=n)
+
+
+def _cat(n: float) -> ColumnStats:
+    """A categorical column with ``n`` distinct values."""
+    return ColumnStats(distinct_count=n)
+
+
+def _range(n: float, lo: float, hi: float) -> ColumnStats:
+    return ColumnStats(distinct_count=n, min_value=lo, max_value=hi)
+
+
+def _column_stats(sf: float) -> dict[str, dict[str, ColumnStats]]:
+    rows = {t: _rows(t, sf) for t in _BASE_ROWS}
+    return {
+        "region": {"r_regionkey": _key(5), "r_name": _cat(5)},
+        "nation": {
+            "n_nationkey": _key(25),
+            "n_name": _cat(25),
+            "n_regionkey": _cat(5),
+        },
+        "supplier": {
+            "s_suppkey": _key(rows["supplier"]),
+            "s_nationkey": _cat(25),
+            "s_acctbal": _range(rows["supplier"] / 10, -999.99, 9999.99),
+            "s_comment": _cat(rows["supplier"]),
+        },
+        "customer": {
+            "c_custkey": _key(rows["customer"]),
+            "c_nationkey": _cat(25),
+            "c_mktsegment": _cat(5),
+            "c_acctbal": _range(rows["customer"] / 10, -999.99, 9999.99),
+            "c_phone": _cat(rows["customer"]),
+        },
+        "part": {
+            "p_partkey": _key(rows["part"]),
+            "p_brand": _cat(25),
+            "p_type": _cat(150),
+            "p_size": _range(50, 1, 50),
+            "p_container": _cat(40),
+            "p_mfgr": _cat(5),
+            "p_name": _cat(rows["part"]),
+        },
+        "partsupp": {
+            "ps_partkey": _cat(rows["part"]),
+            "ps_suppkey": _cat(rows["supplier"]),
+            "ps_availqty": _range(9999, 1, 9999),
+            "ps_supplycost": _range(99_901, 1.0, 1000.0),
+        },
+        "orders": {
+            "o_orderkey": _key(rows["orders"]),
+            "o_custkey": _cat(rows["customer"] * 2 / 3),
+            "o_orderstatus": _cat(3),
+            "o_orderdate": _range(2406, DATE_MIN, DATE_MAX - 151),
+            "o_orderpriority": _cat(5),
+            "o_shippriority": _cat(1),
+        },
+        "lineitem": {
+            "l_orderkey": _cat(rows["orders"]),
+            "l_partkey": _cat(rows["part"]),
+            "l_suppkey": _cat(rows["supplier"]),
+            "l_linenumber": _cat(7),
+            "l_quantity": _range(50, 1, 50),
+            "l_extendedprice": _range(rows["lineitem"] / 100, 900.0, 104_950.0),
+            "l_discount": _range(11, 0.0, 0.10),
+            "l_tax": _range(9, 0.0, 0.08),
+            "l_returnflag": _cat(3),
+            "l_linestatus": _cat(2),
+            "l_shipdate": _range(2526, DATE_MIN + 2, DATE_MAX),
+            "l_commitdate": _range(2466, DATE_MIN + 31, DATE_MAX - 30),
+            "l_receiptdate": _range(2555, DATE_MIN + 3, DATE_MAX + 30),
+            "l_shipinstruct": _cat(4),
+            "l_shipmode": _cat(7),
+        },
+    }
+
+
+def tpch_catalog(scale_factor: float = 1.0, partition_mb: float = 256.0) -> Catalog:
+    """Build a TPC-H catalog at the given scale factor.
+
+    Args:
+        scale_factor: TPC-H SF; the paper uses 1000 (≈1 TB).
+        partition_mb: target on-disk extent size used to derive the default
+            partition count of each table.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    catalog = Catalog(name=f"tpch-sf{scale_factor:g}")
+    col_stats = _column_stats(scale_factor)
+    for table in ALL_TABLES:
+        row_count = _rows(table.name, scale_factor)
+        row_bytes = float(table.row_width_bytes)
+        partitions = max(1, int(row_count * row_bytes / (partition_mb * 1024 * 1024)))
+        catalog.add_table(
+            table,
+            TableStats(
+                row_count=row_count,
+                avg_row_bytes=row_bytes,
+                columns=col_stats[table.name],
+                partition_count=partitions,
+            ),
+        )
+    return catalog

@@ -1,0 +1,57 @@
+"""Cluster hardware model.
+
+Each production cluster in the paper's study (Figure 9) has its own machine
+SKUs, load profile, and workload mix.  A :class:`ClusterSpec` captures the
+per-cluster knobs: a global speed factor, variance level, and the maximum
+number of containers a virtual cluster may use (the paper probes partitions
+up to 3000, its stated per-VC machine cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of one cluster.
+
+    Attributes:
+        name: cluster identifier (e.g. "cluster1").
+        speed_factor: relative machine speed; latencies divide by this.
+        noise_sigma: log-space sigma of per-execution runtime noise.
+        outlier_probability: chance an operator hits a straggler/failure and
+            is slowed by ``outlier_slowdown_range``.
+        max_partitions: maximum containers per job (paper: 3000).
+        default_partition_mb: target bytes per partition used by the default
+            partition-count heuristic (SCOPE uses input-size-based defaults).
+    """
+
+    name: str
+    speed_factor: float = 1.0
+    noise_sigma: float = 0.10
+    outlier_probability: float = 0.008
+    outlier_slowdown_min: float = 1.8
+    outlier_slowdown_max: float = 3.5
+    max_partitions: int = 3000
+    default_partition_mb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if not 0.0 <= self.outlier_probability < 1.0:
+            raise ValueError("outlier_probability must be in [0, 1)")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+
+
+#: The four production clusters of the paper's evaluation (Figure 9), with
+#: mild heterogeneity: different speeds and variance levels.
+DEFAULT_CLUSTERS: tuple[ClusterSpec, ...] = (
+    ClusterSpec(name="cluster1", speed_factor=1.00, noise_sigma=0.10),
+    ClusterSpec(name="cluster2", speed_factor=0.85, noise_sigma=0.13),
+    ClusterSpec(name="cluster3", speed_factor=1.10, noise_sigma=0.11),
+    ClusterSpec(name="cluster4", speed_factor=0.95, noise_sigma=0.09),
+)

@@ -1,0 +1,120 @@
+"""Run logs: the instrumentation data that feeds Cleo's training pipeline.
+
+Big data systems are already instrumented to collect per-operator compile
+time statistics and runtime traces (Section 5.1).  The simulator emits one
+:class:`OperatorRecord` per executed operator — compile-time features (with
+the optimizer's *estimated* statistics, exactly what a model can see at
+prediction time), the four model signatures, and the actual exclusive
+latency — plus one :class:`JobRecord` per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.features.featurizer import FeatureInput
+from repro.plan.signatures import SignatureBundle
+
+
+@dataclass(frozen=True)
+class OperatorRecord:
+    """One executed operator instance: features, signatures, and outcome."""
+
+    job_id: str
+    cluster: str
+    day: int
+    op_type: str
+    template_tag: str
+    signatures: SignatureBundle
+    features: FeatureInput
+    actual_latency: float  # seconds, exclusive (the learning target)
+    actual_output_card: float
+    actual_input_card: float
+    cpu_seconds: float
+    is_adhoc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.actual_latency < 0:
+            raise ValueError("actual_latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One executed job: end-to-end outcome plus its operator records."""
+
+    job_id: str
+    template_id: str
+    cluster: str
+    day: int
+    is_adhoc: bool
+    latency_seconds: float
+    cpu_seconds: float
+    input_bytes: float
+    operators: tuple[OperatorRecord, ...]
+
+    @property
+    def operator_count(self) -> int:
+        return len(self.operators)
+
+    @property
+    def input_gib(self) -> float:
+        return self.input_bytes / (1024.0**3)
+
+
+@dataclass
+class RunLog:
+    """A collection of executed jobs, filterable by day/cluster/kind.
+
+    This is the feedback loop's storage layer: train on ``log.filter(days=
+    range(1, 3))``, test on ``log.filter(days=[3])``.
+    """
+
+    jobs: list[JobRecord] = field(default_factory=list)
+
+    def append(self, job: JobRecord) -> None:
+        self.jobs.append(job)
+
+    def extend(self, jobs: list[JobRecord]) -> None:
+        self.jobs.extend(jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.jobs)
+
+    def filter(
+        self,
+        days: list[int] | range | None = None,
+        clusters: list[str] | None = None,
+        adhoc: bool | None = None,
+    ) -> "RunLog":
+        """A new log restricted to the given days/clusters/job kind."""
+        day_set = set(days) if days is not None else None
+        cluster_set = set(clusters) if clusters is not None else None
+        selected = [
+            job
+            for job in self.jobs
+            if (day_set is None or job.day in day_set)
+            and (cluster_set is None or job.cluster in cluster_set)
+            and (adhoc is None or job.is_adhoc == adhoc)
+        ]
+        return RunLog(jobs=selected)
+
+    def operator_records(self) -> Iterator[OperatorRecord]:
+        """All operator records across jobs, in execution order."""
+        for job in self.jobs:
+            yield from job.operators
+
+    @property
+    def operator_count(self) -> int:
+        return sum(len(job.operators) for job in self.jobs)
+
+    @property
+    def days(self) -> list[int]:
+        return sorted({job.day for job in self.jobs})
+
+    @property
+    def clusters(self) -> list[str]:
+        return sorted({job.cluster for job in self.jobs})

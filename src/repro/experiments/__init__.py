@@ -1,0 +1,11 @@
+"""Experiments: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentResult``; the
+benchmark harness under ``benchmarks/`` calls these and prints the same
+rows/series the paper reports.  ``EXPERIMENTS.md`` records measured-vs-paper
+for each artifact.
+"""
+
+from repro.experiments.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

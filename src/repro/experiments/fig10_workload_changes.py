@@ -1,0 +1,69 @@
+"""Figure 10: day-over-day workload change per cluster.
+
+The paper shows total jobs / recurring jobs / recurring templates changing
+by -30% to +20% between consecutive days, per cluster — the drift that makes
+model retention (Figure 14) a real requirement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.shared import get_all_cluster_bundles
+
+PAPER = {"change_pct_range": (-30.0, 20.0)}
+
+
+def _pct_change(old: float, new: float) -> float:
+    if old == 0:
+        return float("nan")
+    return 100.0 * (new - old) / old
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    bundles = get_all_cluster_bundles(scale=scale, seed=seed)
+    rows = []
+    for name, bundle in bundles.items():
+        days = bundle.log.days
+        stats_by_day = {}
+        for day in days:
+            day_log = bundle.log.filter(days=[day])
+            recurring = day_log.filter(adhoc=False)
+            stats_by_day[day] = {
+                "total_jobs": len(day_log),
+                "recurring_jobs": len(recurring),
+                "recurring_templates": len({j.template_id for j in recurring}),
+                "input_gib": sum(j.input_gib for j in day_log),
+            }
+        for prev, curr in zip(days, days[1:]):
+            rows.append(
+                {
+                    "cluster": name,
+                    "transition": f"day{prev}-to-day{curr}",
+                    "total_jobs_pct": round(
+                        _pct_change(
+                            stats_by_day[prev]["total_jobs"], stats_by_day[curr]["total_jobs"]
+                        ),
+                        1,
+                    ),
+                    "recurring_jobs_pct": round(
+                        _pct_change(
+                            stats_by_day[prev]["recurring_jobs"],
+                            stats_by_day[curr]["recurring_jobs"],
+                        ),
+                        1,
+                    ),
+                    "input_volume_pct": round(
+                        _pct_change(
+                            stats_by_day[prev]["input_gib"], stats_by_day[curr]["input_gib"]
+                        ),
+                        1,
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Day-over-day workload change per cluster",
+        rows=rows,
+        paper=PAPER,
+        notes="Expect double-digit percentage swings in volume between days.",
+    )

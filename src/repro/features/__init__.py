@@ -1,0 +1,30 @@
+"""Featurization: the paper's basic and derived features (Tables 2-3).
+
+One :class:`FeatureInput` captures the raw statistics of an operator
+instance; :func:`feature_vector` expands it into the ~30-dimensional derived
+feature vector shared by all learned models.
+"""
+
+from repro.features.featurizer import (
+    ALL_FEATURE_NAMES,
+    BASIC_FEATURE_NAMES,
+    CONTEXT_FEATURE_NAMES,
+    DERIVED_FEATURE_NAMES,
+    FeatureInput,
+    feature_matrix,
+    feature_names,
+    feature_vector,
+    partition_feature_names,
+)
+
+__all__ = [
+    "ALL_FEATURE_NAMES",
+    "BASIC_FEATURE_NAMES",
+    "CONTEXT_FEATURE_NAMES",
+    "DERIVED_FEATURE_NAMES",
+    "FeatureInput",
+    "feature_matrix",
+    "feature_names",
+    "feature_vector",
+    "partition_feature_names",
+]

@@ -1,0 +1,37 @@
+"""Feature extraction from live physical operators.
+
+Bridges the plan layer and the featurizer: build the :class:`FeatureInput`
+of an operator as the optimizer sees it at costing time (estimated
+cardinalities, current partition count).
+"""
+
+from __future__ import annotations
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.features.featurizer import FeatureInput
+from repro.plan.physical import PhysicalOp
+
+
+def feature_input_for(
+    op: PhysicalOp,
+    estimator: CardinalityEstimator,
+    partition_override: int | None = None,
+) -> FeatureInput:
+    """Compile-time features of one operator instance.
+
+    Cardinalities are the *estimated* ones — the same statistics the default
+    cost model consumes, which is the paper's fairness convention — while
+    ``partition_override`` lets partition exploration re-featurize the
+    operator at a candidate partition count without rebuilding the plan.
+    """
+    return FeatureInput(
+        input_card=estimator.estimate_input(op),
+        base_card=op.base_card,
+        output_card=estimator.estimate(op),
+        avg_row_bytes=op.row_bytes,
+        partition_count=float(partition_override or op.partition_count),
+        input_enc=FeatureInput.encode_inputs(op.normalized_inputs),
+        params_enc=FeatureInput.encode_params(op.params),
+        logical_count=float(op.logical_op_count()),
+        depth=float(op.depth),
+    )

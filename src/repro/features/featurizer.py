@@ -1,0 +1,168 @@
+"""Feature extraction for learned cost models.
+
+Implements the paper's feature set:
+
+* **Basic features** (Table 2): input cardinality ``I`` (from children),
+  base cardinality ``B`` (leaf inputs), output cardinality ``C``, average
+  row length ``L``, partition count ``P``, normalized inputs ``IN``, and
+  job parameters ``PM``.
+* **Derived features** (Table 3): square roots, logarithms, pairwise
+  products, and per-partition variants, grouped as "input/output data",
+  "input × output", and "per-partition".
+* **Context features**: the number of logical operators ``CL`` and operator
+  depth ``D``, added by the operator-input and coarser models (Section 4.2).
+
+Cardinalities fed here are the *estimated* ones (the paper feeds learned
+models the same statistics the default cost model sees), so per-template
+estimation biases become learnable adjustments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.common.hashing import stable_unit_float
+
+
+@dataclass(frozen=True)
+class FeatureInput:
+    """Raw statistics of one operator instance.
+
+    Attributes mirror Table 2; ``input_enc`` and ``params_enc`` are numeric
+    encodings of the normalized-input template and parameter values.
+    """
+
+    input_card: float  # I
+    base_card: float  # B
+    output_card: float  # C
+    avg_row_bytes: float  # L
+    partition_count: float  # P
+    input_enc: float = 0.0  # IN
+    params_enc: float = 0.0  # PM
+    logical_count: float = 1.0  # CL
+    depth: float = 1.0  # D
+
+    def with_partition_count(self, partition_count: float) -> "FeatureInput":
+        """Copy with a different ``P`` — used during partition exploration."""
+        return replace(self, partition_count=float(partition_count))
+
+    @staticmethod
+    def encode_inputs(normalized_inputs: frozenset[str]) -> float:
+        """Stable numeric encoding of a normalized input set, in [0, 1)."""
+        return stable_unit_float("in-enc", frozenset(normalized_inputs))
+
+    @staticmethod
+    def encode_params(params: tuple[float, ...]) -> float:
+        """Numeric encoding of job parameters (mean value; 0 when absent)."""
+        return float(np.mean(params)) if params else 0.0
+
+
+def _log(x: float) -> float:
+    return float(np.log1p(max(x, 0.0)))
+
+
+def _sqrt(x: float) -> float:
+    return float(np.sqrt(max(x, 0.0)))
+
+
+# Each feature is (name, function of FeatureInput).  Order defines the
+# feature-vector layout and is part of the public API.
+_BasicSpec = list[tuple[str, Callable[[FeatureInput], float]]]
+
+_BASIC: _BasicSpec = [
+    ("I", lambda f: f.input_card),
+    ("B", lambda f: f.base_card),
+    ("C", lambda f: f.output_card),
+    ("L", lambda f: f.avg_row_bytes),
+    ("P", lambda f: f.partition_count),
+    ("IN", lambda f: f.input_enc),
+    ("PM", lambda f: f.params_enc),
+]
+
+_DERIVED: _BasicSpec = [
+    # Input or output data volume.
+    ("sqrt(I)", lambda f: _sqrt(f.input_card)),
+    ("sqrt(B)", lambda f: _sqrt(f.base_card)),
+    ("sqrt(C)", lambda f: _sqrt(f.output_card)),
+    ("L*I", lambda f: f.avg_row_bytes * f.input_card),
+    ("L*B", lambda f: f.avg_row_bytes * f.base_card),
+    ("L*log(B)", lambda f: f.avg_row_bytes * _log(f.base_card)),
+    ("L*log(I)", lambda f: f.avg_row_bytes * _log(f.input_card)),
+    ("L*log(C)", lambda f: f.avg_row_bytes * _log(f.output_card)),
+    # Input x output (processing and network communication).
+    ("B*C", lambda f: f.base_card * f.output_card),
+    ("I*C", lambda f: f.input_card * f.output_card),
+    ("log(B)*C", lambda f: _log(f.base_card) * f.output_card),
+    ("B*log(C)", lambda f: f.base_card * _log(f.output_card)),
+    ("I*log(C)", lambda f: f.input_card * _log(f.output_card)),
+    ("log(I)*log(C)", lambda f: _log(f.input_card) * _log(f.output_card)),
+    ("log(B)*log(C)", lambda f: _log(f.base_card) * _log(f.output_card)),
+    # Per-partition (partition size seen by one machine).
+    ("I/P", lambda f: f.input_card / f.partition_count),
+    ("C/P", lambda f: f.output_card / f.partition_count),
+    ("I*L/P", lambda f: f.input_card * f.avg_row_bytes / f.partition_count),
+    ("C*L/P", lambda f: f.output_card * f.avg_row_bytes / f.partition_count),
+    ("sqrt(I)/P", lambda f: _sqrt(f.input_card) / f.partition_count),
+    ("sqrt(C)/P", lambda f: _sqrt(f.output_card) / f.partition_count),
+    ("log(I)/P", lambda f: _log(f.input_card) / f.partition_count),
+]
+
+_CONTEXT: _BasicSpec = [
+    ("CL", lambda f: f.logical_count),
+    ("D", lambda f: f.depth),
+]
+
+#: Public registry: feature name -> extractor, for experiments that build
+#: custom feature subsets (e.g. the Figure 18 cumulative-feature ablation).
+FEATURE_FUNCTIONS: dict[str, Callable[[FeatureInput], float]] = {
+    name: fn for name, fn in (_BASIC + _DERIVED + _CONTEXT)
+}
+
+BASIC_FEATURE_NAMES: tuple[str, ...] = tuple(name for name, _ in _BASIC)
+DERIVED_FEATURE_NAMES: tuple[str, ...] = tuple(name for name, _ in _DERIVED)
+CONTEXT_FEATURE_NAMES: tuple[str, ...] = tuple(name for name, _ in _CONTEXT)
+ALL_FEATURE_NAMES: tuple[str, ...] = (
+    BASIC_FEATURE_NAMES + DERIVED_FEATURE_NAMES + CONTEXT_FEATURE_NAMES
+)
+
+#: Features that involve the partition count: the only ones that vary during
+#: partition exploration (Section 5.3's key insight).
+PARTITION_DEPENDENT = frozenset(
+    {"P", "I/P", "C/P", "I*L/P", "C*L/P", "sqrt(I)/P", "sqrt(C)/P", "log(I)/P"}
+)
+
+#: Features proportional to 1/P (the theta_P family) and to P (theta_C).
+INVERSE_P_FEATURES = frozenset(
+    {"I/P", "C/P", "I*L/P", "C*L/P", "sqrt(I)/P", "sqrt(C)/P", "log(I)/P"}
+)
+LINEAR_P_FEATURES = frozenset({"P"})
+
+
+def feature_names(include_context: bool = False) -> tuple[str, ...]:
+    """Feature-vector layout for the given model family."""
+    if include_context:
+        return ALL_FEATURE_NAMES
+    return BASIC_FEATURE_NAMES + DERIVED_FEATURE_NAMES
+
+
+def feature_vector(f: FeatureInput, include_context: bool = False) -> np.ndarray:
+    """Expand one :class:`FeatureInput` into the derived feature vector."""
+    spec = _BASIC + _DERIVED + (_CONTEXT if include_context else [])
+    return np.array([fn(f) for _, fn in spec], dtype=float)
+
+
+def feature_matrix(inputs: list[FeatureInput], include_context: bool = False) -> np.ndarray:
+    """Stack feature vectors for many instances into an (n, d) matrix."""
+    if not inputs:
+        width = len(feature_names(include_context))
+        return np.empty((0, width))
+    return np.vstack([feature_vector(f, include_context) for f in inputs])
+
+
+def partition_feature_names(include_context: bool = False) -> tuple[tuple[int, str], ...]:
+    """(index, name) of partition-dependent features, for resource profiles."""
+    names = feature_names(include_context)
+    return tuple((i, n) for i, n in enumerate(names) if n in PARTITION_DEPENDENT)

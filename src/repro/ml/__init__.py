@@ -1,0 +1,48 @@
+"""A small from-scratch ML library (numpy only).
+
+Implements exactly the model families the paper evaluates (Section 3.4):
+elastic net, decision tree, random forest, gradient-boosted trees (the
+"FastTree regression" used as the combined meta-learner), and a multilayer
+perceptron — plus the loss functions of Table 1 and k-fold cross-validation.
+
+No sklearn: every algorithm here is implemented in this package so the
+reproduction is self-contained.
+"""
+
+from repro.ml.base import Regressor, clone_regressor
+from repro.ml.gbm import FastTreeRegressor
+from repro.ml.linear import ElasticNet, LeastAbsoluteRegressor, LinearRegressor
+from repro.ml.losses import (
+    LOSS_FUNCTIONS,
+    mean_absolute_error,
+    mean_squared_error,
+    mean_squared_log_error,
+    median_absolute_error,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import KFold, cross_validate
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.proximal import ElasticNetMSLE
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "ElasticNet",
+    "ElasticNetMSLE",
+    "FastTreeRegressor",
+    "KFold",
+    "LOSS_FUNCTIONS",
+    "LeastAbsoluteRegressor",
+    "LinearRegressor",
+    "MLPRegressor",
+    "RandomForestRegressor",
+    "Regressor",
+    "StandardScaler",
+    "DecisionTreeRegressor",
+    "clone_regressor",
+    "cross_validate",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "mean_squared_log_error",
+    "median_absolute_error",
+]

@@ -1,0 +1,57 @@
+"""Common regressor interface for the from-scratch ML library."""
+
+from __future__ import annotations
+
+import copy
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import ModelNotTrainedError
+
+
+@runtime_checkable
+class Regressor(Protocol):
+    """Anything with sklearn-style ``fit`` / ``predict``."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor": ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+def clone_regressor(model: Regressor) -> Regressor:
+    """Unfitted deep copy of a model (hyperparameters preserved)."""
+    cloned = copy.deepcopy(model)
+    reset = getattr(cloned, "reset", None)
+    if callable(reset):
+        reset()
+    return cloned
+
+
+def check_fit_inputs(features: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize (X, y) for fitting."""
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float).ravel()
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    if features.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"features rows ({features.shape[0]}) != targets ({targets.shape[0]})"
+        )
+    if features.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.isfinite(features).all():
+        raise ValueError("features contain NaN or infinity")
+    if not np.isfinite(targets).all():
+        raise ValueError("targets contain NaN or infinity")
+    return features, targets
+
+
+def check_predict_input(features: np.ndarray, fitted: bool) -> np.ndarray:
+    """Validate X for prediction against fit state."""
+    if not fitted:
+        raise ModelNotTrainedError("predict() called before fit()")
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features.reshape(1, -1)
+    return features

@@ -1,0 +1,71 @@
+"""Random forest regression (bagged CART trees).
+
+The paper's configuration (Section 3.4): 20 trees of depth 5.  Trees are
+trained on bootstrap resamples with per-split feature subsampling and their
+predictions averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fit_inputs, check_predict_input
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated decision trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 5,
+        min_samples_leaf: int = 1,
+        max_features: str | int | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def reset(self) -> None:
+        self.trees_ = []
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        features, targets = check_fit_inputs(features, targets)
+        n_samples, n_features = features.shape
+        rng = np.random.default_rng(self.seed)
+        max_features = self._resolve_max_features(n_features)
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            sample_idx = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed * 1_000_003 + t,
+            )
+            tree.fit(features[sample_idx], targets[sample_idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = check_predict_input(features, bool(self.trees_))
+        out = np.zeros(features.shape[0])
+        for tree in self.trees_:
+            out += tree.predict(features)
+        return out / len(self.trees_)

@@ -1,0 +1,119 @@
+"""FastTree regression: gradient-boosted regression trees (MART).
+
+The paper's combined model uses Microsoft.ML's FastTree — "a variant of the
+gradient boosted regression trees that uses an efficient implementation of
+the MART gradient boosting algorithm.  It builds a series of regression
+trees, with each successive tree fitting on the residual of trees that
+precede it" (Section 4.3) — configured with at most 20 trees, mean-squared
+log error, and a 0.9 sub-sampling rate.
+
+We reproduce that: least-squares MART on log-transformed targets (equivalent
+to the MSLE objective), stochastic row subsampling per tree, and shrinkage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fit_inputs, check_predict_input
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class FastTreeRegressor:
+    """MART: stagewise least-squares boosting of shallow CART trees.
+
+    Args:
+        n_estimators: number of boosting stages (paper: 20).
+        max_depth: depth of each tree (paper: 5).
+        learning_rate: shrinkage applied to each stage.
+        subsample: row sampling rate per stage (paper: 0.9).
+        log_target: fit in log1p space so squared error becomes MSLE —
+            the paper's loss; predictions are mapped back with expm1.
+        seed: RNG seed for subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 5,
+        learning_rate: float = 0.3,
+        subsample: float = 0.9,
+        min_samples_leaf: int = 2,
+        log_target: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.log_target = log_target
+        self.seed = seed
+        self.base_prediction_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def reset(self) -> None:
+        self.trees_ = []
+        self.base_prediction_ = 0.0
+
+    def _transform(self, targets: np.ndarray) -> np.ndarray:
+        if not self.log_target:
+            return targets
+        if (targets < 0).any():
+            raise ValueError("log_target requires non-negative targets")
+        return np.log1p(targets)
+
+    def _inverse(self, predictions: np.ndarray) -> np.ndarray:
+        if not self.log_target:
+            return predictions
+        return np.expm1(np.clip(predictions, None, 60.0))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "FastTreeRegressor":
+        features, targets = check_fit_inputs(features, targets)
+        y = self._transform(targets)
+        rng = np.random.default_rng(self.seed)
+        n_samples = features.shape[0]
+
+        self.base_prediction_ = float(y.mean())
+        current = np.full(n_samples, self.base_prediction_)
+        self.trees_ = []
+        for stage in range(self.n_estimators):
+            residual = y - current
+            if self.subsample < 1.0:
+                take = max(2, int(round(n_samples * self.subsample)))
+                idx = rng.choice(n_samples, size=take, replace=False)
+            else:
+                idx = np.arange(n_samples)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed * 7_919 + stage,
+            )
+            tree.fit(features[idx], residual[idx])
+            update = tree.predict(features)
+            current = current + self.learning_rate * update
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = check_predict_input(features, bool(self.trees_))
+        out = np.full(features.shape[0], self.base_prediction_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(features)
+        return self._inverse(out)
+
+    def staged_predict(self, features: np.ndarray) -> list[np.ndarray]:
+        """Predictions after each boosting stage (for learning curves)."""
+        features = check_predict_input(features, bool(self.trees_))
+        out = np.full(features.shape[0], self.base_prediction_)
+        stages = []
+        for tree in self.trees_:
+            out = out + self.learning_rate * tree.predict(features)
+            stages.append(self._inverse(out.copy()))
+        return stages

@@ -1,0 +1,56 @@
+"""Regression loss functions (Table 1 of the paper).
+
+The paper compares four losses for training cost models and selects
+mean-squared *log* error: it optimizes relative error (robust to the huge
+dynamic range of job runtimes), penalizes under-estimation more than
+over-estimation, and keeps predictions positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_squared_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    predicted, actual = _canon(predicted, actual)
+    return float(np.mean((predicted - actual) ** 2))
+
+
+def mean_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    predicted, actual = _canon(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def median_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    predicted, actual = _canon(predicted, actual)
+    return float(np.median(np.abs(predicted - actual)))
+
+
+def mean_squared_log_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """The paper's loss: mean of (log(p+1) - log(a+1))^2.
+
+    Negative predictions are clipped at 0 before the log, mirroring how the
+    trained models always emit non-negative costs.
+    """
+    predicted, actual = _canon(predicted, actual)
+    if (actual < 0).any():
+        raise ValueError("MSLE requires non-negative actuals")
+    predicted = np.clip(predicted, 0.0, None)
+    return float(np.mean((np.log1p(predicted) - np.log1p(actual)) ** 2))
+
+
+def _canon(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    actual = np.asarray(actual, dtype=float).ravel()
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    return predicted, actual
+
+
+#: Registry used by the Table 1 experiment.
+LOSS_FUNCTIONS = {
+    "median_absolute_error": median_absolute_error,
+    "mean_absolute_error": mean_absolute_error,
+    "mean_squared_error": mean_squared_error,
+    "mean_squared_log_error": mean_squared_log_error,
+}

@@ -1,0 +1,117 @@
+"""Multilayer perceptron regressor (numpy, Adam optimizer).
+
+Matches the paper's neural-network configuration (Section 3.4): a 3-layer
+network (input -> hidden(30) -> output) with ReLU activations, the Adam
+solver, and L2 regularization of 0.005.  Features and targets are
+standardized internally; the target may additionally be log-transformed so
+the squared loss matches the paper's MSLE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fit_inputs, check_predict_input
+from repro.ml.preprocessing import StandardScaler
+
+
+class MLPRegressor:
+    """Small fully-connected regressor trained with Adam."""
+
+    def __init__(
+        self,
+        hidden_size: int = 30,
+        epochs: int = 300,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        l2: float = 0.005,
+        log_target: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.log_target = log_target
+        self.seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+        self._scaler = StandardScaler()
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def reset(self) -> None:
+        self._params = None
+        self._scaler.reset()
+        self._y_mean, self._y_std = 0.0, 1.0
+
+    # ------------------------------------------------------------------ #
+
+    def _forward(
+        self, x: np.ndarray, params: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(x @ params["w1"] + params["b1"], 0.0)
+        out = hidden @ params["w2"] + params["b2"]
+        return hidden, out.ravel()
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        features, targets = check_fit_inputs(features, targets)
+        x = self._scaler.fit_transform(features)
+        y = np.log1p(np.clip(targets, 0.0, None)) if self.log_target else targets
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y = (y - self._y_mean) / self._y_std
+
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = x.shape
+        h = self.hidden_size
+        params = {
+            "w1": rng.normal(0.0, np.sqrt(2.0 / n_features), size=(n_features, h)),
+            "b1": np.zeros(h),
+            "w2": rng.normal(0.0, np.sqrt(2.0 / h), size=(h, 1)),
+            "b2": np.zeros(1),
+        }
+        moments = {k: (np.zeros_like(v), np.zeros_like(v)) for k, v in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(self.batch_size, n_samples)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                xb, yb = x[idx], y[idx]
+                hidden, pred = self._forward(xb, params)
+                error = (pred - yb) / len(idx)
+
+                grad_w2 = hidden.T @ error[:, None] + self.l2 * params["w2"]
+                grad_b2 = np.array([error.sum()])
+                back = (error[:, None] @ params["w2"].T) * (hidden > 0)
+                grad_w1 = xb.T @ back + self.l2 * params["w1"]
+                grad_b1 = back.sum(axis=0)
+                grads = {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+
+                step += 1
+                for key, grad in grads.items():
+                    m, v = moments[key]
+                    m[:] = beta1 * m + (1 - beta1) * grad
+                    v[:] = beta2 * v + (1 - beta2) * grad * grad
+                    m_hat = m / (1 - beta1**step)
+                    v_hat = v / (1 - beta2**step)
+                    params[key] = params[key] - self.learning_rate * m_hat / (
+                        np.sqrt(v_hat) + eps
+                    )
+        self._params = params
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = check_predict_input(features, self._params is not None)
+        x = self._scaler.transform(features)
+        assert self._params is not None
+        _, out = self._forward(x, self._params)
+        out = out * self._y_std + self._y_mean
+        if self.log_target:
+            out = np.expm1(np.clip(out, None, 60.0))
+        return out

@@ -1,0 +1,81 @@
+"""Cross-validation utilities (the paper evaluates with 5-fold CV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.stats import median_error_pct, pearson
+from repro.ml.base import Regressor, clone_regressor
+
+
+@dataclass(frozen=True)
+class KFold:
+    """Deterministic shuffled k-fold splitter."""
+
+    n_splits: int = 5
+    seed: int = 0
+
+    def split(self, n_samples: int):
+        """Yield (train_indices, test_indices) pairs."""
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"need at least n_splits={self.n_splits} samples, got {n_samples}"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+@dataclass(frozen=True)
+class CvResult:
+    """Cross-validated predictions plus the paper's summary metrics."""
+
+    predictions: np.ndarray  # out-of-fold predictions, aligned with targets
+    targets: np.ndarray
+
+    @property
+    def median_error_pct(self) -> float:
+        return median_error_pct(self.predictions, self.targets)
+
+    @property
+    def pearson(self) -> float:
+        return pearson(self.predictions, self.targets)
+
+
+def cross_validate(
+    model: Regressor,
+    features: np.ndarray,
+    targets: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+    target_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    inverse_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> CvResult:
+    """Out-of-fold predictions for ``model`` under k-fold CV.
+
+    ``target_transform``/``inverse_transform`` let callers fit in log space
+    (the MSLE convention) while evaluating in the original space.
+    """
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float).ravel()
+    predictions = np.empty_like(targets)
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(len(targets)):
+        fold_model = clone_regressor(model)
+        y_train = targets[train_idx]
+        if target_transform is not None:
+            y_train = target_transform(y_train)
+        fold_model.fit(features[train_idx], y_train)
+        fold_pred = fold_model.predict(features[test_idx])
+        if inverse_transform is not None:
+            fold_pred = inverse_transform(fold_pred)
+        predictions[test_idx] = fold_pred
+    return CvResult(predictions=predictions, targets=targets)

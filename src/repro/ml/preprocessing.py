@@ -1,0 +1,38 @@
+"""Feature preprocessing: standardization.
+
+The derived cost features span ~20 orders of magnitude (row counts to
+products of row counts), so every linear model and the MLP standardize
+features internally before fitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling with constant-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=float)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale < 1e-12] = 1.0  # constant columns pass through unscaled
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return (np.asarray(features, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def reset(self) -> None:
+        self.mean_ = None
+        self.scale_ = None

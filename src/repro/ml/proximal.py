@@ -1,0 +1,177 @@
+"""Elastic net with mean-squared-log-error loss (proximal Adam).
+
+The paper's individual cost models are linear in the derived features but
+trained with MSLE: ``sum (log(p+1) - log(a+1))^2`` where ``p = w.x + b`` is
+the *raw-space* prediction (Section 3.2).  Squared error in log space makes
+the fit scale-free and robust to runtime outliers, while the raw-space
+linear form keeps predictions extrapolating linearly (no exponential
+blow-up on inputs larger than anything in training) and exposes the
+``theta_p/P + theta_c*P`` structure that the analytical partition
+exploration reads off the coefficients (Section 5.3).
+
+The objective is optimized with Adam on standardized features plus a
+proximal (soft-threshold) step for the L1 term; the L2 term enters the
+gradient directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fit_inputs, check_predict_input
+from repro.ml.preprocessing import StandardScaler
+
+_P_FLOOR = 1e-6  # predictions are clamped here inside the log
+
+
+class ElasticNetMSLE:
+    """L1+L2-regularized linear regression under the MSLE loss.
+
+    Objective (standardized features)::
+
+        mean((log1p(max(Xw + b, 0)) - log1p(y))^2)
+            + alpha * l1_ratio * ||w||_1 + 0.5 * alpha * (1-l1_ratio) * ||w||^2
+
+    The target is internally scaled by its geometric mean so that ``alpha``
+    means the same thing for millisecond operators and hour-long stages.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.01,
+        l1_ratio: float = 0.5,
+        learning_rate: float = 0.05,
+        max_iter: int = 400,
+        tol: float = 1e-7,
+        nonneg_indices: tuple[int, ...] = (),
+    ) -> None:
+        """``nonneg_indices`` pins those coefficients to be >= 0 in *raw*
+        feature space — used for physically monotone features (per-partition
+        work, partition-count overhead) whose sign determines how the model
+        extrapolates far outside the training range of P."""
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if not 0.0 <= l1_ratio <= 1.0:
+            raise ValueError("l1_ratio must be in [0, 1]")
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.nonneg_indices = tuple(nonneg_indices)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+        self._scaler = StandardScaler()
+        self._y_scale = 1.0
+
+    def reset(self) -> None:
+        self.coef_ = None
+        self.intercept_ = 0.0
+        self.n_iter_ = 0
+        self._scaler.reset()
+        self._y_scale = 1.0
+
+    # ------------------------------------------------------------------ #
+
+    def _loss_grad(
+        self, x: np.ndarray, y_log: np.ndarray, weights: np.ndarray, bias: float
+    ) -> tuple[float, np.ndarray, float]:
+        """Loss and gradients of the (unpenalized) MSLE term."""
+        raw = x @ weights + bias
+        pred = np.maximum(raw, _P_FLOOR)
+        diff = np.log1p(pred) - y_log
+        loss = float(np.mean(diff * diff))
+        # d loss / d raw: zero-slope region below the floor still receives a
+        # push because pred is clamped, keeping the optimization live there.
+        dpred = 2.0 * diff / (1.0 + pred) / len(y_log)
+        grad_w = x.T @ dpred
+        grad_b = float(dpred.sum())
+        return loss, grad_w, grad_b
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "ElasticNetMSLE":
+        features, targets = check_fit_inputs(features, targets)
+        if (targets < 0).any():
+            raise ValueError("MSLE requires non-negative targets")
+        x = self._scaler.fit_transform(features)
+        # Scale the target to a O(1) magnitude (geometric mean) so the
+        # penalty strength is comparable across templates.
+        self._y_scale = float(np.exp(np.mean(np.log1p(targets)))) or 1.0
+        y = targets / self._y_scale
+        y_log = np.log1p(y)
+
+        n_features = x.shape[1]
+        weights = np.zeros(n_features)
+        bias = float(np.exp(y_log.mean()) - 1.0)  # geometric-mean start
+        l1 = self.alpha * self.l1_ratio
+        l2 = self.alpha * (1.0 - self.l1_ratio)
+
+        m_w = np.zeros(n_features)
+        v_w = np.zeros(n_features)
+        m_b = 0.0
+        v_b = 0.0
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        previous_loss = np.inf
+
+        for step in range(1, self.max_iter + 1):
+            loss, grad_w, grad_b = self._loss_grad(x, y_log, weights, bias)
+            grad_w = grad_w + l2 * weights
+
+            m_w = beta1 * m_w + (1 - beta1) * grad_w
+            v_w = beta2 * v_w + (1 - beta2) * grad_w * grad_w
+            m_b = beta1 * m_b + (1 - beta1) * grad_b
+            v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b
+            lr_t = self.learning_rate * np.sqrt(1 - beta2**step) / (1 - beta1**step)
+            weights = weights - lr_t * m_w / (np.sqrt(v_w) + eps)
+            bias -= float(lr_t * m_b / (np.sqrt(v_b) + eps))
+            # Proximal step for L1 (soft threshold scaled by the step size).
+            if l1 > 0:
+                shrink = lr_t * l1
+                weights = np.sign(weights) * np.maximum(np.abs(weights) - shrink, 0.0)
+            # Projection for sign-constrained coefficients.  Standardization
+            # preserves signs (scales are positive), so clamping the
+            # standardized weight clamps the raw-space weight too.
+            if self.nonneg_indices:
+                for idx in self.nonneg_indices:
+                    if weights[idx] < 0.0:
+                        weights[idx] = 0.0
+
+            self.n_iter_ = step
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = check_predict_input(features, self.coef_ is not None)
+        x = self._scaler.transform(features)
+        assert self.coef_ is not None
+        raw = (x @ self.coef_ + self.intercept_) * self._y_scale
+        return np.maximum(raw, 0.0)
+
+    def coefficients_raw(self) -> tuple[np.ndarray, float]:
+        """(weights, intercept) over raw features and the raw target scale.
+
+        ``predict(X) == max(X @ weights + intercept, 0)`` for any raw X —
+        the linear form read by the analytical partition exploration.
+        """
+        if self.coef_ is None:
+            raise RuntimeError("coefficients_raw() before fit()")
+        scale = self._scaler.scale_
+        mean = self._scaler.mean_
+        assert scale is not None and mean is not None
+        raw = self.coef_ / scale * self._y_scale
+        intercept = (
+            self.intercept_ - float((self.coef_ * mean / scale).sum())
+        ) * self._y_scale
+        return raw, intercept
+
+    @property
+    def selected_features(self) -> np.ndarray:
+        """Indices with non-zero weight (the elastic net's feature selection)."""
+        if self.coef_ is None:
+            raise RuntimeError("selected_features before fit()")
+        return np.flatnonzero(np.abs(self.coef_) > 1e-12)

@@ -1,0 +1,34 @@
+"""Query optimizer: Cascades-style planning with resource exploration.
+
+The planner lowers logical plans to physical plans top-down with required
+properties (partitioning, sorting) flowing down and delivered properties
+flowing up, inserting Exchange/Sort enforcers where needed — the SCOPE
+optimizer's structure (Section 2.3).  Cleo's extensions (Section 5.2) are the
+resource context and the partition exploration/optimization steps, which
+replace the default local partition-count heuristics with stage-global
+optimization driven by the learned models.
+"""
+
+from repro.optimizer.partition import (
+    AnalyticalStrategy,
+    DefaultHeuristicStrategy,
+    ExhaustiveStrategy,
+    PartitionStrategy,
+    ResourceContext,
+    SamplingStrategy,
+    optimize_partitions,
+)
+from repro.optimizer.planner import PlannedJob, PlannerConfig, QueryPlanner
+
+__all__ = [
+    "AnalyticalStrategy",
+    "DefaultHeuristicStrategy",
+    "ExhaustiveStrategy",
+    "PartitionStrategy",
+    "PlannedJob",
+    "PlannerConfig",
+    "QueryPlanner",
+    "ResourceContext",
+    "SamplingStrategy",
+    "optimize_partitions",
+]

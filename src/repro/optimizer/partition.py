@@ -1,0 +1,355 @@
+"""Partition exploration and optimization (Sections 5.2-5.3).
+
+The default SCOPE behaviour lets each partitioning operator pick its stage's
+partition count from *local* statistics, which is locally optimal but can be
+globally wrong (the paper's Figure 8b example: Exchange picks 2 for itself,
+16 is best for the stage).  Cleo instead accumulates per-operator cost-vs-
+partition information in a **resource context** and lets the partitioning
+operator minimize the *stage total*:
+
+* sampling strategies probe the learned models at candidate counts (random /
+  uniform / geometric grids);
+* the analytical strategy sums each operator's ``(theta_p, theta_c)``
+  resource profile and minimizes ``sum(theta_p)/P + sum(theta_c)*P`` in
+  closed form — at a small constant number of model lookups per operator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.common.stats import geometric_partition_samples
+from repro.core.learned_model import ResourceProfile
+from repro.cost.interface import CostModel
+from repro.plan.physical import ExchangeMode, PhysOpType, PhysicalOp
+from repro.plan.properties import PartitionScheme
+from repro.plan.stages import Stage, build_stage_graph
+
+
+@dataclass
+class ResourceContext:
+    """Accumulates per-operator resource profiles for one stage.
+
+    This is the paper's resource-context abstraction: operators attach their
+    learned cost-vs-partition relationship while the stage is being
+    optimized; the partitioning operator then reads the aggregate.
+    """
+
+    profiles: list[ResourceProfile] = field(default_factory=list)
+
+    def attach(self, profile: ResourceProfile) -> None:
+        self.profiles.append(profile)
+
+    @property
+    def theta_p(self) -> float:
+        return sum(p.theta_p for p in self.profiles)
+
+    @property
+    def theta_c(self) -> float:
+        return sum(p.theta_c for p in self.profiles)
+
+    @property
+    def theta_0(self) -> float:
+        return sum(p.theta_0 for p in self.profiles)
+
+    def stage_cost(self, partitions: float) -> float:
+        return self.theta_p / partitions + self.theta_c * partitions + self.theta_0
+
+    def optimal_partitions(self, max_partitions: int) -> int:
+        """The paper's three-case analysis, via safe candidate evaluation."""
+        aggregate = ResourceProfile(self.theta_p, self.theta_c, self.theta_0)
+        return aggregate.optimal_partitions(max_partitions)
+
+
+def default_partition_heuristic(
+    op: PhysicalOp,
+    estimator: CardinalityEstimator,
+    partition_mb: float = 256.0,
+    cap: int = 250,
+) -> int:
+    """SCOPE's default: partitions from local data volume, capped.
+
+    ``ceil(estimated bytes / target partition size)``, clamped to [1, cap].
+    """
+    rows = estimator.estimate_input(op) if op.children else estimator.estimate(op)
+    width = op.children[0].row_bytes if op.children else op.row_bytes
+    partitions = int(math.ceil(rows * width / (partition_mb * 1024.0 * 1024.0)))
+    return max(1, min(partitions, cap))
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+
+@runtime_checkable
+class PartitionStrategy(Protocol):
+    """Chooses a stage's partition count."""
+
+    name: str
+
+    def choose(
+        self,
+        stage_ops: list[PhysicalOp],
+        cost_model: CostModel,
+        estimator: CardinalityEstimator,
+        max_partitions: int,
+    ) -> int:
+        """Return the chosen partition count for the stage."""
+        ...
+
+
+def _stage_cost_at(
+    stage_ops: list[PhysicalOp],
+    cost_model: CostModel,
+    estimator: CardinalityEstimator,
+    partitions: int,
+) -> float:
+    return sum(
+        cost_model.operator_cost(op, estimator, partition_override=partitions)
+        for op in stage_ops
+    )
+
+
+@dataclass
+class DefaultHeuristicStrategy:
+    """The baseline: local statistics at the partitioning operator only."""
+
+    partition_mb: float = 256.0
+    cap: int = 250
+    name: str = "heuristic"
+
+    def choose(
+        self,
+        stage_ops: list[PhysicalOp],
+        cost_model: CostModel,
+        estimator: CardinalityEstimator,
+        max_partitions: int,
+    ) -> int:
+        partitioning = [op for op in stage_ops if op.is_partitioning]
+        anchor = partitioning[0] if partitioning else stage_ops[0]
+        return min(
+            default_partition_heuristic(anchor, estimator, self.partition_mb, self.cap),
+            max_partitions,
+        )
+
+
+@dataclass
+class ExhaustiveStrategy:
+    """Probe every count in [1, max]; the oracle baseline of Section 6.5."""
+
+    name: str = "exhaustive"
+
+    def choose(
+        self,
+        stage_ops: list[PhysicalOp],
+        cost_model: CostModel,
+        estimator: CardinalityEstimator,
+        max_partitions: int,
+    ) -> int:
+        candidates = range(1, max_partitions + 1)
+        return min(
+            candidates,
+            key=lambda p: _stage_cost_at(stage_ops, cost_model, estimator, p),
+        )
+
+
+@dataclass
+class SamplingStrategy:
+    """Probe a sampled grid of candidate counts.
+
+    ``scheme`` is one of "geometric" (the paper's ``x_{i+1} = ceil(x_i +
+    x_i/s)`` with skip coefficient s), "uniform", or "random"; for the last
+    two, ``n_samples`` sets the grid size.
+    """
+
+    scheme: str = "geometric"
+    skip_coefficient: float = 2.0
+    n_samples: int = 16
+    seed: int = 0
+    name: str = "sampling"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("geometric", "uniform", "random"):
+            raise ValueError(f"unknown sampling scheme {self.scheme!r}")
+        self.name = f"sampling-{self.scheme}"
+
+    def candidates(self, max_partitions: int) -> list[int]:
+        if self.scheme == "geometric":
+            return geometric_partition_samples(max_partitions, self.skip_coefficient)
+        if self.scheme == "uniform":
+            grid = np.linspace(1, max_partitions, num=min(self.n_samples, max_partitions))
+            return sorted({int(round(g)) for g in grid})
+        rng = np.random.default_rng(self.seed)
+        picks = rng.integers(1, max_partitions + 1, size=self.n_samples)
+        return sorted({1, *map(int, picks)})
+
+    def choose(
+        self,
+        stage_ops: list[PhysicalOp],
+        cost_model: CostModel,
+        estimator: CardinalityEstimator,
+        max_partitions: int,
+    ) -> int:
+        return min(
+            self.candidates(max_partitions),
+            key=lambda p: _stage_cost_at(stage_ops, cost_model, estimator, p),
+        )
+
+
+@dataclass
+class AnalyticalStrategy:
+    """Closed-form stage optimization from learned resource profiles.
+
+    Requires a :class:`CleoCostModel` (the profiles come from the learned
+    models' raw-space coefficients).  Operators without any covering model
+    contribute nothing, matching the paper's behaviour of only exploring
+    where learned knowledge exists.
+
+    ``trust_region`` bounds how far the analytical optimum may move from the
+    stage's current count (a factor in each direction).  The linear theta
+    profiles are fitted from the partition counts the logs actually contain;
+    far outside that neighbourhood their extrapolation is unreliable, and an
+    unbounded jump can trade a small predicted latency win for a large real
+    resource blow-up.  ``None`` disables the bound.
+    """
+
+    name: str = "analytical"
+    trust_region: float | None = 8.0
+
+    def choose(
+        self,
+        stage_ops: list[PhysicalOp],
+        cost_model: CostModel,
+        estimator: CardinalityEstimator,
+        max_partitions: int,
+    ) -> int:
+        # Duck-typed on purpose: only Cleo's cost model exposes learned
+        # resource profiles (importing it here would cycle core<->optimizer).
+        if not hasattr(cost_model, "resource_profile"):
+            raise TypeError(
+                "AnalyticalStrategy requires a cost model with resource_profile()"
+                " (CleoCostModel)"
+            )
+        context = ResourceContext()
+        for op in stage_ops:
+            profile = cost_model.resource_profile(op, estimator)
+            if profile is not None:
+                context.attach(profile)
+        if not context.profiles:
+            return stage_ops[0].partition_count  # nothing learned: keep as-is
+        current = stage_ops[0].partition_count
+        lo, hi = 1, max_partitions
+        if self.trust_region is not None:
+            lo = max(1, int(current / self.trust_region))
+            hi = min(max_partitions, max(int(current * self.trust_region), lo))
+        chosen = context.optimal_partitions(max_partitions)
+        chosen = min(max(chosen, lo), hi)
+        # Within the clamped range, re-check the boundary candidates.
+        return min({lo, chosen, hi}, key=context.stage_cost)
+
+
+# --------------------------------------------------------------------- #
+# Plan-level partition optimization
+# --------------------------------------------------------------------- #
+
+
+def _stage_is_fixed(stage: Stage) -> bool:
+    """Stages pinned by required properties (singleton/gather) are skipped.
+
+    This is step 2 of Figure 8a: when a partition count comes as a required
+    property from upstream operators, no exploration happens.
+    """
+    for op in stage.operators:
+        if op.op_type is PhysOpType.EXCHANGE and op.exchange_mode is ExchangeMode.GATHER:
+            return True
+        if op.partitioning.scheme is PartitionScheme.SINGLETON:
+            return True
+    return False
+
+
+def optimize_partitions(
+    plan: PhysicalOp,
+    cost_model: CostModel,
+    estimator: CardinalityEstimator,
+    strategy: PartitionStrategy,
+    max_partitions: int = 3000,
+    guard: bool = True,
+) -> PhysicalOp:
+    """Re-optimize every stage's partition count in a finished plan.
+
+    Walks the stage graph, asks the strategy for each non-fixed stage, and
+    rebuilds the plan with the new counts.  Stages formed by co-partitioned
+    joins share one count by construction (their exchanges live in the same
+    stage), preserving co-partitioning.
+
+    With ``guard`` enabled, a stage keeps its current count unless the cost
+    model itself predicts the new count is cheaper — one of the paper's
+    regression-avoidance techniques (Section 6.7): never act on a learned
+    suggestion the learned costs do not endorse.
+    """
+    graph = build_stage_graph(plan)
+    chosen: dict[int, int] = {}
+    for stage in graph.topological_order():
+        if _stage_is_fixed(stage):
+            chosen[stage.index] = stage.partition_count
+            continue
+        candidate = strategy.choose(stage.operators, cost_model, estimator, max_partitions)
+        if guard and candidate != stage.partition_count:
+            current_cost = _stage_cost_at(
+                stage.operators, cost_model, estimator, stage.partition_count
+            )
+            new_cost = _stage_cost_at(stage.operators, cost_model, estimator, candidate)
+            if new_cost >= current_cost:
+                candidate = stage.partition_count
+        chosen[stage.index] = candidate
+
+    def rebuild(op: PhysicalOp) -> PhysicalOp:
+        new_children = tuple(rebuild(child) for child in op.children)
+        stage_idx = graph.stage_of[id(op)]
+        new_count = chosen[stage_idx]
+        if new_children == op.children and new_count == op.partition_count:
+            return op
+        return PhysicalOp(
+            op_type=op.op_type,
+            children=new_children,
+            logical=op.logical,
+            partition_count=new_count,
+            partitioning=op.partitioning,
+            sorting=op.sorting,
+            exchange_mode=op.exchange_mode,
+            sort_keys=op.sort_keys,
+        )
+
+    return rebuild(plan)
+
+
+def expected_lookups(
+    n_operators: int,
+    strategy_name: str,
+    max_partitions: int = 3000,
+    skip_coefficient: float = 2.0,
+    models_per_lookup: int = 5,
+) -> int:
+    """Analytic model-lookup counts behind Figure 8(c).
+
+    Exhaustive probes every count; geometric sampling probes
+    ``log_{(s+1)/s}(Pmax)`` counts; the analytical approach reads each
+    operator's models once.
+    """
+    if strategy_name == "exhaustive":
+        return models_per_lookup * n_operators * max_partitions
+    if strategy_name.startswith("sampling"):
+        ratio = (skip_coefficient + 1.0) / skip_coefficient
+        n_samples = int(math.ceil(math.log(max_partitions, ratio))) + 1
+        return models_per_lookup * n_operators * n_samples
+    if strategy_name == "analytical":
+        return models_per_lookup * n_operators
+    if strategy_name == "heuristic":
+        return 0
+    raise ValueError(f"unknown strategy {strategy_name!r}")

@@ -1,0 +1,41 @@
+"""Query plan layer: logical algebra, physical operators, stages, signatures.
+
+The plan layer is deliberately self-contained: logical operators carry the
+semantic payload (true cardinalities, row widths, template tags) that the
+cardinality estimator, cost models, and execution simulator consume, so no
+component needs to reach back into the catalog after a plan is built.
+"""
+
+from repro.plan.builder import PlanBuilder
+from repro.plan.logical import LogicalOp, LogicalOpType
+from repro.plan.physical import PhysicalOp, PhysOpType
+from repro.plan.properties import Partitioning, PartitionScheme, SortOrder
+from repro.plan.signatures import (
+    approx_signature,
+    input_signature,
+    operator_signature,
+    strict_signature,
+    subgraph_depth,
+    subgraph_logical_count,
+)
+from repro.plan.stages import Stage, StageGraph, build_stage_graph
+
+__all__ = [
+    "LogicalOp",
+    "LogicalOpType",
+    "Partitioning",
+    "PartitionScheme",
+    "PhysOpType",
+    "PhysicalOp",
+    "PlanBuilder",
+    "SortOrder",
+    "Stage",
+    "StageGraph",
+    "approx_signature",
+    "build_stage_graph",
+    "input_signature",
+    "operator_signature",
+    "strict_signature",
+    "subgraph_depth",
+    "subgraph_logical_count",
+]

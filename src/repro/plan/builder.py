@@ -1,0 +1,257 @@
+"""Plan builder: the public DSL for constructing logical plans.
+
+The builder computes, bottom-up, each node's true output cardinality, row
+width, and normalized input set, so a finished plan is self-describing.  All
+cardinality semantics live here:
+
+* ``filter``: ``C = selectivity * I``;
+* ``join``: either an explicit ``output_card`` (TPC-H queries, computed
+  analytically by the query module) or a *fan-out* relative to the larger
+  input, the convention used by the synthetic workload generator;
+* ``aggregate``: ``C = min(I, group_count)``;
+* ``process`` (UDF): an arbitrary card factor — UDFs may expand or contract.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InvalidPlanError
+from repro.data.catalog import Catalog
+from repro.plan.logical import LogicalOp, LogicalOpType, normalize_input_name
+
+_MIN_ROW_BYTES = 8.0
+
+
+class PlanBuilder:
+    """Builds logical plans against a catalog snapshot.
+
+    Example::
+
+        b = PlanBuilder(catalog)
+        plan = b.output(
+            b.aggregate(
+                b.join(
+                    b.filter(b.scan("orders"), "o_orderdate", 0.05, tag="f1"),
+                    b.scan("lineitem"),
+                    keys=("o_orderkey", "l_orderkey"),
+                    fanout=4.0,
+                ),
+                keys=("o_custkey",),
+                group_count=10_000,
+            ),
+            name="report",
+        )
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    # Leaf and unary operators
+    # ------------------------------------------------------------------ #
+
+    def scan(self, table: str, tag: str | None = None) -> LogicalOp:
+        """Scan a base table; true cardinality comes from the catalog."""
+        stats = self.catalog.stats(table)
+        return LogicalOp(
+            op_type=LogicalOpType.GET,
+            children=(),
+            template_tag=tag or f"get:{normalize_input_name(table)}",
+            true_card=stats.row_count,
+            row_bytes=float(stats.avg_row_bytes),
+            normalized_inputs=frozenset({normalize_input_name(table)}),
+            table=table,
+        )
+
+    def filter(
+        self,
+        child: LogicalOp,
+        column: str,
+        selectivity: float,
+        tag: str | None = None,
+        params: tuple[float, ...] = (),
+    ) -> LogicalOp:
+        """Filter with a known true selectivity in (0, 1]."""
+        if not 0.0 < selectivity <= 1.0:
+            raise InvalidPlanError(f"filter selectivity must be in (0, 1], got {selectivity}")
+        return LogicalOp(
+            op_type=LogicalOpType.FILTER,
+            children=(child,),
+            template_tag=tag or f"filter:{column}",
+            true_card=child.true_card * selectivity,
+            row_bytes=child.row_bytes,
+            normalized_inputs=child.normalized_inputs,
+            sel_true=selectivity,
+            keys=(column,),
+            params=params,
+        )
+
+    def project(
+        self,
+        child: LogicalOp,
+        width_factor: float = 0.8,
+        tag: str | None = None,
+        columns: tuple[str, ...] = (),
+    ) -> LogicalOp:
+        """Projection / column computation; narrows rows, keeps cardinality."""
+        if width_factor <= 0:
+            raise InvalidPlanError("width_factor must be positive")
+        return LogicalOp(
+            op_type=LogicalOpType.PROJECT,
+            children=(child,),
+            template_tag=tag or f"project:{len(columns)}c",
+            true_card=child.true_card,
+            row_bytes=max(_MIN_ROW_BYTES, child.row_bytes * width_factor),
+            normalized_inputs=child.normalized_inputs,
+            keys=columns,
+        )
+
+    def process(
+        self,
+        child: LogicalOp,
+        udf_name: str,
+        card_factor: float = 1.0,
+        width_factor: float = 1.0,
+        tag: str | None = None,
+        params: tuple[float, ...] = (),
+    ) -> LogicalOp:
+        """User-defined operator (black box to the default cost model)."""
+        if card_factor <= 0 or width_factor <= 0:
+            raise InvalidPlanError("process factors must be positive")
+        return LogicalOp(
+            op_type=LogicalOpType.PROCESS,
+            children=(child,),
+            template_tag=tag or f"process:{udf_name}",
+            true_card=child.true_card * card_factor,
+            row_bytes=max(_MIN_ROW_BYTES, child.row_bytes * width_factor),
+            normalized_inputs=child.normalized_inputs,
+            sel_true=card_factor,
+            udf_name=udf_name,
+            params=params,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Binary / n-ary operators
+    # ------------------------------------------------------------------ #
+
+    def join(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        keys: tuple[str, str],
+        fanout: float | None = None,
+        output_card: float | None = None,
+        tag: str | None = None,
+    ) -> LogicalOp:
+        """Equi-join on ``keys = (left_key, right_key)``.
+
+        Exactly one of ``fanout`` (output = fanout * max input) or
+        ``output_card`` may be given; default is fanout 1.0, the typical
+        foreign-key join that preserves the fact side.
+        """
+        if fanout is not None and output_card is not None:
+            raise InvalidPlanError("give either fanout or output_card, not both")
+        bigger = max(left.true_card, right.true_card)
+        if output_card is not None:
+            if output_card < 0:
+                raise InvalidPlanError("output_card must be >= 0")
+            card = float(output_card)
+        else:
+            card = bigger * (1.0 if fanout is None else fanout)
+        sel_local = card / bigger if bigger > 0 else 1.0
+        return LogicalOp(
+            op_type=LogicalOpType.JOIN,
+            children=(left, right),
+            template_tag=tag or f"join:{keys[0]}={keys[1]}",
+            true_card=card,
+            row_bytes=max(_MIN_ROW_BYTES, 0.9 * (left.row_bytes + right.row_bytes)),
+            normalized_inputs=left.normalized_inputs | right.normalized_inputs,
+            sel_true=sel_local,
+            keys=keys,
+        )
+
+    def aggregate(
+        self,
+        child: LogicalOp,
+        keys: tuple[str, ...],
+        group_count: float | None = None,
+        tag: str | None = None,
+    ) -> LogicalOp:
+        """Group-by aggregation; ``group_count`` is the true group cardinality.
+
+        When omitted, a sqrt heuristic on the input size is used — adequate
+        for synthetic workloads where only the magnitude matters.
+        """
+        if group_count is None:
+            group_count = max(1.0, child.true_card**0.5)
+        card = min(child.true_card, float(group_count)) if child.true_card > 0 else 0.0
+        return LogicalOp(
+            op_type=LogicalOpType.AGGREGATE,
+            children=(child,),
+            template_tag=tag or f"agg:{','.join(keys) or 'all'}",
+            true_card=max(card, 1.0 if child.true_card > 0 else 0.0),
+            row_bytes=max(_MIN_ROW_BYTES, min(child.row_bytes, 16.0 + 8.0 * len(keys))),
+            normalized_inputs=child.normalized_inputs,
+            sel_true=(card / child.true_card) if child.true_card > 0 else 1.0,
+            keys=keys,
+            group_count=float(group_count),
+        )
+
+    def sort(self, child: LogicalOp, keys: tuple[str, ...], tag: str | None = None) -> LogicalOp:
+        if not keys:
+            raise InvalidPlanError("sort requires at least one key")
+        return LogicalOp(
+            op_type=LogicalOpType.SORT,
+            children=(child,),
+            template_tag=tag or f"sort:{','.join(keys)}",
+            true_card=child.true_card,
+            row_bytes=child.row_bytes,
+            normalized_inputs=child.normalized_inputs,
+            keys=keys,
+        )
+
+    def topk(
+        self, child: LogicalOp, keys: tuple[str, ...], k: int, tag: str | None = None
+    ) -> LogicalOp:
+        if k < 1:
+            raise InvalidPlanError("k must be >= 1")
+        card = min(float(k), child.true_card)
+        return LogicalOp(
+            op_type=LogicalOpType.TOP_K,
+            children=(child,),
+            template_tag=tag or f"topk:{','.join(keys)}:{k}",
+            true_card=card,
+            row_bytes=child.row_bytes,
+            normalized_inputs=child.normalized_inputs,
+            sel_true=(card / child.true_card) if child.true_card > 0 else 1.0,
+            keys=keys,
+            limit=k,
+        )
+
+    def union(self, *children: LogicalOp, tag: str | None = None) -> LogicalOp:
+        if len(children) < 2:
+            raise InvalidPlanError("union requires at least two children")
+        total = sum(c.true_card for c in children)
+        width = sum(c.row_bytes * c.true_card for c in children) / total if total else children[
+            0
+        ].row_bytes
+        inputs: frozenset[str] = frozenset()
+        for child in children:
+            inputs |= child.normalized_inputs
+        return LogicalOp(
+            op_type=LogicalOpType.UNION,
+            children=tuple(children),
+            template_tag=tag or f"union:{len(children)}",
+            true_card=float(total),
+            row_bytes=max(_MIN_ROW_BYTES, width),
+            normalized_inputs=inputs,
+        )
+
+    def output(self, child: LogicalOp, name: str = "out", tag: str | None = None) -> LogicalOp:
+        return LogicalOp(
+            op_type=LogicalOpType.OUTPUT,
+            children=(child,),
+            template_tag=tag or f"output:{normalize_input_name(name)}",
+            true_card=child.true_card,
+            row_bytes=child.row_bytes,
+            normalized_inputs=child.normalized_inputs,
+        )

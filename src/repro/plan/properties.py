@@ -1,0 +1,116 @@
+"""Physical plan properties: partitioning and sort order.
+
+Cascades optimizes with *required* properties flowing down the plan and
+*delivered* properties flowing up (Section 2.3 of the paper).  Two properties
+matter in this reproduction, matching SCOPE:
+
+* :class:`Partitioning` — how rows are distributed across machines; and
+* :class:`SortOrder` — the intra-partition sort order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PartitionScheme(enum.Enum):
+    """How rows are assigned to partitions."""
+
+    ANY = "any"  # requirement only: caller does not care
+    SINGLETON = "singleton"  # all rows in one partition
+    HASH = "hash"  # hash-partitioned on a column set
+    RANDOM = "random"  # round-robin / initial extract placement
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """A partitioning property (required or delivered).
+
+    ``columns`` is meaningful only for HASH.  Column order is irrelevant for
+    hash partitioning, so it is stored as a sorted tuple.
+    """
+
+    scheme: PartitionScheme
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scheme is PartitionScheme.HASH and not self.columns:
+            raise ValueError("HASH partitioning requires at least one column")
+        if self.scheme is not PartitionScheme.HASH and self.columns:
+            raise ValueError(f"{self.scheme} partitioning must not name columns")
+        object.__setattr__(self, "columns", tuple(sorted(self.columns)))
+
+    @classmethod
+    def any(cls) -> "Partitioning":
+        return cls(PartitionScheme.ANY)
+
+    @classmethod
+    def singleton(cls) -> "Partitioning":
+        return cls(PartitionScheme.SINGLETON)
+
+    @classmethod
+    def hash(cls, *columns: str) -> "Partitioning":
+        return cls(PartitionScheme.HASH, tuple(columns))
+
+    @classmethod
+    def random(cls) -> "Partitioning":
+        return cls(PartitionScheme.RANDOM)
+
+    def satisfies(self, required: "Partitioning") -> bool:
+        """True when data delivered with ``self`` meets ``required``.
+
+        HASH on a subset of the required columns does *not* satisfy the
+        requirement (rows for one required group could land in different
+        partitions); HASH on exactly the required columns does.  SINGLETON
+        satisfies every requirement because all rows are co-located.
+        """
+        if required.scheme is PartitionScheme.ANY:
+            return True
+        if self.scheme is PartitionScheme.SINGLETON:
+            return True
+        if required.scheme is PartitionScheme.SINGLETON:
+            return False
+        if required.scheme is PartitionScheme.HASH:
+            return self.scheme is PartitionScheme.HASH and set(self.columns) == set(
+                required.columns
+            )
+        if required.scheme is PartitionScheme.RANDOM:
+            return self.scheme in (PartitionScheme.RANDOM, PartitionScheme.HASH)
+        return False
+
+    def describe(self) -> str:
+        if self.scheme is PartitionScheme.HASH:
+            return f"hash({','.join(self.columns)})"
+        return self.scheme.value
+
+
+@dataclass(frozen=True)
+class SortOrder:
+    """Intra-partition sort order over a column list (all ascending).
+
+    An empty column list means "no order required / delivered".
+    """
+
+    columns: tuple[str, ...] = ()
+
+    @classmethod
+    def none(cls) -> "SortOrder":
+        return cls(())
+
+    @classmethod
+    def on(cls, *columns: str) -> "SortOrder":
+        return cls(tuple(columns))
+
+    @property
+    def is_sorted(self) -> bool:
+        return bool(self.columns)
+
+    def satisfies(self, required: "SortOrder") -> bool:
+        """Prefix semantics: sorted on (a, b) satisfies a requirement of (a)."""
+        if not required.columns:
+            return True
+        return self.columns[: len(required.columns)] == required.columns
+
+    def describe(self) -> str:
+        return f"sort({','.join(self.columns)})" if self.columns else "unsorted"

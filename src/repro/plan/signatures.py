@@ -1,0 +1,143 @@
+"""Operator signatures: the keys under which learned models are stored.
+
+SCOPE computes a 64-bit signature per operator recursively from (i) child
+signatures, (ii) the operator's name, and (iii) its logical properties
+(Section 5.1).  Cleo adds three more signatures, one per individual model:
+
+* :func:`strict_signature` — the operator-subgraph key: root physical
+  operator plus the exact shape of everything beneath it;
+* :func:`approx_signature` — operator-subgraphApprox: root physical operator,
+  normalized inputs, and the *frequency* of logical operators underneath,
+  ignoring order (Section 4.2);
+* :func:`input_signature` — operator-input: root physical operator plus
+  normalized input templates;
+* :func:`operator_signature` — just the physical operator type.
+
+All four are computed in a single recursion in the optimizer's logging path,
+mirroring the paper's "all signatures can be computed simultaneously in the
+same recursion" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.hashing import combine_hashes, combine_hashes_unordered, stable_hash
+from repro.plan.physical import PhysicalOp
+
+
+def strict_signature(op: PhysicalOp) -> int:
+    """Exact operator-subgraph signature (root operator + all descendants)."""
+    child_sigs = [strict_signature(child) for child in op.children]
+    own = stable_hash("strict", op.op_type.value, op.template_tag)
+    return combine_hashes(child_sigs + [own])
+
+
+def approx_signature(op: PhysicalOp) -> int:
+    """Relaxed subgraph signature: same inputs + same logical-op frequencies.
+
+    Two subgraphs map to the same key when they share the root physical
+    operator, the normalized inputs, and the multiset of logical operator
+    types beneath the root — the two relaxations of Section 4.2.
+    """
+    freq: dict[str, int] = {}
+    for node in op.walk():
+        if node is op:
+            continue
+        if node.logical is not None:
+            key = node.logical.op_type.value
+            freq[key] = freq.get(key, 0) + 1
+    freq_hash = combine_hashes_unordered(
+        stable_hash("freq", name, count) for name, count in freq.items()
+    )
+    return stable_hash(
+        "approx",
+        op.op_type.value,
+        freq_hash,
+        frozenset(op.normalized_inputs),
+    )
+
+
+def input_signature(op: PhysicalOp) -> int:
+    """Operator-input signature: physical operator + normalized inputs."""
+    return stable_hash("input", op.op_type.value, frozenset(op.normalized_inputs))
+
+
+def operator_signature(op: PhysicalOp) -> int:
+    """Operator signature: the physical operator type alone (full coverage)."""
+    return stable_hash("operator", op.op_type.value)
+
+
+def subgraph_logical_count(op: PhysicalOp) -> int:
+    """Number of logical operators in the subgraph (the ``CL`` feature)."""
+    return op.logical_op_count()
+
+
+def subgraph_depth(op: PhysicalOp) -> int:
+    """Depth of the physical operator in its subgraph (the ``D`` feature)."""
+    return op.depth
+
+
+@dataclass(frozen=True)
+class SignatureBundle:
+    """All four model keys for one operator, computed in one recursion."""
+
+    strict: int
+    approx: int
+    input: int
+    operator: int
+
+    @classmethod
+    def of(cls, op: PhysicalOp) -> "SignatureBundle":
+        return cls(
+            strict=strict_signature(op),
+            approx=approx_signature(op),
+            input=input_signature(op),
+            operator=operator_signature(op),
+        )
+
+
+def compute_signature_bundles(root: PhysicalOp) -> dict[int, SignatureBundle]:
+    """Compute every operator's four signatures in one bottom-up recursion.
+
+    Mirrors the paper's instrumentation note that all signatures are computed
+    simultaneously in the same recursion with minimal overhead.  Returns a
+    map from ``id(op)`` to its :class:`SignatureBundle`.
+    """
+    bundles: dict[int, SignatureBundle] = {}
+    strict_memo: dict[int, int] = {}
+    freq_memo: dict[int, dict[str, int]] = {}
+
+    def visit(op: PhysicalOp) -> tuple[int, dict[str, int]]:
+        child_sigs: list[int] = []
+        freq: dict[str, int] = {}
+        for child in op.children:
+            sig, child_freq = visit(child)
+            child_sigs.append(sig)
+            for name, count in child_freq.items():
+                freq[name] = freq.get(name, 0) + count
+        own = stable_hash("strict", op.op_type.value, op.template_tag)
+        strict = combine_hashes(child_sigs + [own])
+        strict_memo[id(op)] = strict
+
+        # The approx signature counts logical operators *beneath* the root,
+        # i.e. the subtree frequencies before adding this node's own type.
+        freq_hash = combine_hashes_unordered(
+            stable_hash("freq", name, count) for name, count in freq.items()
+        )
+        approx = stable_hash(
+            "approx", op.op_type.value, freq_hash, frozenset(op.normalized_inputs)
+        )
+        bundles[id(op)] = SignatureBundle(
+            strict=strict,
+            approx=approx,
+            input=input_signature(op),
+            operator=operator_signature(op),
+        )
+        if op.logical is not None:
+            freq[op.logical.op_type.value] = freq.get(op.logical.op_type.value, 0) + 1
+        freq_memo[id(op)] = freq
+        return strict, freq
+
+    visit(root)
+    return bundles

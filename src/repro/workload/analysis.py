@@ -1,0 +1,100 @@
+"""Workload analysis: the subexpression statistics behind Figure 9.
+
+Production teams decide *whether* learned cost models are worth deploying by
+measuring how repetitive their workload is; these helpers compute the
+paper's workload-characterization numbers from any run log: recurring-job
+share, subexpression commonality, per-template sample counts (the min-5
+trainability threshold), and template overlap between days.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.execution.runtime_log import RunLog
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Figure 9-style summary of one log slice."""
+
+    total_jobs: int
+    recurring_jobs: int
+    recurring_templates: int
+    total_subexpressions: int
+    common_subexpressions: int
+    trainable_subexpressions: int  # appearing >= min_samples times
+
+    @property
+    def recurring_fraction(self) -> float:
+        return self.recurring_jobs / self.total_jobs if self.total_jobs else float("nan")
+
+    @property
+    def common_fraction(self) -> float:
+        if not self.total_subexpressions:
+            return float("nan")
+        return self.common_subexpressions / self.total_subexpressions
+
+    @property
+    def trainable_fraction(self) -> float:
+        if not self.total_subexpressions:
+            return float("nan")
+        return self.trainable_subexpressions / self.total_subexpressions
+
+
+def profile_workload(log: RunLog, min_samples: int = 5) -> WorkloadProfile:
+    """Compute the workload profile of a run log."""
+    recurring = log.filter(adhoc=False)
+    templates = {job.template_id for job in recurring if job.template_id}
+    signature_counts: Counter = Counter()
+    for record in log.operator_records():
+        signature_counts[record.signatures.strict] += 1
+    total = sum(signature_counts.values())
+    common = sum(c for c in signature_counts.values() if c > 1)
+    trainable = sum(c for c in signature_counts.values() if c >= min_samples)
+    return WorkloadProfile(
+        total_jobs=len(log),
+        recurring_jobs=len(recurring),
+        recurring_templates=len(templates),
+        total_subexpressions=total,
+        common_subexpressions=common,
+        trainable_subexpressions=trainable,
+    )
+
+
+def subexpression_frequencies(log: RunLog) -> dict[int, int]:
+    """Strict-signature -> occurrence count (the model-training population)."""
+    counts: Counter = Counter()
+    for record in log.operator_records():
+        counts[record.signatures.strict] += 1
+    return dict(counts)
+
+
+def template_overlap(log: RunLog, day_a: int, day_b: int) -> float:
+    """Jaccard overlap of recurring templates between two days.
+
+    This is the quantity that decays with template churn and drives the
+    coverage loss in Figure 14.
+    """
+    a = {j.template_id for j in log.filter(days=[day_a], adhoc=False)}
+    b = {j.template_id for j in log.filter(days=[day_b], adhoc=False)}
+    if not a and not b:
+        return float("nan")
+    return len(a & b) / len(a | b)
+
+
+def coverage_upper_bound(train_log: RunLog, test_log: RunLog) -> float:
+    """Best possible strict-subgraph coverage of a test slice.
+
+    The fraction of test operator instances whose strict signature occurs in
+    the training slice at all (ignoring the min-samples threshold) — an
+    oracle bound that the trained store's coverage can approach but never
+    exceed.
+    """
+    seen = {record.signatures.strict for record in train_log.operator_records()}
+    records = list(test_log.operator_records())
+    if not records:
+        return float("nan")
+    covered = sum(1 for r in records if r.signatures.strict in seen)
+    return covered / len(records)

@@ -1,0 +1,173 @@
+"""Job templates: the recurring-job abstraction.
+
+A *fragment* is a reusable subexpression spec (scan + a chain of unary
+operators) drawn from a per-cluster pool; fragments carry their own template
+tags, so two different job templates composing the same fragment produce
+*identical operator subgraphs* — the common-subexpression structure that
+operator-subgraph models exploit (Section 3.1).
+
+A *template* composes one or two fragments (joined when two), applies
+template-specific post-processing (filters, UDFs, aggregation, top-k), and
+writes an output.  Instantiating a template against a day's catalog with an
+instance seed yields a concrete logical plan: selectivities, UDF factors and
+join fan-outs wobble per instance around the template's base values, and the
+wobble values are recorded as job parameters (the ``PM`` feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.data.catalog import Catalog
+from repro.plan.builder import PlanBuilder
+from repro.plan.logical import LogicalOp
+
+# One unary op inside a fragment or post-chain:
+#   ("filter", column, base_selectivity)
+#   ("process", udf_name, base_card_factor, width_factor)
+#   ("project", width_factor)
+UnaryOpSpec = tuple
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """A reusable subexpression: scan of one base table + unary op chain."""
+
+    fragment_id: int
+    base_table: str
+    ops: tuple[UnaryOpSpec, ...]
+
+    def tag(self, index: int) -> str:
+        """Template tags are fragment-scoped so sharing survives composition."""
+        return f"frag{self.fragment_id}:op{index}"
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """A recurring job template."""
+
+    template_id: str
+    fragments: tuple[FragmentSpec, ...]  # 1 or 2
+    join_fanout: float = 1.0
+    join_keys: tuple[str, str] = ("jk_l", "jk_r")
+    post_ops: tuple[UnaryOpSpec, ...] = ()
+    aggregate_keys: tuple[str, ...] = ()
+    group_count_exp: float = 0.5  # groups = input_card ** exp
+    topk: int | None = None
+    is_adhoc: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.fragments) <= 2:
+            raise ValueError("templates compose 1 or 2 fragments")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job instance of a template on one day."""
+
+    job_id: str
+    template: TemplateSpec
+    day: int
+    instance_seed: int
+
+    @property
+    def is_adhoc(self) -> bool:
+        return self.template.is_adhoc
+
+
+@dataclass
+class InstantiationContext:
+    """Per-instance randomness + parameter bookkeeping."""
+
+    rng: np.random.Generator
+    params: list[float] = field(default_factory=list)
+
+    def wobble(self, base: float, sigma: float = 0.25) -> float:
+        value = float(base * np.exp(self.rng.normal(0.0, sigma)))
+        self.params.append(value)
+        return value
+
+
+def _apply_unary(
+    builder: PlanBuilder,
+    node: LogicalOp,
+    spec: UnaryOpSpec,
+    tag: str,
+    ctx: InstantiationContext,
+) -> LogicalOp:
+    kind = spec[0]
+    if kind == "filter":
+        _, column, base_sel = spec
+        sel = min(1.0, max(1e-5, ctx.wobble(base_sel)))
+        return builder.filter(node, column, sel, tag=tag, params=(sel,))
+    if kind == "process":
+        _, udf_name, base_factor, width_factor = spec
+        factor = max(1e-3, ctx.wobble(base_factor))
+        return builder.process(
+            node, udf_name, card_factor=factor, width_factor=width_factor,
+            tag=tag, params=(factor,),
+        )
+    if kind == "project":
+        _, width_factor = spec
+        return builder.project(node, width_factor=width_factor, tag=tag)
+    raise ValueError(f"unknown unary op spec {kind!r}")
+
+
+def table_name_for_day(base_table: str, day: int) -> str:
+    """Dated input name; normalization maps all days to one template."""
+    return f"{base_table}_day{day:03d}"
+
+
+def instantiate(job: JobSpec, catalog: Catalog) -> LogicalOp:
+    """Build the concrete logical plan of a job instance.
+
+    Deterministic given (job spec, catalog): all per-instance wobble comes
+    from the job's ``instance_seed``.
+    """
+    template = job.template
+    ctx = InstantiationContext(rng=derive_rng(job.instance_seed, "instance", job.job_id))
+    builder = PlanBuilder(catalog)
+
+    branches: list[LogicalOp] = []
+    for fragment in template.fragments:
+        node = builder.scan(table_name_for_day(fragment.base_table, job.day))
+        for i, op_spec in enumerate(fragment.ops):
+            node = _apply_unary(builder, node, op_spec, fragment.tag(i), ctx)
+        branches.append(node)
+
+    if len(branches) == 2:
+        fanout = max(1e-3, ctx.wobble(template.join_fanout))
+        node = builder.join(
+            branches[0],
+            branches[1],
+            keys=template.join_keys,
+            fanout=fanout,
+            tag=f"{template.template_id}:join",
+        )
+    else:
+        node = branches[0]
+
+    for i, op_spec in enumerate(template.post_ops):
+        node = _apply_unary(builder, node, op_spec, f"{template.template_id}:post{i}", ctx)
+
+    if template.aggregate_keys:
+        groups = max(1.0, node.true_card**template.group_count_exp)
+        node = builder.aggregate(
+            node,
+            keys=template.aggregate_keys,
+            group_count=groups,
+            tag=f"{template.template_id}:agg",
+        )
+
+    if template.topk is not None:
+        node = builder.topk(
+            node,
+            keys=template.aggregate_keys or ("v0",),
+            k=template.topk,
+            tag=f"{template.template_id}:topk",
+        )
+
+    return builder.output(node, name=f"{template.template_id}_out")

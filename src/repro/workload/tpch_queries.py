@@ -1,0 +1,557 @@
+"""All 22 TPC-H queries as parameterized logical plans.
+
+Each query follows the benchmark's logical shape — the scans, filters, join
+graph, aggregations, and top-k of the SQL text — with selectivities derived
+analytically from the TPC-H specification's data distributions, so true
+cardinalities respond to the randomly drawn substitution parameters exactly
+like the benchmark's qgen streams.  Sub-queries (exists / not exists /
+scalar comparisons) are modeled as joins or semi-join-shaped reductions with
+the correct cardinality effect, which preserves the plan-choice pressure the
+paper's TPC-H study exercises (Section 6.6.2).
+
+Every operator carries a stable ``q<N>:`` template tag, so ten randomized
+runs of the suite give Cleo ten training instances per subexpression — the
+paper's training setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.data.catalog import Catalog
+from repro.data.tpch import DATE_MAX, DATE_MIN
+from repro.plan.builder import PlanBuilder
+from repro.plan.logical import LogicalOp
+
+_YEARS = 7.0  # the order-date domain spans 1992-1998
+_LINEITEMS_PER_ORDER = 4.0
+_ORDERS_PER_CUSTOMER_WITH_ORDERS = 10.0
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One instantiated query: plan plus the drawn parameters."""
+
+    query_id: int
+    plan: LogicalOp
+    params: dict[str, float]
+
+
+class TpchQuerySet:
+    """Builds randomized instances of TPC-H Q1-Q22 against a catalog."""
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def query(self, number: int, run: int = 0) -> TpchQuery:
+        """Instantiate query ``number`` (1-22) with run-specific parameters."""
+        builder = _Q(self.catalog, derive_rng(self.seed, "tpch", number, run))
+        try:
+            method = getattr(builder, f"q{number}")
+        except AttributeError:
+            raise ValueError(f"TPC-H has queries 1-22, got {number}") from None
+        plan, params = method()
+        return TpchQuery(query_id=number, plan=plan, params=params)
+
+    def all_queries(self, run: int = 0) -> list[TpchQuery]:
+        return [self.query(n, run) for n in range(1, 23)]
+
+
+class _Q:
+    """Per-instantiation helper: a PlanBuilder plus parameter draws."""
+
+    def __init__(self, catalog: Catalog, rng: np.random.Generator) -> None:
+        self.b = PlanBuilder(catalog)
+        self.rng = rng
+        self.rows = {
+            name: catalog.stats(name).row_count for name in catalog.table_names
+        }
+
+    # -------------------- small helpers -------------------- #
+
+    def date_window_sel(self, days: float) -> float:
+        """Selectivity of a date window of the given width."""
+        return min(1.0, days / (DATE_MAX - DATE_MIN))
+
+    def scan(self, table: str) -> LogicalOp:
+        return self.b.scan(table, tag=f"tpch:get:{table}")
+
+    def fk_join(
+        self,
+        fact: LogicalOp,
+        dim: LogicalOp,
+        keys: tuple[str, str],
+        dim_retention: float,
+        tag: str,
+        fanout: float = 1.0,
+    ) -> LogicalOp:
+        """FK join: fact rows survive per the dimension side's retention.
+
+        ``dim_retention`` is the fraction of the dimension's key domain
+        present in ``dim`` (its filters' combined selectivity); ``fanout``
+        multiplies when one fact row matches several dimension rows.
+        """
+        card = fact.true_card * min(dim_retention, 1.0) * fanout
+        return self.b.join(fact, dim, keys=keys, output_card=card, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def q1(self):
+        delta = int(self.rng.integers(60, 121))
+        sel = self.date_window_sel(DATE_MAX - DATE_MIN - delta)
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipdate", sel, tag="q1:f_shipdate", params=(float(delta),)
+        )
+        agg = self.b.aggregate(
+            li, keys=("l_returnflag", "l_linestatus"), group_count=4, tag="q1:agg"
+        )
+        out = self.b.output(
+            self.b.sort(agg, keys=("l_returnflag", "l_linestatus"), tag="q1:sort"),
+            name="q1",
+            tag="q1:out",
+        )
+        return out, {"delta": float(delta)}
+
+    def q2(self):
+        size = int(self.rng.integers(1, 51))
+        part_sel = (1.0 / 50.0) * (1.0 / 5.0)  # p_size = X and p_type like %Y
+        region_sel = 1.0 / 5.0
+        part = self.b.filter(self.scan("part"), "p_size", part_sel, tag="q2:f_part",
+                             params=(float(size),))
+        ps = self.fk_join(
+            self.scan("partsupp"), part, ("ps_partkey", "p_partkey"), part_sel,
+            tag="q2:j_ps_part",
+        )
+        supp = self.fk_join(
+            ps, self.scan("supplier"), ("ps_suppkey", "s_suppkey"), 1.0, tag="q2:j_ps_supp"
+        )
+        nation = self.fk_join(
+            supp, self.scan("nation"), ("s_nationkey", "n_nationkey"), 1.0, tag="q2:j_nation"
+        )
+        region = self.fk_join(
+            nation,
+            self.b.filter(self.scan("region"), "r_name", region_sel, tag="q2:f_region"),
+            ("n_regionkey", "r_regionkey"),
+            region_sel,
+            tag="q2:j_region",
+        )
+        # min(ps_supplycost) per part, then keep the min-cost suppliers.
+        agg = self.b.aggregate(
+            region, keys=("ps_partkey",), group_count=region.true_card / 1.25, tag="q2:agg_min"
+        )
+        top = self.b.topk(agg, keys=("s_acctbal",), k=100, tag="q2:top")
+        return self.b.output(top, name="q2", tag="q2:out"), {"size": float(size)}
+
+    def q3(self):
+        date = float(self.rng.integers(1092, 1123))  # around 1995-03
+        seg_sel = 1.0 / 5.0
+        o_sel = date / (DATE_MAX - 151)  # orders before the date
+        l_sel = 1.0 - (date + 3) / DATE_MAX  # lineitems shipped after
+        cust = self.b.filter(self.scan("customer"), "c_mktsegment", seg_sel, tag="q3:f_seg")
+        orders = self.b.filter(
+            self.scan("orders"), "o_orderdate", o_sel, tag="q3:f_odate", params=(date,)
+        )
+        co = self.fk_join(orders, cust, ("o_custkey", "c_custkey"), seg_sel, tag="q3:j_cust")
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipdate", l_sel, tag="q3:f_sdate", params=(date,)
+        )
+        col = self.fk_join(
+            li, co, ("l_orderkey", "o_orderkey"), co.true_card / self.rows["orders"],
+            tag="q3:j_ord",
+        )
+        agg = self.b.aggregate(
+            col, keys=("l_orderkey",), group_count=col.true_card / 2.0, tag="q3:agg"
+        )
+        top = self.b.topk(agg, keys=("revenue",), k=10, tag="q3:top")
+        return self.b.output(top, name="q3", tag="q3:out"), {"date": date}
+
+    def q4(self):
+        quarter_start = float(self.rng.integers(0, 58)) * 30.0
+        o_sel = self.date_window_sel(92)
+        exists_sel = 0.63  # fraction of orders with a late lineitem
+        orders = self.b.filter(
+            self.scan("orders"), "o_orderdate", o_sel, tag="q4:f_odate",
+            params=(quarter_start,),
+        )
+        li = self.b.filter(
+            self.scan("lineitem"), "l_commitdate", 0.63, tag="q4:f_late"
+        )
+        semi = self.fk_join(
+            orders, li, ("o_orderkey", "l_orderkey"), exists_sel, tag="q4:semi"
+        )
+        agg = self.b.aggregate(semi, keys=("o_orderpriority",), group_count=5, tag="q4:agg")
+        out = self.b.sort(agg, keys=("o_orderpriority",), tag="q4:sort")
+        return self.b.output(out, name="q4", tag="q4:out"), {"quarter": quarter_start}
+
+    def q5(self):
+        year = float(self.rng.integers(0, 5))
+        region_sel = 1.0 / 5.0
+        year_sel = 1.0 / _YEARS
+        region = self.b.filter(self.scan("region"), "r_name", region_sel, tag="q5:f_region")
+        nation = self.fk_join(
+            self.scan("nation"), region, ("n_regionkey", "r_regionkey"), region_sel,
+            tag="q5:j_nation", )
+        supp = self.fk_join(
+            self.scan("supplier"), nation, ("s_nationkey", "n_nationkey"), region_sel,
+            tag="q5:j_supp",
+        )
+        orders = self.b.filter(
+            self.scan("orders"), "o_orderdate", year_sel, tag="q5:f_year", params=(year,)
+        )
+        li = self.fk_join(
+            self.scan("lineitem"), orders, ("l_orderkey", "o_orderkey"), year_sel,
+            tag="q5:j_ord", fanout=1.0,
+        )
+        lis = self.fk_join(li, supp, ("l_suppkey", "s_suppkey"), region_sel, tag="q5:j_ls")
+        cust = self.fk_join(
+            lis, self.scan("customer"), ("o_custkey", "c_custkey"), region_sel / 5.0,
+            tag="q5:j_cust",
+        )
+        agg = self.b.aggregate(cust, keys=("n_name",), group_count=5, tag="q5:agg")
+        out = self.b.sort(agg, keys=("revenue",), tag="q5:sort")
+        return self.b.output(out, name="q5", tag="q5:out"), {"year": year}
+
+    def q6(self):
+        year = float(self.rng.integers(0, 5))
+        discount = float(self.rng.uniform(0.02, 0.09))
+        quantity = float(self.rng.integers(24, 26))
+        sel = (1.0 / _YEARS) * (3.0 / 11.0) * (quantity / 50.0)
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipdate", sel, tag="q6:f_all",
+            params=(year, discount, quantity),
+        )
+        agg = self.b.aggregate(li, keys=(), group_count=1, tag="q6:agg")
+        return self.b.output(agg, name="q6", tag="q6:out"), {
+            "year": year, "discount": discount, "quantity": quantity,
+        }
+
+    def q7(self):
+        nation_pair_sel = 2.0 / (25.0 * 25.0)
+        years_sel = 2.0 / _YEARS
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipdate", years_sel, tag="q7:f_years"
+        )
+        supp = self.fk_join(
+            li, self.scan("supplier"), ("l_suppkey", "s_suppkey"), 1.0, tag="q7:j_supp"
+        )
+        orders = self.fk_join(
+            supp, self.scan("orders"), ("l_orderkey", "o_orderkey"), 1.0, tag="q7:j_ord"
+        )
+        cust = self.fk_join(
+            orders, self.scan("customer"), ("o_custkey", "c_custkey"), 1.0, tag="q7:j_cust"
+        )
+        # Nation-pair restriction applied across the supplier/customer sides.
+        pair = self.b.filter(cust, "n_name_pair", nation_pair_sel * 25.0 * 25.0 / 312.5,
+                             tag="q7:f_pair")
+        agg = self.b.aggregate(
+            pair, keys=("supp_nation", "cust_nation", "l_year"), group_count=4, tag="q7:agg"
+        )
+        out = self.b.sort(agg, keys=("supp_nation", "cust_nation", "l_year"), tag="q7:sort")
+        return self.b.output(out, name="q7", tag="q7:out"), {}
+
+    def q8(self):
+        type_sel = 1.0 / 150.0
+        region_sel = 1.0 / 5.0
+        years_sel = 2.0 / _YEARS
+        part = self.b.filter(self.scan("part"), "p_type", type_sel, tag="q8:f_type")
+        li = self.fk_join(
+            self.scan("lineitem"), part, ("l_partkey", "p_partkey"), type_sel, tag="q8:j_part"
+        )
+        supp = self.fk_join(
+            li, self.scan("supplier"), ("l_suppkey", "s_suppkey"), 1.0, tag="q8:j_supp"
+        )
+        orders = self.fk_join(
+            supp,
+            self.b.filter(self.scan("orders"), "o_orderdate", years_sel, tag="q8:f_years"),
+            ("l_orderkey", "o_orderkey"),
+            years_sel,
+            tag="q8:j_ord",
+        )
+        cust = self.fk_join(
+            orders, self.scan("customer"), ("o_custkey", "c_custkey"), 1.0, tag="q8:j_cust"
+        )
+        nation = self.fk_join(
+            cust,
+            self.b.filter(self.scan("nation"), "n_regionkey", region_sel, tag="q8:f_region"),
+            ("c_nationkey", "n_nationkey"),
+            region_sel,
+            tag="q8:j_nat",
+        )
+        agg = self.b.aggregate(nation, keys=("o_year",), group_count=2, tag="q8:agg")
+        out = self.b.sort(agg, keys=("o_year",), tag="q8:sort")
+        return self.b.output(out, name="q8", tag="q8:out"), {}
+
+    def q9(self):
+        color_sel = 1.0 / 9.0  # p_name like %color%
+        part = self.b.filter(self.scan("part"), "p_name", color_sel, tag="q9:f_color")
+        li = self.fk_join(
+            self.scan("lineitem"), part, ("l_partkey", "p_partkey"), color_sel, tag="q9:j_part"
+        )
+        supp = self.fk_join(
+            li, self.scan("supplier"), ("l_suppkey", "s_suppkey"), 1.0, tag="q9:j_supp"
+        )
+        ps = self.fk_join(
+            supp, self.scan("partsupp"), ("l_partkey", "ps_partkey"), 1.0, tag="q9:j_ps"
+        )
+        orders = self.fk_join(
+            ps, self.scan("orders"), ("l_orderkey", "o_orderkey"), 1.0, tag="q9:j_ord"
+        )
+        nation = self.fk_join(
+            orders, self.scan("nation"), ("s_nationkey", "n_nationkey"), 1.0, tag="q9:j_nat"
+        )
+        agg = self.b.aggregate(
+            nation, keys=("nation", "o_year"), group_count=25 * _YEARS, tag="q9:agg"
+        )
+        out = self.b.sort(agg, keys=("nation", "o_year"), tag="q9:sort")
+        return self.b.output(out, name="q9", tag="q9:out"), {}
+
+    def q10(self):
+        quarter_sel = self.date_window_sel(92)
+        returned_sel = 1.0 / 3.0
+        orders = self.b.filter(
+            self.scan("orders"), "o_orderdate", quarter_sel, tag="q10:f_quarter"
+        )
+        li = self.b.filter(
+            self.scan("lineitem"), "l_returnflag", returned_sel, tag="q10:f_ret"
+        )
+        ol = self.fk_join(
+            li, orders, ("l_orderkey", "o_orderkey"), quarter_sel, tag="q10:j_ord"
+        )
+        cust = self.fk_join(
+            ol, self.scan("customer"), ("o_custkey", "c_custkey"), 1.0, tag="q10:j_cust"
+        )
+        nation = self.fk_join(
+            cust, self.scan("nation"), ("c_nationkey", "n_nationkey"), 1.0, tag="q10:j_nat"
+        )
+        agg = self.b.aggregate(
+            nation, keys=("c_custkey",), group_count=nation.true_card / 2.0, tag="q10:agg"
+        )
+        top = self.b.topk(agg, keys=("revenue",), k=20, tag="q10:top")
+        return self.b.output(top, name="q10", tag="q10:out"), {}
+
+    def q11(self):
+        nation_sel = 1.0 / 25.0
+        supp = self.fk_join(
+            self.scan("supplier"),
+            self.b.filter(self.scan("nation"), "n_name", nation_sel, tag="q11:f_nat"),
+            ("s_nationkey", "n_nationkey"),
+            nation_sel,
+            tag="q11:j_nat",
+        )
+        ps = self.fk_join(
+            self.scan("partsupp"), supp, ("ps_suppkey", "s_suppkey"), nation_sel,
+            tag="q11:j_ps",
+        )
+        agg = self.b.aggregate(
+            ps, keys=("ps_partkey",), group_count=ps.true_card / 1.1, tag="q11:agg"
+        )
+        having = self.b.filter(agg, "value", 0.01, tag="q11:having")
+        out = self.b.sort(having, keys=("value",), tag="q11:sort")
+        return self.b.output(out, name="q11", tag="q11:out"), {}
+
+    def q12(self):
+        shipmode_sel = 2.0 / 7.0
+        year_late_sel = (1.0 / _YEARS) * 0.3
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipmode", shipmode_sel * year_late_sel * 3.0,
+            tag="q12:f_mode",
+        )
+        orders = self.fk_join(
+            li, self.scan("orders"), ("l_orderkey", "o_orderkey"), 1.0, tag="q12:j_ord"
+        )
+        agg = self.b.aggregate(orders, keys=("l_shipmode",), group_count=2, tag="q12:agg")
+        out = self.b.sort(agg, keys=("l_shipmode",), tag="q12:sort")
+        return self.b.output(out, name="q12", tag="q12:out"), {}
+
+    def q13(self):
+        comment_sel = 0.985
+        orders = self.b.filter(
+            self.scan("orders"), "o_comment", comment_sel, tag="q13:f_comment"
+        )
+        co = self.fk_join(
+            orders, self.scan("customer"), ("o_custkey", "c_custkey"), 1.0, tag="q13:j_cust"
+        )
+        per_cust = self.b.aggregate(
+            co, keys=("c_custkey",), group_count=self.rows["customer"], tag="q13:agg_cust"
+        )
+        dist = self.b.aggregate(per_cust, keys=("c_count",), group_count=42, tag="q13:agg_dist")
+        out = self.b.sort(dist, keys=("custdist", "c_count"), tag="q13:sort")
+        return self.b.output(out, name="q13", tag="q13:out"), {}
+
+    def q14(self):
+        month_sel = 1.0 / 84.0
+        li = self.b.filter(self.scan("lineitem"), "l_shipdate", month_sel, tag="q14:f_month")
+        part = self.fk_join(
+            li, self.scan("part"), ("l_partkey", "p_partkey"), 1.0, tag="q14:j_part"
+        )
+        agg = self.b.aggregate(part, keys=(), group_count=1, tag="q14:agg")
+        return self.b.output(agg, name="q14", tag="q14:out"), {}
+
+    def q15(self):
+        quarter_sel = 1.0 / 28.0
+        li = self.b.filter(self.scan("lineitem"), "l_shipdate", quarter_sel, tag="q15:f_q")
+        rev = self.b.aggregate(
+            li, keys=("l_suppkey",), group_count=self.rows["supplier"], tag="q15:agg_rev"
+        )
+        supp = self.fk_join(
+            rev, self.scan("supplier"), ("l_suppkey", "s_suppkey"), 1.0, tag="q15:j_supp"
+        )
+        top = self.b.topk(supp, keys=("total_revenue",), k=1, tag="q15:max")
+        return self.b.output(top, name="q15", tag="q15:out"), {}
+
+    def q16(self):
+        part_sel = (24.0 / 25.0) * (5.0 / 6.0) * (8.0 / 50.0)
+        part = self.b.filter(self.scan("part"), "p_brand", part_sel, tag="q16:f_part")
+        ps = self.fk_join(
+            self.scan("partsupp"), part, ("ps_partkey", "p_partkey"), part_sel,
+            tag="q16:j_part",
+        )
+        no_complaints = self.b.filter(ps, "s_comment", 0.9995, tag="q16:f_supp")
+        agg = self.b.aggregate(
+            no_complaints,
+            keys=("p_brand", "p_type", "p_size"),
+            group_count=min(no_complaints.true_card, 25.0 * 150.0 * 8.0 / 6.0),
+            tag="q16:agg",
+        )
+        out = self.b.sort(agg, keys=("supplier_cnt",), tag="q16:sort")
+        return self.b.output(out, name="q16", tag="q16:out"), {}
+
+    def q17(self):
+        brand_container_sel = (1.0 / 25.0) * (1.0 / 40.0)
+        part = self.b.filter(self.scan("part"), "p_brand", brand_container_sel, tag="q17:f_part")
+        li = self.fk_join(
+            self.scan("lineitem"), part, ("l_partkey", "p_partkey"), brand_container_sel,
+            tag="q17:j_part",
+        )
+        # avg(l_quantity) per part, then lineitems below 20% of their part's avg.
+        per_part = self.b.aggregate(
+            li, keys=("p_partkey",),
+            group_count=self.rows["part"] * brand_container_sel,
+            tag="q17:agg_avg",
+        )
+        below = self.fk_join(
+            li, per_part, ("l_partkey", "p_partkey"), 0.2, tag="q17:j_below"
+        )
+        agg = self.b.aggregate(below, keys=(), group_count=1, tag="q17:agg")
+        return self.b.output(agg, name="q17", tag="q17:out"), {}
+
+    def q18(self):
+        big_order_sel = 0.0004  # sum(l_quantity) > 300
+        per_order = self.b.aggregate(
+            self.scan("lineitem"), keys=("l_orderkey",),
+            group_count=self.rows["orders"], tag="q18:agg_qty",
+        )
+        big = self.b.filter(per_order, "sum_qty", big_order_sel, tag="q18:f_big")
+        orders = self.fk_join(
+            big, self.scan("orders"), ("l_orderkey", "o_orderkey"), 1.0, tag="q18:j_ord"
+        )
+        cust = self.fk_join(
+            orders, self.scan("customer"), ("o_custkey", "c_custkey"), 1.0, tag="q18:j_cust"
+        )
+        li = self.fk_join(
+            cust, self.scan("lineitem"), ("o_orderkey", "l_orderkey"), big_order_sel,
+            fanout=_LINEITEMS_PER_ORDER, tag="q18:j_li",
+        )
+        agg = self.b.aggregate(
+            li, keys=("c_name", "o_orderkey"), group_count=orders.true_card, tag="q18:agg"
+        )
+        top = self.b.topk(agg, keys=("o_totalprice",), k=100, tag="q18:top")
+        return self.b.output(top, name="q18", tag="q18:out"), {}
+
+    def q19(self):
+        quantity = float(self.rng.integers(1, 11))
+        branch_sel = 3.0 * (1.0 / 25.0) * (4.0 / 40.0) * 0.1 * 0.5
+        part = self.b.filter(self.scan("part"), "p_brand", branch_sel, tag="q19:f_part",
+                             params=(quantity,))
+        li = self.b.filter(
+            self.scan("lineitem"), "l_shipmode", 0.25, tag="q19:f_mode"
+        )
+        joined = self.fk_join(
+            li, part, ("l_partkey", "p_partkey"), branch_sel, tag="q19:j_part"
+        )
+        agg = self.b.aggregate(joined, keys=(), group_count=1, tag="q19:agg")
+        return self.b.output(agg, name="q19", tag="q19:out"), {"quantity": quantity}
+
+    def q20(self):
+        nation_sel = 1.0 / 25.0
+        color_sel = 1.0 / 9.0
+        part = self.b.filter(self.scan("part"), "p_name", color_sel, tag="q20:f_color")
+        ps = self.fk_join(
+            self.scan("partsupp"), part, ("ps_partkey", "p_partkey"), color_sel,
+            tag="q20:j_part",
+        )
+        availqty = self.b.filter(ps, "ps_availqty", 0.5, tag="q20:f_avail")
+        supp_keys = self.b.aggregate(
+            availqty, keys=("ps_suppkey",),
+            group_count=self.rows["supplier"] * 0.4, tag="q20:agg_supp",
+        )
+        supp = self.fk_join(
+            self.b.filter(
+                self.fk_join(
+                    self.scan("supplier"), self.scan("nation"),
+                    ("s_nationkey", "n_nationkey"), 1.0, tag="q20:j_nat",
+                ),
+                "n_name", nation_sel, tag="q20:f_nat",
+            ),
+            supp_keys,
+            ("s_suppkey", "ps_suppkey"),
+            0.4,
+            tag="q20:semi",
+        )
+        out = self.b.sort(supp, keys=("s_name",), tag="q20:sort")
+        return self.b.output(out, name="q20", tag="q20:out"), {}
+
+    def q21(self):
+        nation_sel = 1.0 / 25.0
+        status_sel = 1.0 / 3.0  # o_orderstatus = 'F'
+        late_sel = 0.37  # l_receiptdate > l_commitdate
+        exists_not_exists_sel = 0.25
+        supp = self.b.filter(
+            self.fk_join(
+                self.scan("supplier"), self.scan("nation"),
+                ("s_nationkey", "n_nationkey"), 1.0, tag="q21:j_nat",
+            ),
+            "n_name", nation_sel, tag="q21:f_nat",
+        )
+        li = self.b.filter(
+            self.scan("lineitem"), "l_receiptdate", late_sel, tag="q21:f_late"
+        )
+        ls = self.fk_join(li, supp, ("l_suppkey", "s_suppkey"), nation_sel, tag="q21:j_supp")
+        orders = self.fk_join(
+            ls,
+            self.b.filter(self.scan("orders"), "o_orderstatus", status_sel, tag="q21:f_stat"),
+            ("l_orderkey", "o_orderkey"),
+            status_sel,
+            tag="q21:j_ord",
+        )
+        survivors = self.b.filter(
+            orders, "multi_supp", exists_not_exists_sel, tag="q21:f_exists"
+        )
+        agg = self.b.aggregate(
+            survivors, keys=("s_name",),
+            group_count=self.rows["supplier"] * nation_sel, tag="q21:agg",
+        )
+        top = self.b.topk(agg, keys=("numwait",), k=100, tag="q21:top")
+        return self.b.output(top, name="q21", tag="q21:out"), {}
+
+    def q22(self):
+        code_sel = 7.0 / 25.0
+        positive_bal_sel = 0.5
+        no_orders_sel = 1.0 / 3.0
+        cust = self.b.filter(
+            self.scan("customer"), "c_phone", code_sel * positive_bal_sel, tag="q22:f_code"
+        )
+        no_orders = self.b.filter(cust, "no_orders", no_orders_sel, tag="q22:f_noord")
+        agg = self.b.aggregate(no_orders, keys=("cntrycode",), group_count=7, tag="q22:agg")
+        out = self.b.sort(agg, keys=("cntrycode",), tag="q22:sort")
+        return self.b.output(out, name="q22", tag="q22:out"), {}

@@ -1,0 +1,140 @@
+"""Tests for SLO-driven resource allocation (applications.allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.allocation import ResourceAllocator
+from repro.common.errors import ValidationError
+from repro.optimizer.partition import AnalyticalStrategy
+from repro.optimizer.planner import PlannerConfig
+from repro.plan.stages import build_stage_graph
+from tests.conftest import make_test_catalog
+from repro.plan.builder import PlanBuilder
+
+
+@pytest.fixture()
+def allocator(tiny_bundle, tiny_predictor):
+    config = PlannerConfig(
+        max_partitions=256, partition_strategy=AnalyticalStrategy()
+    )
+    return ResourceAllocator(
+        tiny_predictor, tiny_bundle.fresh_estimator(), base_config=config
+    )
+
+
+@pytest.fixture()
+def logical_plan():
+    builder = PlanBuilder(make_test_catalog())
+    events = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.3, tag="al:f")
+    users = builder.scan("users_2024_01_01")
+    joined = builder.join(events, users, keys=("user_id", "user_id"), fanout=0.5, tag="al:j")
+    aggregated = builder.aggregate(joined, keys=("country",), group_count=200, tag="al:a")
+    return builder.output(aggregated, name="alloc_report")
+
+
+class TestCandidateBudgets:
+    def test_ladder_is_strictly_increasing(self, allocator):
+        budgets = allocator.candidate_budgets()
+        assert budgets == sorted(set(budgets))
+
+    def test_ladder_spans_one_to_max(self, allocator):
+        budgets = allocator.candidate_budgets()
+        assert budgets[0] == 1
+        assert budgets[-1] == allocator.base_config.max_partitions
+
+    def test_ladder_grows_geometrically(self, allocator):
+        budgets = allocator.candidate_budgets()
+        # Interior steps double (growth factor 2.0).
+        for before, after in zip(budgets[1:-2], budgets[2:-1]):
+            assert after == pytest.approx(before * 2, abs=1)
+
+    def test_min_budget_respected(self, allocator):
+        budgets = allocator.candidate_budgets(min_budget=32)
+        assert budgets[0] == 32
+
+    def test_bad_min_budget(self, allocator):
+        with pytest.raises(ValidationError):
+            allocator.candidate_budgets(min_budget=0)
+
+    def test_bad_growth(self, tiny_predictor):
+        with pytest.raises(ValidationError):
+            ResourceAllocator(tiny_predictor, budget_growth=1.0)
+
+
+class TestTradeoffCurve:
+    def test_curve_has_one_point_per_budget(self, allocator, logical_plan):
+        curve = allocator.tradeoff_curve(logical_plan, budgets=[1, 8, 64])
+        assert [p.container_budget for p in curve] == [1, 8, 64]
+
+    def test_curve_predictions_positive(self, allocator, logical_plan):
+        for point in allocator.tradeoff_curve(logical_plan, budgets=[2, 16]):
+            assert point.predicted_latency > 0
+            assert point.predicted_cpu_seconds > 0
+            assert point.predicted_cpu_hours == pytest.approx(
+                point.predicted_cpu_seconds / 3600.0
+            )
+
+    def test_plans_respect_budget(self, allocator, logical_plan):
+        for point in allocator.tradeoff_curve(logical_plan, budgets=[1, 4, 32]):
+            graph = build_stage_graph(point.plan)
+            widest = max(stage.partition_count for stage in graph.stages)
+            assert widest <= point.container_budget
+
+    def test_wider_budget_does_not_hurt_prediction(self, allocator, logical_plan):
+        curve = allocator.tradeoff_curve(logical_plan, budgets=[1, 256])
+        narrow, wide = curve
+        # A 256-container plan should never be predicted slower than a
+        # single-container plan of the same job (generous 10% tolerance for
+        # model wobble around small absolute costs).
+        assert wide.predicted_latency <= narrow.predicted_latency * 1.1
+
+    def test_empty_budgets_rejected(self, allocator, logical_plan):
+        with pytest.raises(ValidationError):
+            allocator.tradeoff_curve(logical_plan, budgets=[])
+
+    def test_bad_budget_rejected(self, allocator, logical_plan):
+        with pytest.raises(ValidationError):
+            allocator.tradeoff_curve(logical_plan, budgets=[0])
+
+
+class TestAllocate:
+    def test_generous_deadline_is_feasible(self, allocator, logical_plan):
+        curve = allocator.tradeoff_curve(logical_plan, budgets=[256])
+        generous = curve[0].predicted_latency * 10
+        decision = allocator.allocate(logical_plan, generous, budgets=[4, 64, 256])
+        assert decision.meets_deadline
+        assert decision.chosen is not None
+
+    def test_chosen_is_minimal_feasible(self, allocator, logical_plan):
+        budgets = [1, 4, 16, 64, 256]
+        curve = allocator.tradeoff_curve(logical_plan, budgets=budgets)
+        # Pick a deadline that some but not all budgets meet, when possible.
+        latencies = sorted(p.predicted_latency for p in curve)
+        deadline = (latencies[0] + latencies[-1]) / 2
+        decision = allocator.allocate(logical_plan, deadline, budgets=budgets)
+        if decision.chosen is None:
+            pytest.skip("curve too flat to split with a midpoint deadline")
+        for point in decision.curve:
+            if point.container_budget < decision.chosen.container_budget:
+                assert point.predicted_latency > deadline
+
+    def test_impossible_deadline(self, allocator, logical_plan):
+        decision = allocator.allocate(logical_plan, 1e-3, budgets=[4, 16])
+        assert not decision.meets_deadline
+        assert decision.chosen is None
+        assert decision.container_budget == 16  # the widest probed budget
+
+    def test_describe_marks_choice(self, allocator, logical_plan):
+        decision = allocator.allocate(logical_plan, 1e9, budgets=[4, 16])
+        text = decision.describe()
+        assert "<- chosen" in text
+        assert "deadline" in text
+
+    def test_describe_reports_infeasibility(self, allocator, logical_plan):
+        decision = allocator.allocate(logical_plan, 1e-3, budgets=[4])
+        assert "no probed budget" in decision.describe()
+
+    def test_bad_deadline(self, allocator, logical_plan):
+        with pytest.raises(ValidationError):
+            allocator.allocate(logical_plan, 0.0)

@@ -1,0 +1,244 @@
+"""Tests for what-if analysis (applications.whatif)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.whatif import (
+    WhatIfAnalyzer,
+    find_materialization_candidates,
+    replace_subtree,
+    scale_tables,
+    subtree_key,
+)
+from repro.common.errors import ValidationError
+from repro.plan.builder import PlanBuilder
+from repro.plan.logical import LogicalOpType
+from tests.conftest import make_test_catalog
+
+
+@pytest.fixture()
+def builder():
+    return PlanBuilder(make_test_catalog())
+
+
+@pytest.fixture()
+def shared_fragment(builder):
+    """The subexpression two jobs share: scan -> filter."""
+    return builder.filter(
+        builder.scan("events_2024_01_01"), "ts", 0.2, tag="wi:shared_filter"
+    )
+
+
+@pytest.fixture()
+def workload(builder, shared_fragment):
+    """Two jobs sharing a fragment, one unrelated job."""
+    job_a = builder.output(
+        builder.aggregate(shared_fragment, keys=("user_id",), group_count=5000, tag="wi:a"),
+        name="job_a",
+    )
+    job_b = builder.output(
+        builder.join(
+            shared_fragment,
+            builder.scan("users_2024_01_01"),
+            keys=("user_id", "user_id"),
+            fanout=0.3,
+            tag="wi:b",
+        ),
+        name="job_b",
+    )
+    job_c = builder.output(builder.scan("users_2024_01_01"), name="job_c")
+    return {"a": job_a, "b": job_b, "c": job_c}
+
+
+class TestSubtreeKey:
+    def test_same_template_same_key(self, builder):
+        one = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.2, tag="k:f")
+        two = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.7, tag="k:f")
+        # Different selectivity (parameters change across recurrences) but
+        # identical template structure.
+        assert subtree_key(one) == subtree_key(two)
+
+    def test_different_structure_different_key(self, builder):
+        flat = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.2, tag="k:f")
+        nested = builder.filter(flat, "ts", 0.2, tag="k:f")
+        assert subtree_key(flat) != subtree_key(nested)
+
+    def test_child_order_matters(self, builder):
+        left = builder.scan("events_2024_01_01")
+        right = builder.scan("users_2024_01_01")
+        ab = builder.join(left, right, keys=("user_id", "user_id"), tag="k:j")
+        ba = builder.join(right, left, keys=("user_id", "user_id"), tag="k:j")
+        assert subtree_key(ab) != subtree_key(ba)
+
+
+class TestFindCandidates:
+    def test_shared_fragment_is_found(self, workload, shared_fragment):
+        candidates = find_materialization_candidates(workload)
+        keys = {c.key for c in candidates}
+        assert subtree_key(shared_fragment) in keys
+
+    def test_candidate_records_both_jobs(self, workload, shared_fragment):
+        candidates = find_materialization_candidates(workload)
+        target = next(c for c in candidates if c.key == subtree_key(shared_fragment))
+        assert target.job_ids == ("a", "b")
+        assert target.occurrences == 2
+        assert target.node_count == 2
+
+    def test_unique_subtrees_are_not_candidates(self, workload):
+        candidates = find_materialization_candidates(workload)
+        # Job c's lone scan fragment appears once and is below min_nodes.
+        assert all(c.occurrences >= 2 for c in candidates)
+
+    def test_min_nodes_filters_scans(self, workload):
+        # Both jobs scan events via the shared fragment; with min_nodes=1
+        # the bare scan (1 node) becomes a candidate too.
+        with_scans = find_materialization_candidates(workload, min_nodes=1)
+        without = find_materialization_candidates(workload, min_nodes=2)
+        assert len(with_scans) > len(without)
+
+    def test_sorted_most_frequent_first(self, workload):
+        candidates = find_materialization_candidates(workload, min_nodes=1)
+        counts = [c.occurrences for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_describe(self, workload):
+        candidate = find_materialization_candidates(workload)[0]
+        assert "occurrences" in candidate.describe()
+
+    def test_min_occurrences_validated(self, workload):
+        with pytest.raises(ValidationError):
+            find_materialization_candidates(workload, min_occurrences=1)
+
+
+class TestReplaceSubtree:
+    def test_replacement_preserves_statistics(self, workload, shared_fragment):
+        key = subtree_key(shared_fragment)
+        rewritten = replace_subtree(
+            workload["a"], lambda n: subtree_key(n) == key, "mv_shared"
+        )
+        gets = [n for n in rewritten.walk() if n.op_type is LogicalOpType.GET]
+        view = next(n for n in gets if n.table == "mv_shared")
+        assert view.true_card == pytest.approx(shared_fragment.true_card)
+        assert view.row_bytes == pytest.approx(shared_fragment.row_bytes)
+
+    def test_replacement_shrinks_plan(self, workload, shared_fragment):
+        key = subtree_key(shared_fragment)
+        rewritten = replace_subtree(
+            workload["b"], lambda n: subtree_key(n) == key, "mv_shared"
+        )
+        assert rewritten.node_count < workload["b"].node_count
+
+    def test_root_cardinality_unchanged(self, workload, shared_fragment):
+        key = subtree_key(shared_fragment)
+        rewritten = replace_subtree(
+            workload["a"], lambda n: subtree_key(n) == key, "mv_shared"
+        )
+        assert rewritten.true_card == pytest.approx(workload["a"].true_card)
+
+    def test_no_match_raises(self, workload):
+        with pytest.raises(ValidationError):
+            replace_subtree(workload["c"], lambda n: False, "mv_nothing")
+
+    def test_outermost_match_wins(self, builder):
+        inner = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.5, tag="o:f")
+        outer = builder.filter(inner, "value", 0.5, tag="o:g")
+        plan = builder.output(outer, name="o")
+        rewritten = replace_subtree(
+            plan, lambda n: n.op_type is LogicalOpType.FILTER, "mv_outer"
+        )
+        # The outer filter matched first; the inner one is gone with it.
+        filters = [n for n in rewritten.walk() if n.op_type is LogicalOpType.FILTER]
+        assert not filters
+        assert rewritten.node_count == 2  # Get + Output
+
+
+class TestScaleTables:
+    def test_get_scaled(self, builder):
+        plan = builder.scan("events_2024_01_01")
+        scaled = scale_tables(plan, {"events_2024_01_01": 2.0})
+        assert scaled.true_card == pytest.approx(plan.true_card * 2.0)
+
+    def test_filter_follows_selectivity(self, builder):
+        plan = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.25, tag="s:f")
+        scaled = scale_tables(plan, {"events_2024_01_01": 4.0})
+        assert scaled.true_card == pytest.approx(plan.true_card * 4.0)
+
+    def test_aggregate_capped_by_group_count(self, builder):
+        plan = builder.aggregate(
+            builder.scan("events_2024_01_01"), keys=("user_id",), group_count=100, tag="s:a"
+        )
+        scaled = scale_tables(plan, {"events_2024_01_01": 10.0})
+        assert scaled.true_card == pytest.approx(100.0)
+
+    def test_topk_capped_by_limit(self, builder):
+        plan = builder.topk(
+            builder.scan("users_2024_01_01"), keys=("user_id",), k=10, tag="s:t"
+        )
+        scaled = scale_tables(plan, {"users_2024_01_01": 5.0})
+        assert scaled.true_card == pytest.approx(10.0)
+
+    def test_join_fanout_preserved(self, builder):
+        events = builder.scan("events_2024_01_01")
+        users = builder.scan("users_2024_01_01")
+        plan = builder.join(events, users, keys=("user_id", "user_id"), fanout=0.5, tag="s:j")
+        scaled = scale_tables(plan, {"events_2024_01_01": 3.0})
+        assert scaled.true_card == pytest.approx(events.true_card * 3.0 * 0.5)
+
+    def test_union_sums_children(self, builder):
+        one = builder.scan("events_2024_01_01")
+        two = builder.scan("users_2024_01_01")
+        plan = builder.union(one, two, tag="s:u")
+        scaled = scale_tables(plan, {"users_2024_01_01": 2.0})
+        assert scaled.true_card == pytest.approx(
+            one.true_card + two.true_card * 2.0
+        )
+
+    def test_unscaled_plan_is_unchanged_object(self, builder):
+        plan = builder.filter(builder.scan("events_2024_01_01"), "ts", 0.25, tag="s:f")
+        scaled = scale_tables(plan, {"not_a_table": 9.0})
+        assert scaled is plan
+
+    def test_invalid_factor_rejected(self, builder):
+        plan = builder.scan("events_2024_01_01")
+        with pytest.raises(ValidationError):
+            scale_tables(plan, {"events_2024_01_01": 0.0})
+
+
+class TestWhatIfAnalyzer:
+    @pytest.fixture()
+    def analyzer(self, tiny_bundle, tiny_predictor):
+        return WhatIfAnalyzer(tiny_predictor, tiny_bundle.fresh_estimator())
+
+    def test_identity_transform_is_neutral(self, analyzer, workload):
+        outcome = analyzer.evaluate(workload["a"], lambda plan: plan, job_id="a")
+        assert outcome.latency_delta_pct == pytest.approx(0.0, abs=1e-9)
+        assert outcome.cpu_delta_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_materialization_outcomes_cover_consumer_jobs(
+        self, analyzer, workload, shared_fragment
+    ):
+        candidates = find_materialization_candidates(workload)
+        target = next(c for c in candidates if c.key == subtree_key(shared_fragment))
+        outcomes = analyzer.evaluate_materialization(workload, target)
+        assert [o.job_id for o in outcomes] == ["a", "b"]
+        for outcome in outcomes:
+            assert outcome.baseline.latency_seconds > 0
+            assert outcome.variant.latency_seconds > 0
+
+    def test_growth_factors_evaluated_in_order(self, analyzer, workload):
+        results = analyzer.evaluate_growth(
+            workload["a"], "events_2024_01_01", [1.0, 4.0], job_id="a"
+        )
+        assert [factor for factor, _ in results] == [1.0, 4.0]
+        identity = results[0][1]
+        assert identity.latency_delta_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_growth_requires_factors(self, analyzer, workload):
+        with pytest.raises(ValidationError):
+            analyzer.evaluate_growth(workload["a"], "events_2024_01_01", [])
+
+    def test_outcome_describe(self, analyzer, workload):
+        outcome = analyzer.evaluate(workload["a"], lambda plan: plan, job_id="a")
+        text = outcome.describe()
+        assert "a:" in text and "latency" in text

@@ -1,0 +1,76 @@
+"""Tests for stable hashing and deterministic draws."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.common.hashing import (
+    combine_hashes,
+    combine_hashes_unordered,
+    stable_hash,
+    stable_unit_float,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.0) == stable_hash("a", 1, 2.0)
+
+    def test_distinct_inputs_distinct_hashes(self):
+        values = {stable_hash("x", i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_integer_float_canonicalization(self):
+        # 2.0 and 2 canonicalize identically (cardinalities may be either).
+        assert stable_hash(2.0) == stable_hash(2)
+
+    def test_frozenset_order_independent(self):
+        assert stable_hash(frozenset({"a", "b"})) == stable_hash(frozenset({"b", "a"}))
+
+    def test_tuple_order_dependent(self):
+        assert stable_hash(("a", "b")) != stable_hash(("b", "a"))
+
+    @given(st.lists(st.integers(min_value=0, max_value=_MASK64), min_size=1, max_size=20))
+    def test_within_64_bits(self, values):
+        assert 0 <= combine_hashes(values) <= _MASK64
+
+
+class TestCombineHashes:
+    def test_order_sensitive(self):
+        a, b = stable_hash("a"), stable_hash("b")
+        assert combine_hashes([a, b]) != combine_hashes([b, a])
+
+    def test_unordered_is_order_insensitive(self):
+        a, b, c = (stable_hash(x) for x in "abc")
+        assert combine_hashes_unordered([a, b, c]) == combine_hashes_unordered([c, a, b])
+
+    def test_unordered_multiset_sensitivity(self):
+        a, b = stable_hash("a"), stable_hash("b")
+        assert combine_hashes_unordered([a, a, b]) != combine_hashes_unordered([a, b, b])
+
+    def test_empty(self):
+        assert combine_hashes([]) == combine_hashes([])
+
+
+class TestStableUnitFloat:
+    def test_in_unit_interval(self):
+        for i in range(200):
+            assert 0.0 <= stable_unit_float("u", i) < 1.0
+
+    def test_deterministic(self):
+        assert stable_unit_float("k", 1) == stable_unit_float("k", 1)
+
+    def test_roughly_uniform(self):
+        values = [stable_unit_float("uniform", i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+
+    @given(st.text(max_size=30), st.integers())
+    def test_never_out_of_range(self, s, i):
+        assert 0.0 <= stable_unit_float(s, i) < 1.0

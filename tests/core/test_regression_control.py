@@ -1,0 +1,89 @@
+"""Tests for the Section 6.7 regression-avoidance extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.config import ModelKind
+from repro.core.cost_model import CleoCostModel
+from repro.core.regression_control import DualPlanner, ModelQuarantine
+from repro.cost.default_model import DefaultCostModel
+from repro.cost.interface import plan_cost
+from repro.optimizer.planner import PlannerConfig, QueryPlanner
+from repro.workload.templates import instantiate
+
+
+class TestDualPlanner:
+    @pytest.fixture()
+    def dual(self, tiny_bundle, tiny_predictor):
+        estimator = CardinalityEstimator(tiny_bundle.runner.estimator_config)
+        judge = CleoCostModel(tiny_predictor)
+        cleo_planner = QueryPlanner(judge, estimator, PlannerConfig())
+        default_planner = QueryPlanner(DefaultCostModel(), estimator, PlannerConfig())
+        return DualPlanner(default_planner, cleo_planner, judge, estimator)
+
+    def test_chooses_judged_cheaper_plan(self, dual, tiny_bundle):
+        catalog = tiny_bundle.generator.catalog_for_day(3)
+        job = tiny_bundle.generator.jobs_for_day(3)[0]
+        outcome = dual.plan(instantiate(job, catalog))
+        default_cost = plan_cost(dual.judge, outcome.default_plan.plan, dual.estimator)
+        cleo_cost = plan_cost(dual.judge, outcome.cleo_plan.plan, dual.estimator)
+        chosen_cost = plan_cost(dual.judge, outcome.chosen.plan, dual.estimator)
+        assert chosen_cost == pytest.approx(min(default_cost, cleo_cost), rel=1e-6)
+
+    def test_flag_matches_choice(self, dual, tiny_bundle):
+        catalog = tiny_bundle.generator.catalog_for_day(3)
+        for job in tiny_bundle.generator.jobs_for_day(3)[:3]:
+            outcome = dual.plan(instantiate(job, catalog))
+            expected = outcome.cleo_plan if outcome.used_cleo else outcome.default_plan
+            assert outcome.chosen is expected
+
+
+class TestModelQuarantine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelQuarantine(tolerance_factor=0.5)
+
+    def test_accurate_models_survive(self, tiny_bundle):
+        import copy
+
+        # Audits mutate the store; work on a copy of the shared fixture.
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        before = store.count()
+        report = ModelQuarantine(tolerance_factor=50.0).audit(
+            store, tiny_bundle.test_log()
+        )
+        # Hardly anything should be off by 50x.
+        assert report.total_removed <= before * 0.05
+
+    def test_broken_model_is_removed(self, tiny_bundle):
+        import copy
+
+        import numpy as np
+
+        from repro.core.learned_model import LearnedCostModel
+        from repro.core.model_store import signature_for
+
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        record = next(tiny_bundle.test_log().operator_records())
+        signature = signature_for(ModelKind.OP_SUBGRAPH, record.signatures)
+
+        # Plant a model trained to a wildly wrong constant.
+        broken = LearnedCostModel(include_context=False)
+        broken.fit(
+            [record.features] * 6,
+            np.full(6, record.actual_latency * 1e4 + 1e3),
+        )
+        store.add(ModelKind.OP_SUBGRAPH, signature, broken)
+
+        report = ModelQuarantine(tolerance_factor=10.0, min_observations=1).audit(
+            store, tiny_bundle.test_log()
+        )
+        assert report.removed.get(ModelKind.OP_SUBGRAPH, 0) >= 1
+        assert store.get(ModelKind.OP_SUBGRAPH, signature) is None
+
+    def test_report_counts(self, tiny_bundle):
+        predictor = tiny_bundle.predictor()
+        report = ModelQuarantine().audit(predictor.store, tiny_bundle.test_log())
+        assert report.inspected == tiny_bundle.test_log().operator_count

@@ -1,0 +1,141 @@
+"""Tests for model serialization (the feedback-loop text-file transport)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import (
+    load_predictor,
+    save_predictor,
+    store_from_dict,
+    store_to_dict,
+)
+
+
+class TestStoreRoundTrip:
+    def test_counts_preserved(self, tiny_predictor):
+        payload = store_to_dict(tiny_predictor.store)
+        restored = store_from_dict(payload)
+        assert restored.count() == tiny_predictor.store.count()
+
+    def test_individual_predictions_exact(self, tiny_bundle, tiny_predictor):
+        restored = store_from_dict(store_to_dict(tiny_predictor.store))
+        records = list(tiny_bundle.test_log().operator_records())[:40]
+        for record in records:
+            original = tiny_predictor.store.most_specific(record.signatures)
+            loaded = restored.most_specific(record.signatures)
+            assert (original is None) == (loaded is None)
+            if original is None or loaded is None:
+                continue
+            assert original[0] is loaded[0]  # same model kind chosen
+            assert original[1].predict_one(record.features) == pytest.approx(
+                loaded[1].predict_one(record.features), rel=1e-12
+            )
+
+    def test_resource_profiles_exact(self, tiny_bundle, tiny_predictor):
+        restored = store_from_dict(store_to_dict(tiny_predictor.store))
+        record = next(tiny_bundle.test_log().operator_records())
+        original = tiny_predictor.store.most_specific(record.signatures)
+        loaded = restored.most_specific(record.signatures)
+        if original is None:
+            pytest.skip("record not covered")
+        p1 = original[1].resource_profile(record.features)
+        p2 = loaded[1].resource_profile(record.features)
+        assert p1.theta_p == pytest.approx(p2.theta_p)
+        assert p1.theta_c == pytest.approx(p2.theta_c)
+
+    def test_version_check(self, tiny_predictor):
+        payload = store_to_dict(tiny_predictor.store)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError):
+            store_from_dict(payload)
+
+    def test_unfitted_model_rejected(self):
+        from repro.core.learned_model import LearnedCostModel
+        from repro.core.serialization import _learned_model_to_dict
+
+        with pytest.raises(ValueError):
+            _learned_model_to_dict(LearnedCostModel(include_context=False))
+
+
+class TestPredictorRoundTrip:
+    def test_file_roundtrip_predictions_match(self, tiny_bundle, tiny_predictor, tmp_path):
+        path = tmp_path / "cleo_models.json"
+        save_predictor(tiny_predictor, path)
+        loaded = load_predictor(path)
+        records = list(tiny_bundle.test_log().operator_records())[:60]
+        original = tiny_predictor.predict_records(records)
+        restored = loaded.predict_records(records)
+        assert np.allclose(original, restored, rtol=1e-9)
+
+    def test_loaded_predictor_has_combined(self, tiny_predictor, tmp_path):
+        path = tmp_path / "cleo_models.json"
+        save_predictor(tiny_predictor, path)
+        loaded = load_predictor(path)
+        assert loaded.combined is not None and loaded.combined.is_fitted
+
+    def test_file_is_json_text(self, tiny_predictor, tmp_path):
+        import json
+
+        path = tmp_path / "cleo_models.json"
+        save_predictor(tiny_predictor, path)
+        payload = json.loads(path.read_text())
+        assert "models" in payload and "combined" in payload
+
+
+class TestRegistryRoundTrip:
+    """Round-trip of the lifecycle registry (all versions + active pointer)."""
+
+    @pytest.fixture()
+    def registry(self, tiny_predictor):
+        from repro.core.lifecycle import ModelRegistry
+
+        registry = ModelRegistry()
+        registry.publish(tiny_predictor, day=3, window=(1, 2))
+        registry.publish(tiny_predictor, day=13, window=(11, 12))
+        return registry
+
+    def test_roundtrip_preserves_versions(self, registry, tmp_path):
+        from repro.core.serialization import load_registry, save_registry
+
+        path = tmp_path / "registry.json"
+        save_registry(registry, path)
+        restored = load_registry(path)
+        assert restored.version_count == 2
+        assert restored.active().version == 2
+        assert restored.get(1).window == (1, 2)
+        assert restored.get(2).trained_on_day == 13
+
+    def test_roundtrip_preserves_rollback_state(self, registry, tmp_path):
+        from repro.core.serialization import load_registry, save_registry
+
+        registry.rollback()
+        path = tmp_path / "registry.json"
+        save_registry(registry, path)
+        restored = load_registry(path)
+        assert restored.version_count == 2
+        assert restored.active().version == 1
+
+    def test_restored_predictions_match(self, registry, tiny_bundle, tmp_path):
+        from repro.core.serialization import load_registry, save_registry
+
+        path = tmp_path / "registry.json"
+        save_registry(registry, path)
+        restored = load_registry(path)
+        record = next(tiny_bundle.test_log().operator_records())
+        assert restored.active().predictor.predict_record(record) == pytest.approx(
+            registry.active().predictor.predict_record(record), rel=1e-9
+        )
+
+    def test_version_check(self, registry, tmp_path):
+        import json
+
+        from repro.core.serialization import load_registry, registry_to_dict
+
+        payload = registry_to_dict(registry)
+        payload["format_version"] = 99
+        path = tmp_path / "registry.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_registry(path)

@@ -1,0 +1,169 @@
+"""Tests for the model store, trainer, combined model, and predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.combined import META_FEATURE_NAMES, build_meta_row
+from repro.core.config import SPECIFICITY_ORDER, CleoConfig, ModelKind
+from repro.core.model_store import ModelStore, signature_for
+from repro.core.predictor import CleoPredictor
+from repro.core.robustness import evaluate_predictor_on_log, evaluate_store_on_log
+from repro.core.trainer import CleoTrainer
+
+
+class TestConfig:
+    def test_specificity_order(self):
+        assert SPECIFICITY_ORDER[0] is ModelKind.OP_SUBGRAPH
+        assert SPECIFICITY_ORDER[-1] is ModelKind.OPERATOR
+
+    def test_context_feature_flag(self):
+        assert not ModelKind.OP_SUBGRAPH.uses_context_features
+        assert ModelKind.OPERATOR.uses_context_features
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CleoConfig(min_samples=1)
+        with pytest.raises(ValueError):
+            CleoConfig(elastic_alpha=-1)
+
+
+class TestModelStore(object):
+    def test_counts(self, tiny_predictor):
+        store = tiny_predictor.store
+        assert store.count() == sum(store.count(kind) for kind in ModelKind)
+        assert store.count() > 0
+
+    def test_lookup_consistency(self, tiny_bundle, tiny_predictor):
+        store = tiny_predictor.store
+        record = next(tiny_bundle.log.operator_records())
+        for kind in ModelKind:
+            sig = signature_for(kind, record.signatures)
+            assert store.get(kind, sig) is store.lookup(kind, record.signatures)
+
+    def test_most_specific_ordering(self, tiny_bundle, tiny_predictor):
+        store = tiny_predictor.store
+        for record in list(tiny_bundle.test_log().operator_records())[:50]:
+            found = store.most_specific(record.signatures)
+            if found is None:
+                continue
+            kind, _ = found
+            # Everything more specific than `kind` must be uncovered.
+            for candidate in SPECIFICITY_ORDER:
+                if candidate is kind:
+                    break
+                assert store.lookup(candidate, record.signatures) is None
+
+    def test_memory_accounting(self, tiny_predictor):
+        assert tiny_predictor.memory_bytes > 0
+
+    def test_describe(self, tiny_predictor):
+        text = tiny_predictor.store.describe()
+        assert "op_subgraph" in text
+
+
+class TestTrainer:
+    def test_min_samples_respected(self, tiny_bundle):
+        trainer = CleoTrainer(CleoConfig(min_samples=10_000))
+        store = trainer.train_individual(tiny_bundle.log)
+        assert store.count() == 0
+
+    def test_training_produces_all_kinds(self, tiny_predictor):
+        for kind in ModelKind:
+            assert tiny_predictor.store.count(kind) > 0
+
+    def test_operator_model_count_bounded_by_op_types(self, tiny_predictor):
+        # At most one model per physical operator type.
+        assert tiny_predictor.store.count(ModelKind.OPERATOR) <= 15
+
+    def test_combined_requires_records(self, tiny_predictor):
+        from repro.execution.runtime_log import RunLog
+
+        trainer = CleoTrainer()
+        with pytest.raises(ValueError):
+            trainer.train_combined(tiny_predictor.store, RunLog())
+
+
+class TestCombinedModel:
+    def test_meta_row_shape(self, tiny_bundle, tiny_predictor):
+        record = next(tiny_bundle.log.operator_records())
+        row = build_meta_row(tiny_predictor.store, record.features, record.signatures)
+        assert row.shape == (len(META_FEATURE_NAMES),)
+        assert np.isfinite(row).all()
+
+    def test_coverage_flags_binary(self, tiny_bundle, tiny_predictor):
+        record = next(tiny_bundle.log.operator_records())
+        row = build_meta_row(tiny_predictor.store, record.features, record.signatures)
+        flags = row[4:8]
+        assert set(flags.tolist()) <= {0.0, 1.0}
+
+    def test_predictions_nonnegative(self, tiny_bundle, tiny_predictor):
+        for record in list(tiny_bundle.test_log().operator_records())[:100]:
+            assert tiny_predictor.predict_record(record) >= 0.0
+
+
+class TestPredictor:
+    def test_full_coverage(self, tiny_bundle, tiny_predictor):
+        records = list(tiny_bundle.test_log().operator_records())
+        predictions = tiny_predictor.predict_records(records)
+        assert len(predictions) == len(records)
+        assert np.isfinite(predictions).all()
+
+    def test_lookup_accounting(self, tiny_bundle, tiny_predictor):
+        tiny_predictor.reset_lookup_count()
+        record = next(tiny_bundle.test_log().operator_records())
+        tiny_predictor.predict_record(record)
+        assert tiny_predictor.lookup_count == CleoPredictor.LOOKUPS_PER_PREDICTION
+
+    def test_predict_with_kind_none_when_uncovered(self, tiny_bundle, tiny_predictor):
+        records = list(tiny_bundle.test_log().operator_records())
+        uncovered = [
+            r
+            for r in records
+            if not tiny_predictor.covers(ModelKind.OP_SUBGRAPH, r.signatures)
+        ]
+        if uncovered:
+            assert (
+                tiny_predictor.predict_with_kind(
+                    ModelKind.OP_SUBGRAPH, uncovered[0].features, uncovered[0].signatures
+                )
+                is None
+            )
+
+    def test_fallback_without_combined(self, tiny_bundle, tiny_predictor):
+        bare = CleoPredictor(store=tiny_predictor.store, combined=None)
+        record = next(tiny_bundle.test_log().operator_records())
+        assert bare.predict_record(record) >= 0.0
+
+    def test_coverage_fraction_bounds(self, tiny_bundle, tiny_predictor):
+        records = list(tiny_bundle.test_log().operator_records())
+        for kind in ModelKind:
+            fraction = tiny_predictor.coverage_fraction(kind, records)
+            assert 0.0 <= fraction <= 1.0
+
+
+class TestPaperShape:
+    """The headline Table 5 orderings, asserted at tiny scale."""
+
+    def test_accuracy_coverage_tradeoff(self, tiny_bundle, tiny_predictor):
+        test = tiny_bundle.test_log()
+        quality = evaluate_store_on_log(tiny_predictor.store, test)
+        coverage = {kind: quality[kind].coverage_pct for kind in ModelKind}
+        assert coverage[ModelKind.OP_SUBGRAPH] <= coverage[ModelKind.OP_SUBGRAPH_APPROX]
+        assert coverage[ModelKind.OP_SUBGRAPH_APPROX] <= coverage[ModelKind.OP_INPUT] + 1e-9
+        assert coverage[ModelKind.OP_INPUT] <= coverage[ModelKind.OPERATOR] + 1e-9
+
+    def test_subgraph_beats_operator_accuracy(self, tiny_bundle, tiny_predictor):
+        quality = evaluate_store_on_log(tiny_predictor.store, tiny_bundle.test_log())
+        assert (
+            quality[ModelKind.OP_SUBGRAPH].median_error_pct
+            < quality[ModelKind.OPERATOR].median_error_pct
+        )
+
+    def test_combined_covers_everything_accurately(self, tiny_bundle, tiny_predictor):
+        test = tiny_bundle.test_log()
+        combined = evaluate_predictor_on_log(tiny_predictor, test)
+        operator = evaluate_store_on_log(tiny_predictor.store, test)[ModelKind.OPERATOR]
+        assert combined.coverage_pct == 100.0
+        assert combined.median_error_pct <= operator.median_error_pct

@@ -1,0 +1,91 @@
+"""Tests for the default and tuned heuristic cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.default_model import DefaultCostModel
+from repro.cost.interface import plan_cost
+from repro.cost.tuned_model import TunedCostModel
+from repro.plan.physical import PhysOpType
+
+
+class TestDefaultCostModel:
+    def test_costs_positive(self, physical_join_plan, estimator):
+        model = DefaultCostModel()
+        for op in physical_join_plan.walk():
+            assert model.operator_cost(op, estimator) > 0
+
+    def test_partition_override_changes_cost(self, physical_simple_plan, estimator):
+        model = DefaultCostModel()
+        big_ops = [
+            op
+            for op in physical_simple_plan.walk()
+            if estimator.estimate_input(op) > 1000 and op.partition_count < 64
+        ]
+        assert big_ops
+        op = big_ops[0]
+        base = model.operator_cost(op, estimator)
+        more_parallel = model.operator_cost(op, estimator, partition_override=op.partition_count * 8)
+        assert more_parallel < base
+
+    def test_row_cap_saturates(self, physical_simple_plan, estimator):
+        uncapped = DefaultCostModel()
+        uncapped.row_cap = float("inf")
+        capped = DefaultCostModel()
+        capped.row_cap = 1.0
+        for op in physical_simple_plan.walk():
+            assert capped.operator_cost(op, estimator) <= uncapped.operator_cost(op, estimator)
+
+    def test_plan_cost_sums_operators(self, physical_simple_plan, estimator):
+        model = DefaultCostModel()
+        total = plan_cost(model, physical_simple_plan, estimator)
+        manual = sum(model.operator_cost(op, estimator) for op in physical_simple_plan.walk())
+        assert total == pytest.approx(manual)
+
+    def test_deterministic(self, physical_join_plan, estimator):
+        model = DefaultCostModel()
+        first = [model.operator_cost(op, estimator) for op in physical_join_plan.walk()]
+        second = [model.operator_cost(op, estimator) for op in physical_join_plan.walk()]
+        assert first == second
+
+    def test_udf_priced_as_compute(self, builder, planner, estimator):
+        """The default model cannot distinguish Process from Compute."""
+        scanned = builder.scan("events_2024_01_01")
+        processed = builder.process(scanned, "udf_heavy", tag="t:udf")
+        plan = planner.plan(builder.output(processed, name="o")).plan
+        model = DefaultCostModel()
+        process_ops = [op for op in plan.walk() if op.op_type is PhysOpType.PROCESS]
+        assert process_ops
+        cpu_process = model.coefficients[PhysOpType.PROCESS][0]
+        cpu_compute = model.coefficients[PhysOpType.COMPUTE][0]
+        assert cpu_process == cpu_compute
+
+
+class TestTunedCostModel:
+    def test_costs_positive(self, physical_join_plan, estimator):
+        model = TunedCostModel()
+        for op in physical_join_plan.walk():
+            assert model.operator_cost(op, estimator) > 0
+
+    def test_setup_term_for_partitioning_ops(self, physical_simple_plan, estimator):
+        model = TunedCostModel()
+        extracts = [
+            op for op in physical_simple_plan.walk() if op.op_type is PhysOpType.EXTRACT
+        ]
+        assert extracts
+        op = extracts[0]
+        # With a huge partition override, the setup term must dominate and
+        # the cost must grow (the default model keeps shrinking instead).
+        base = model.operator_cost(op, estimator, partition_override=10)
+        inflated = model.operator_cost(op, estimator, partition_override=100_000)
+        assert inflated > base
+
+    def test_differs_from_default(self, physical_join_plan, estimator):
+        default = DefaultCostModel()
+        tuned = TunedCostModel()
+        diffs = [
+            abs(default.operator_cost(op, estimator) - tuned.operator_cost(op, estimator))
+            for op in physical_join_plan.walk()
+        ]
+        assert any(d > 1e-9 for d in diffs)

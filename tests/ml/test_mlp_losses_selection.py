@@ -1,0 +1,130 @@
+"""Tests for the MLP, loss functions, preprocessing, and cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone_regressor
+from repro.ml.losses import (
+    LOSS_FUNCTIONS,
+    mean_absolute_error,
+    mean_squared_error,
+    mean_squared_log_error,
+    median_absolute_error,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import KFold, cross_validate
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.proximal import ElasticNetMSLE
+
+
+class TestMLP:
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = np.abs(x[:, 0] * 4) + 2.0
+        mlp = MLPRegressor(hidden_size=30, epochs=200, log_target=False, seed=0).fit(x, y)
+        mse = float(np.mean((mlp.predict(x) - y) ** 2))
+        assert mse < 0.5
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        y = np.abs(rng.normal(size=50))
+        a = MLPRegressor(epochs=20, seed=5).fit(x, y).predict(x)
+        b = MLPRegressor(epochs=20, seed=5).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+    def test_log_target_nonnegative(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 3))
+        y = np.abs(rng.normal(5, 3, size=60))
+        mlp = MLPRegressor(epochs=30, log_target=True, seed=0).fit(x, y)
+        assert (mlp.predict(x) >= 0).all()
+
+    def test_hidden_size_validation(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_size=0)
+
+
+class TestLosses:
+    def test_msle_matches_paper_definition(self):
+        p, a = np.array([np.e - 1.0]), np.array([0.0])
+        assert mean_squared_log_error(p, a) == pytest.approx(1.0)
+
+    def test_msle_penalizes_under_more_than_over(self):
+        actual = np.array([100.0])
+        under = mean_squared_log_error(np.array([50.0]), actual)
+        over = mean_squared_log_error(np.array([150.0]), actual)
+        assert under > over
+
+    def test_mse_mae_medae_basics(self):
+        p = np.array([1.0, 2.0, 3.0])
+        a = np.array([1.0, 2.0, 7.0])
+        assert mean_squared_error(p, a) == pytest.approx(16.0 / 3.0)
+        assert mean_absolute_error(p, a) == pytest.approx(4.0 / 3.0)
+        assert median_absolute_error(p, a) == 0.0
+
+    def test_registry_complete(self):
+        assert set(LOSS_FUNCTIONS) == {
+            "median_absolute_error",
+            "mean_absolute_error",
+            "mean_squared_error",
+            "mean_squared_log_error",
+        }
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_msle_negative_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_log_error(np.array([1.0]), np.array([-1.0]))
+
+
+class TestScaler:
+    def test_zero_mean_unit_variance(self):
+        x = np.random.default_rng(0).normal(5, 3, size=(100, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_columns_pass_through(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestKFoldAndCv:
+    def test_folds_partition_everything(self):
+        seen = []
+        for _, test_idx in KFold(n_splits=5, seed=0).split(23):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train_idx, test_idx in KFold(n_splits=4, seed=1).split(20):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_cross_validate_reasonable(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(1, 100, size=(100, 2))
+        y = x[:, 0] * 2 + 1
+        result = cross_validate(ElasticNetMSLE(alpha=0.001), x, y, n_splits=5)
+        assert result.median_error_pct < 20.0
+        assert result.pearson > 0.9
+
+    def test_clone_resets_state(self):
+        model = ElasticNetMSLE().fit(np.ones((5, 2)), np.ones(5))
+        cloned = clone_regressor(model)
+        with pytest.raises(RuntimeError):
+            cloned.coefficients_raw()

@@ -1,0 +1,114 @@
+"""Tests for the MSLE elastic net (the paper's individual-model learner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.losses import mean_squared_log_error
+from repro.ml.proximal import ElasticNetMSLE
+
+
+def _cost_like_data(n=150, seed=0, noise=0.05):
+    """Targets shaped like operator costs: positive, multiplicative noise."""
+    rng = np.random.default_rng(seed)
+    rows = rng.uniform(1e3, 1e7, size=n)
+    partitions = rng.integers(1, 256, size=n).astype(float)
+    x = np.column_stack([rows, rows / partitions, partitions])
+    y = 2e-5 * rows / partitions + 0.05 * partitions + 1.0
+    y = y * np.exp(noise * rng.normal(size=n))
+    return x, y
+
+
+class TestFitQuality:
+    def test_learns_cost_structure(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE(alpha=0.001).fit(x, y)
+        predictions = model.predict(x)
+        ratio = predictions / y
+        assert float(np.median(np.abs(ratio - 1.0))) < 0.25
+
+    def test_predictions_nonnegative(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE().fit(x, y)
+        wild = np.array([[1e12, 1e12, 3000.0], [0.0, 0.0, 1.0]])
+        assert (model.predict(wild) >= 0).all()
+
+    def test_better_than_geometric_mean_baseline(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE(alpha=0.001).fit(x, y)
+        baseline = np.full_like(y, float(np.exp(np.mean(np.log1p(y)))) - 1.0)
+        assert mean_squared_log_error(model.predict(x), y) < mean_squared_log_error(
+            baseline, y
+        )
+
+    def test_scale_invariance_of_alpha(self):
+        """The same relative fit on a 1000x larger target scale."""
+        x, y = _cost_like_data()
+        small = ElasticNetMSLE(alpha=0.01).fit(x, y).predict(x) / y
+        big = ElasticNetMSLE(alpha=0.01).fit(x, y * 1000).predict(x) / (y * 1000)
+        assert float(np.median(np.abs(small - 1))) == pytest.approx(
+            float(np.median(np.abs(big - 1))), abs=0.1
+        )
+
+    def test_rejects_negative_targets(self):
+        with pytest.raises(ValueError):
+            ElasticNetMSLE().fit(np.ones((3, 1)), np.array([1.0, -1.0, 2.0]))
+
+
+class TestRegularization:
+    def test_l1_sparsifies(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 10))
+        y = np.exp(x[:, 0]) + 10.0
+        sparse = ElasticNetMSLE(alpha=0.5, l1_ratio=1.0).fit(x, y)
+        dense = ElasticNetMSLE(alpha=1e-4, l1_ratio=0.0).fit(x, y)
+        assert len(sparse.selected_features) <= len(dense.selected_features)
+
+    def test_nonneg_constraint_respected(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE(alpha=0.001, nonneg_indices=(1, 2)).fit(x, y)
+        raw, _ = model.coefficients_raw()
+        assert raw[1] >= 0.0
+        assert raw[2] >= 0.0
+
+    def test_nonneg_constraint_keeps_fit_reasonable(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE(alpha=0.001, nonneg_indices=(1, 2)).fit(x, y)
+        ratio = model.predict(x) / y
+        assert float(np.median(np.abs(ratio - 1.0))) < 0.35
+
+
+class TestRawCoefficients:
+    def test_roundtrip(self):
+        x, y = _cost_like_data()
+        model = ElasticNetMSLE(alpha=0.01).fit(x, y)
+        w, b = model.coefficients_raw()
+        manual = np.maximum(x @ w + b, 0.0)
+        assert np.allclose(manual, model.predict(x), rtol=1e-9, atol=1e-9)
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ElasticNetMSLE().coefficients_raw()
+
+
+class TestConvergence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=6, max_value=60))
+    def test_loss_not_worse_than_start(self, n):
+        """The optimizer must never end worse than its constant start."""
+        rng = np.random.default_rng(n)
+        x = rng.uniform(0, 1e5, size=(n, 4))
+        y = np.abs(rng.normal(10.0, 3.0, size=n))
+        model = ElasticNetMSLE(alpha=0.01).fit(x, y)
+        start = np.full_like(y, float(np.exp(np.mean(np.log1p(y)))) - 1.0)
+        assert mean_squared_log_error(model.predict(x), y) <= (
+            mean_squared_log_error(start, y) + 1e-6
+        )
+
+    def test_iteration_counter(self):
+        x, y = _cost_like_data(n=30)
+        model = ElasticNetMSLE(max_iter=17).fit(x, y)
+        assert 1 <= model.n_iter_ <= 17

@@ -1,0 +1,146 @@
+"""Tests for decision trees, random forests, and FastTree boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import FastTreeRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _step_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 3))
+    y = np.where(x[:, 0] > 0.5, 10.0, 1.0) + 0.01 * rng.normal(size=n)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_learns_step_function(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        mse = float(np.mean((tree.predict(x) - y) ** 2))
+        # Histogram split finding quantizes thresholds to bin edges, so a
+        # small boundary region stays mixed; anything below the no-split
+        # variance (~20) by 20x is a real fit.
+        assert mse < 1.0
+
+    def test_depth_limit_respected(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert tree.tree_depth <= 2
+
+    def test_single_leaf_predicts_mean(self):
+        x, y = _step_data()
+        stump = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        assert stump.node_count == 1
+        assert stump.predict(x[:1])[0] == pytest.approx(float(y.mean()))
+
+    def test_constant_target_no_split(self):
+        x = np.random.default_rng(0).normal(size=(50, 4))
+        y = np.full(50, 3.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.node_count == 1
+
+    def test_min_samples_leaf(self):
+        x, y = _step_data(n=40)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=15).fit(x, y)
+        # With min 15 per leaf and 40 samples, at most 2 levels of splits.
+        assert tree.node_count <= 7
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=5, max_value=80))
+    def test_predictions_within_target_range(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 3))
+        y = rng.uniform(-5, 5, size=n)
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        preds = tree.predict(x)
+        assert preds.min() >= y.min() - 1e-9
+        assert preds.max() <= y.max() + 1e-9
+
+    def test_train_test_split_consistency(self):
+        """Boundary values route the same way at fit and predict time."""
+        x = np.array([[1.0], [1.0], [2.0], [2.0], [3.0], [3.0]] * 5)
+        y = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0] * 5)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+
+class TestRandomForest:
+    def test_fits_step_function(self):
+        x, y = _step_data()
+        forest = RandomForestRegressor(
+            n_estimators=10, max_depth=6, max_features=None, seed=1
+        ).fit(x, y)
+        mse = float(np.mean((forest.predict(x) - y) ** 2))
+        assert mse < 2.0
+
+    def test_deterministic_given_seed(self):
+        x, y = _step_data()
+        f1 = RandomForestRegressor(n_estimators=5, seed=7).fit(x, y).predict(x)
+        f2 = RandomForestRegressor(n_estimators=5, seed=7).fit(x, y).predict(x)
+        assert np.allclose(f1, f2)
+
+    def test_seed_changes_predictions(self):
+        x, y = _step_data()
+        f1 = RandomForestRegressor(n_estimators=5, seed=1).fit(x, y).predict(x)
+        f2 = RandomForestRegressor(n_estimators=5, seed=2).fit(x, y).predict(x)
+        assert not np.allclose(f1, f2)
+
+    def test_max_features_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features="bogus").fit(*_step_data(n=20))
+
+    def test_n_estimators_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestFastTree:
+    def test_beats_single_tree(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 1, size=(400, 4))
+        y = np.exp(2 * x[:, 0]) + x[:, 1] * 3
+        gbm = FastTreeRegressor(n_estimators=30, max_depth=3, log_target=False, seed=0)
+        tree = DecisionTreeRegressor(max_depth=3)
+        gbm.fit(x, y)
+        tree.fit(x, y)
+        gbm_mse = float(np.mean((gbm.predict(x) - y) ** 2))
+        tree_mse = float(np.mean((tree.predict(x) - y) ** 2))
+        assert gbm_mse < tree_mse
+
+    def test_log_target_keeps_predictions_nonnegative(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(100, 3))
+        y = np.abs(rng.normal(5, 2, size=100))
+        gbm = FastTreeRegressor(log_target=True).fit(x, y)
+        assert (gbm.predict(x) >= 0).all()
+
+    def test_log_target_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            FastTreeRegressor(log_target=True).fit(np.ones((3, 1)), np.array([-1.0, 1, 2]))
+
+    def test_staged_predictions_improve(self):
+        x, y = _step_data()
+        gbm = FastTreeRegressor(n_estimators=15, log_target=False, seed=0).fit(x, y)
+        stages = gbm.staged_predict(x)
+        first_mse = float(np.mean((stages[0] - y) ** 2))
+        last_mse = float(np.mean((stages[-1] - y) ** 2))
+        assert last_mse < first_mse
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            FastTreeRegressor(subsample=0.0)
+        with pytest.raises(ValueError):
+            FastTreeRegressor(subsample=1.5)
+
+    def test_deterministic(self):
+        x, y = _step_data()
+        a = FastTreeRegressor(seed=3).fit(x, y).predict(x)
+        b = FastTreeRegressor(seed=3).fit(x, y).predict(x)
+        assert np.allclose(a, b)

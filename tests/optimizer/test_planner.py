@@ -1,0 +1,199 @@
+"""Tests for the query planner: lowering, enforcement, alternatives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.cost.default_model import DefaultCostModel
+from repro.cost.interface import plan_cost
+from repro.optimizer.planner import PlannerConfig, QueryPlanner
+from repro.plan.physical import ExchangeMode, PhysOpType, validate_physical_plan
+from repro.plan.properties import PartitionScheme
+
+
+def _plan_with(config: PlannerConfig, logical):
+    planner = QueryPlanner(DefaultCostModel(), CardinalityEstimator(), config)
+    return planner.plan(logical).plan
+
+
+class TestLowering:
+    def test_simple_plan_shape(self, physical_simple_plan):
+        types = [op.op_type for op in physical_simple_plan.walk()]
+        assert types.count(PhysOpType.EXTRACT) == 1
+        assert PhysOpType.OUTPUT in types
+        assert (
+            PhysOpType.HASH_AGGREGATE in types or PhysOpType.STREAM_AGGREGATE in types
+        )
+
+    def test_plan_validates(self, physical_join_plan, physical_simple_plan):
+        validate_physical_plan(physical_join_plan)
+        validate_physical_plan(physical_simple_plan)
+
+    def test_join_children_co_partitioned(self, physical_join_plan):
+        joins = [
+            op
+            for op in physical_join_plan.walk()
+            if op.op_type in (PhysOpType.HASH_JOIN, PhysOpType.MERGE_JOIN)
+        ]
+        assert joins
+        for join in joins:
+            left, right = join.children
+            assert left.partition_count == right.partition_count
+            assert left.partitioning.scheme is PartitionScheme.HASH
+            assert right.partitioning.scheme is PartitionScheme.HASH
+
+    def test_sort_requirement_enforced(self, physical_join_plan):
+        """Merge joins and stream aggregates only consume sorted input."""
+        for op in physical_join_plan.walk():
+            if op.op_type is PhysOpType.MERGE_JOIN:
+                for child in op.children:
+                    assert child.sorting.is_sorted
+            if op.op_type is PhysOpType.STREAM_AGGREGATE:
+                assert op.children[0].sorting.is_sorted
+
+    def test_topk_runs_on_singleton(self, builder, planner):
+        logical = builder.output(
+            builder.topk(builder.scan("events_2024_01_01"), keys=("value",), k=5),
+            name="o",
+        )
+        plan = planner.plan(logical).plan
+        topk = next(op for op in plan.walk() if op.op_type is PhysOpType.TOP_K)
+        assert topk.partition_count == 1
+        gathers = [
+            op
+            for op in plan.walk()
+            if op.op_type is PhysOpType.EXCHANGE and op.exchange_mode is ExchangeMode.GATHER
+        ]
+        assert gathers
+
+    def test_union_children_aligned(self, builder, planner):
+        a = builder.scan("events_2024_01_01")
+        b = builder.scan("users_2024_01_01")
+        logical = builder.output(builder.union(a, b), name="o")
+        plan = planner.plan(logical).plan
+        union = next(op for op in plan.walk() if op.op_type is PhysOpType.UNION_ALL)
+        counts = {child.partition_count for child in union.children}
+        assert len(counts) == 1
+
+    def test_estimated_cost_matches_plan_cost(self, planner, join_plan):
+        planned = planner.plan(join_plan)
+        recomputed = plan_cost(planner.cost_model, planned.plan, planner.estimator)
+        assert planned.estimated_cost == pytest.approx(recomputed)
+
+    def test_deterministic(self, join_plan, estimator):
+        p1 = _plan_with(PlannerConfig(), join_plan)
+        p2 = _plan_with(PlannerConfig(), join_plan)
+        assert p1.describe() == p2.describe()
+
+
+class TestAlternatives:
+    def test_merge_join_can_be_disabled(self, join_plan):
+        plan = _plan_with(PlannerConfig(enable_merge_join=False), join_plan)
+        assert all(op.op_type is not PhysOpType.MERGE_JOIN for op in plan.walk())
+
+    def test_local_aggregate_can_be_disabled(self, simple_plan):
+        plan = _plan_with(PlannerConfig(enable_local_aggregate=False), simple_plan)
+        assert all(op.op_type is not PhysOpType.LOCAL_AGGREGATE for op in plan.walk())
+
+    def test_commute_changes_candidate_count(self, join_plan, estimator):
+        with_commute = QueryPlanner(
+            DefaultCostModel(), CardinalityEstimator(), PlannerConfig()
+        )
+        without = QueryPlanner(
+            DefaultCostModel(),
+            CardinalityEstimator(),
+            PlannerConfig(enable_join_commute=False),
+        )
+        n_with = with_commute.plan(join_plan).candidates_considered
+        n_without = without.plan(join_plan).candidates_considered
+        assert n_with > n_without
+
+    def test_stream_aggregate_appears_when_sort_cheap(self, builder):
+        """A tiny input should sometimes pick stream aggregation; at minimum
+        the alternative must be explored without breaking the plan."""
+        logical = builder.output(
+            builder.aggregate(
+                builder.scan("users_2024_01_01"), keys=("user_id",), group_count=1000
+            ),
+            name="o",
+        )
+        plan = _plan_with(PlannerConfig(), logical)
+        validate_physical_plan(plan)
+
+    def test_process_breaks_property_passthrough(self, builder, planner):
+        """Partitioning below a UDF cannot satisfy requirements above it."""
+        processed = builder.process(builder.scan("events_2024_01_01"), "udf", tag="t:u")
+        logical = builder.output(
+            builder.aggregate(processed, keys=("user_id",), group_count=100), name="o"
+        )
+        plan = planner.plan(logical).plan
+        process = next(op for op in plan.walk() if op.op_type is PhysOpType.PROCESS)
+        assert process.partitioning.scheme is PartitionScheme.RANDOM
+
+
+class TestJitter:
+    def test_zero_jitter_is_heuristic(self, join_plan):
+        a = _plan_with(PlannerConfig(partition_jitter=0.0), join_plan)
+        b = _plan_with(PlannerConfig(partition_jitter=0.0), join_plan)
+        assert [op.partition_count for op in a.walk()] == [
+            op.partition_count for op in b.walk()
+        ]
+
+    def test_jitter_varies_by_salt(self, join_plan, estimator):
+        planner = QueryPlanner(
+            DefaultCostModel(),
+            CardinalityEstimator(),
+            PlannerConfig(partition_jitter=0.4),
+        )
+        planner.jitter_salt = "job-a"
+        counts_a = [op.partition_count for op in planner.plan(join_plan).plan.walk()]
+        planner.jitter_salt = "job-b"
+        counts_b = [op.partition_count for op in planner.plan(join_plan).plan.walk()]
+        assert counts_a != counts_b
+
+    def test_jitter_deterministic_per_salt(self, join_plan):
+        results = []
+        for _ in range(2):
+            planner = QueryPlanner(
+                DefaultCostModel(),
+                CardinalityEstimator(),
+                PlannerConfig(partition_jitter=0.4),
+            )
+            planner.jitter_salt = "fixed"
+            results.append([op.partition_count for op in planner.plan(join_plan).plan.walk()])
+        assert results[0] == results[1]
+
+
+class TestDagLogicalPlans:
+    def test_shared_logical_subtree_yields_physical_tree(self, builder, planner):
+        """TPC-H Q17 pattern: one logical branch consumed by two parents."""
+        from repro.plan.stages import build_stage_graph
+
+        shared = builder.filter(builder.scan("events_2024_01_01"), "v", 0.3, tag="t:sh")
+        agg = builder.aggregate(shared, keys=("user_id",), group_count=1000, tag="t:a")
+        joined = builder.join(shared, agg, keys=("user_id", "user_id"), fanout=0.2, tag="t:j")
+        logical = builder.output(joined, name="o")
+        plan = planner.plan(logical).plan
+        # Every physical node must be unique (a tree, not a DAG).
+        ids = [id(op) for op in plan.walk()]
+        assert len(ids) == len(set(ids))
+        build_stage_graph(plan)  # must not raise
+
+    def test_dag_plan_survives_partition_optimization(self, builder, tiny_predictor):
+        from repro.cardinality.estimator import CardinalityEstimator
+        from repro.core.cost_model import CleoCostModel
+        from repro.optimizer.partition import AnalyticalStrategy
+        from repro.plan.physical import validate_physical_plan
+
+        shared = builder.filter(builder.scan("events_2024_01_01"), "v", 0.3, tag="t:sh2")
+        agg = builder.aggregate(shared, keys=("user_id",), group_count=1000, tag="t:a2")
+        joined = builder.join(shared, agg, keys=("user_id", "user_id"), fanout=0.2, tag="t:j2")
+        logical = builder.output(joined, name="o")
+        planner = QueryPlanner(
+            CleoCostModel(tiny_predictor),
+            CardinalityEstimator(),
+            PlannerConfig(partition_strategy=AnalyticalStrategy()),
+        )
+        plan = planner.plan(logical).plan
+        validate_physical_plan(plan)

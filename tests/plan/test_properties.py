@@ -1,0 +1,81 @@
+"""Tests for partitioning/sort properties and their satisfaction rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan.properties import Partitioning, PartitionScheme, SortOrder
+
+
+class TestPartitioning:
+    def test_hash_requires_columns(self):
+        with pytest.raises(ValueError):
+            Partitioning(PartitionScheme.HASH)
+
+    def test_non_hash_rejects_columns(self):
+        with pytest.raises(ValueError):
+            Partitioning(PartitionScheme.RANDOM, ("a",))
+
+    def test_hash_columns_sorted(self):
+        assert Partitioning.hash("b", "a").columns == ("a", "b")
+
+    def test_any_satisfied_by_everything(self):
+        required = Partitioning.any()
+        for delivered in (
+            Partitioning.random(),
+            Partitioning.singleton(),
+            Partitioning.hash("x"),
+        ):
+            assert delivered.satisfies(required)
+
+    def test_singleton_satisfies_everything(self):
+        delivered = Partitioning.singleton()
+        for required in (
+            Partitioning.any(),
+            Partitioning.hash("x"),
+            Partitioning.singleton(),
+            Partitioning.random(),
+        ):
+            assert delivered.satisfies(required)
+
+    def test_hash_exact_columns(self):
+        assert Partitioning.hash("a").satisfies(Partitioning.hash("a"))
+        assert not Partitioning.hash("a").satisfies(Partitioning.hash("b"))
+        assert not Partitioning.hash("a").satisfies(Partitioning.hash("a", "b"))
+        assert not Partitioning.hash("a", "b").satisfies(Partitioning.hash("a"))
+
+    def test_hash_column_order_irrelevant(self):
+        assert Partitioning.hash("a", "b").satisfies(Partitioning.hash("b", "a"))
+
+    def test_random_does_not_satisfy_hash_or_singleton(self):
+        assert not Partitioning.random().satisfies(Partitioning.hash("a"))
+        assert not Partitioning.random().satisfies(Partitioning.singleton())
+
+    def test_hash_satisfies_random(self):
+        assert Partitioning.hash("a").satisfies(Partitioning.random())
+
+    def test_describe(self):
+        assert Partitioning.hash("a").describe() == "hash(a)"
+        assert Partitioning.singleton().describe() == "singleton"
+
+
+class TestSortOrder:
+    def test_none_satisfied_always(self):
+        assert SortOrder.none().satisfies(SortOrder.none())
+        assert SortOrder.on("a").satisfies(SortOrder.none())
+
+    def test_prefix_semantics(self):
+        assert SortOrder.on("a", "b").satisfies(SortOrder.on("a"))
+        assert not SortOrder.on("b", "a").satisfies(SortOrder.on("a"))
+        assert not SortOrder.on("a").satisfies(SortOrder.on("a", "b"))
+
+    def test_exact_match(self):
+        assert SortOrder.on("a", "b").satisfies(SortOrder.on("a", "b"))
+
+    def test_is_sorted(self):
+        assert SortOrder.on("a").is_sorted
+        assert not SortOrder.none().is_sorted
+
+    def test_describe(self):
+        assert SortOrder.on("a", "b").describe() == "sort(a,b)"
+        assert SortOrder.none().describe() == "unsorted"

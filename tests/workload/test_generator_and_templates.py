@@ -1,0 +1,155 @@
+"""Tests for workload generation: fragments, templates, catalogs, jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan.logical import LogicalOpType, normalize_input_name
+from repro.workload.generator import ClusterWorkloadConfig, WorkloadGenerator
+from repro.workload.templates import JobSpec, instantiate, table_name_for_day
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return WorkloadGenerator(
+        ClusterWorkloadConfig(
+            cluster_name="clusterx", n_tables=6, n_fragments=10, n_templates=12, seed=3
+        )
+    )
+
+
+class TestCatalogs:
+    def test_dated_names_normalize_together(self):
+        d1 = table_name_for_day("clusterx_src_a", 1)
+        d2 = table_name_for_day("clusterx_src_a", 2)
+        assert d1 != d2
+        assert normalize_input_name(d1) == normalize_input_name(d2)
+
+    def test_distinct_tables_stay_distinct_after_normalization(self, generator):
+        names = {
+            normalize_input_name(table_name_for_day(base, 1))
+            for base, _, _ in generator.base_tables
+        }
+        assert len(names) == len(generator.base_tables)
+
+    def test_day_drift_changes_sizes(self, generator):
+        c1 = generator.catalog_for_day(1)
+        c2 = generator.catalog_for_day(4)
+        t1 = c1.table_names[0]
+        t2 = c2.table_names[0]
+        assert c1.stats(t1).row_count != c2.stats(t2).row_count
+
+    def test_catalog_deterministic(self, generator):
+        a = generator.catalog_for_day(2)
+        b = generator.catalog_for_day(2)
+        assert [a.stats(t).row_count for t in a.table_names] == [
+            b.stats(t).row_count for t in b.table_names
+        ]
+
+    def test_drift_bounded(self, generator):
+        """Day scaling stays within the ~2x envelope of Figure 2."""
+        for base, _, _ in generator.base_tables:
+            scales = [generator.day_scale(base, day) for day in range(1, 30)]
+            assert max(scales) / min(scales) < 4.0
+
+
+class TestJobGeneration:
+    def test_recurring_dominates(self, generator):
+        jobs = generator.jobs_for_day(1)
+        adhoc = [j for j in jobs if j.is_adhoc]
+        assert 0 < len(adhoc) < 0.3 * len(jobs)
+
+    def test_jobs_deterministic(self, generator):
+        ids_a = [j.job_id for j in generator.jobs_for_day(2)]
+        ids_b = [j.job_id for j in generator.jobs_for_day(2)]
+        assert ids_a == ids_b
+
+    def test_job_ids_unique(self, generator):
+        ids = [j.job_id for j in generator.jobs_for_day(1)]
+        assert len(ids) == len(set(ids))
+
+    def test_templates_mostly_recur_across_days(self, generator):
+        t1 = {j.template.template_id for j in generator.jobs_for_day(1) if not j.is_adhoc}
+        t2 = {j.template.template_id for j in generator.jobs_for_day(2) if not j.is_adhoc}
+        # Template churn replaces only a small fraction per day.
+        assert len(t1 & t2) >= 0.8 * len(t1)
+
+    def test_template_churn_accumulates(self, generator):
+        t1 = {j.template.template_id for j in generator.jobs_for_day(1) if not j.is_adhoc}
+        t60 = {j.template.template_id for j in generator.jobs_for_day(60) if not j.is_adhoc}
+        # Over two months, a visible share of templates must have churned.
+        assert len(t1 & t60) < len(t1)
+
+    def test_template_version_monotone(self, generator):
+        for slot in range(generator.config.n_templates):
+            versions = [generator.template_version(slot, day) for day in (1, 10, 30)]
+            assert versions == sorted(versions)
+
+    def test_adhoc_templates_are_one_off(self, generator):
+        a1 = {j.template.template_id for j in generator.jobs_for_day(1) if j.is_adhoc}
+        a2 = {j.template.template_id for j in generator.jobs_for_day(2) if j.is_adhoc}
+        assert not (a1 & a2)
+
+
+class TestInstantiation:
+    def test_plan_builds_and_ends_in_output(self, generator):
+        job = generator.jobs_for_day(1)[0]
+        plan = instantiate(job, generator.catalog_for_day(1))
+        assert plan.op_type is LogicalOpType.OUTPUT
+        assert plan.true_card >= 0
+
+    def test_instantiation_deterministic(self, generator):
+        job = generator.jobs_for_day(1)[0]
+        catalog = generator.catalog_for_day(1)
+        p1 = instantiate(job, catalog)
+        p2 = instantiate(job, catalog)
+        assert p1.describe() == p2.describe()
+
+    def test_different_instances_differ_in_params(self, generator):
+        template = generator.templates[0]
+        catalog = generator.catalog_for_day(1)
+        plans = [
+            instantiate(
+                JobSpec(job_id=f"j{i}", template=template, day=1, instance_seed=i),
+                catalog,
+            )
+            for i in range(2)
+        ]
+        cards = [[n.true_card for n in p.walk()] for p in plans]
+        tags = [[n.template_tag for n in p.walk()] for p in plans]
+        assert tags[0] == tags[1]  # same template structure
+        assert cards[0] != cards[1]  # different parameters somewhere in the plan
+
+    def test_fragment_sharing_across_templates(self, generator):
+        """At least two recurring templates must share a fragment."""
+        fragment_users: dict[int, set[str]] = {}
+        for template in generator.templates:
+            for fragment in template.fragments:
+                fragment_users.setdefault(fragment.fragment_id, set()).add(
+                    template.template_id
+                )
+        assert any(len(users) >= 2 for users in fragment_users.values())
+
+    def test_shared_fragments_produce_shared_tags(self, generator):
+        shared = None
+        for template_a in generator.templates:
+            for template_b in generator.templates:
+                if template_a is template_b:
+                    continue
+                common = {f.fragment_id for f in template_a.fragments} & {
+                    f.fragment_id for f in template_b.fragments
+                }
+                if common:
+                    shared = (template_a, template_b)
+                    break
+            if shared:
+                break
+        assert shared is not None
+        catalog = generator.catalog_for_day(1)
+        tags = []
+        for template in shared:
+            plan = instantiate(
+                JobSpec(job_id="x", template=template, day=1, instance_seed=1), catalog
+            )
+            tags.append({n.template_tag for n in plan.walk()})
+        assert tags[0] & tags[1]  # overlapping subexpression tags
