@@ -4,6 +4,9 @@ A from-scratch reproduction of Siddiqui et al., "Cost Models for Big Data
 Query Processing: Learning, Retrofitting, and Our Findings".  The package
 is organized as the paper's system plus every substrate it depends on:
 
+* :mod:`repro.serving` — the public façade: :class:`CleoService` trains,
+  persists, versions, and serves the models with batched prediction and a
+  signature-keyed prediction cache (the paper's Section 5.1 serving story);
 * :mod:`repro.core` — the contribution: per-template learned cost models,
   the combined meta-ensemble, the training feedback loop, and the
   optimizer-facing cost model;
@@ -24,14 +27,48 @@ is organized as the paper's system plus every substrate it depends on:
 
 Quickstart::
 
-    from repro.workload import ClusterWorkloadConfig, WorkloadGenerator, WorkloadRunner
+    from repro import CleoService
     from repro.execution.hardware import ClusterSpec
-    from repro.core import CleoTrainer
+    from repro.workload import ClusterWorkloadConfig, WorkloadGenerator, WorkloadRunner
 
     generator = WorkloadGenerator(ClusterWorkloadConfig(cluster_name="c1"))
     runner = WorkloadRunner(cluster=ClusterSpec(name="c1"))
     log = runner.run_days(generator, days=range(1, 4))
-    predictor = CleoTrainer().train(log)
+
+    service = CleoService.train(log)          # feedback loop -> ready models
+    test = log.filter(days=[3])
+    costs = service.predict_records(test.operator_records())  # batched
+    print(service.stats().describe())         # model calls, cache hit rate
+
+    service.save("cleo_models.json")          # text-file serving (Sec. 5.1)
+    service = CleoService.load("cleo_models.json")
+
+The same service backs the optimizer (``service.cost_model()`` is a
+drop-in :class:`~repro.cost.interface.CostModel`), the applications, and
+the CLI (``python -m repro train|evaluate|predict``).
 """
 
-__version__ = "1.1.0"
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving import CleoService, PredictionRequest
+
+__all__ = ["CleoService", "PredictionRequest", "__version__"]
+
+__version__ = "1.2.0"
+
+_LAZY_EXPORTS = ("CleoService", "PredictionRequest")
+
+
+def __getattr__(name: str):
+    """Lazily resolve the serving exports (PEP 562).
+
+    Keeps ``import repro`` (and therefore ``python -m repro --help``) free
+    of the numpy/model stack while still supporting
+    ``from repro import CleoService``.
+    """
+    if name in _LAZY_EXPORTS:
+        from repro import serving
+
+        return getattr(serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,9 +5,10 @@ selection that "are relevant in cloud environments, where accuracy of
 predicted costs is crucial": performance prediction, allocating resources
 to queries, estimating task runtimes for scheduling, estimating the
 progress of a query, and running what-if analysis for physical design
-selection.  This package implements each of them on top of the trained
-:class:`~repro.core.predictor.CleoPredictor` public API — they are the
-paper's "future work" made concrete on this reproduction's substrate.
+selection.  This package implements each of them on top of the
+:class:`~repro.serving.service.CleoService` serving façade (operators are
+priced through its batched, cached path) — they are the paper's "future
+work" made concrete on this reproduction's substrate.
 
 * :mod:`repro.applications.prediction` — job-level latency / CPU-hour
   prediction with empirical confidence intervals;

@@ -27,12 +27,12 @@ from dataclasses import dataclass, replace
 from repro.applications.prediction import JobPerformancePredictor
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.common.errors import ValidationError
-from repro.core.cost_model import CleoCostModel
 from repro.core.predictor import CleoPredictor
 from repro.optimizer.partition import AnalyticalStrategy
 from repro.optimizer.planner import PlannerConfig, QueryPlanner
 from repro.plan.logical import LogicalOp
 from repro.plan.physical import PhysicalOp
+from repro.serving.service import CleoService
 
 
 @dataclass(frozen=True)
@@ -91,8 +91,9 @@ class ResourceAllocator:
     """Finds the fewest containers that keep a job within its deadline.
 
     Args:
-        predictor: trained Cleo models used both for planning (via
-            :class:`CleoCostModel`) and for latency prediction.
+        predictor: a :class:`~repro.serving.service.CleoService` (or bare
+            trained models, which are wrapped in one) used both for planning
+            and for latency prediction.
         estimator: compile-time cardinality estimator shared by planner and
             predictor.
         base_config: planner configuration to derive budgeted configs from;
@@ -102,20 +103,25 @@ class ResourceAllocator:
 
     def __init__(
         self,
-        predictor: CleoPredictor,
+        predictor: CleoService | CleoPredictor,
         estimator: CardinalityEstimator | None = None,
         base_config: PlannerConfig | None = None,
         budget_growth: float = 2.0,
     ) -> None:
         if budget_growth <= 1.0:
             raise ValidationError(f"budget_growth must be > 1, got {budget_growth}")
-        self.predictor = predictor
+        self.service = CleoService.ensure(predictor)
         self.estimator = estimator or CardinalityEstimator()
         self.base_config = base_config or PlannerConfig(
             partition_strategy=AnalyticalStrategy()
         )
         self.budget_growth = budget_growth
-        self.performance = JobPerformancePredictor(predictor, self.estimator)
+        self.performance = JobPerformancePredictor(self.service, self.estimator)
+
+    @property
+    def predictor(self) -> CleoPredictor:
+        """The currently served predictor (tracks service rollbacks)."""
+        return self.service.predictor
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -192,5 +198,5 @@ class ResourceAllocator:
             max_partitions=budget,
             default_partition_cap=min(self.base_config.default_partition_cap, budget),
         )
-        planner = QueryPlanner(CleoCostModel(self.predictor), self.estimator, config)
+        planner = QueryPlanner(self.service.cost_model(), self.estimator, config)
         return planner.plan(logical).plan

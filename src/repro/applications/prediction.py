@@ -34,6 +34,7 @@ from repro.features.extract import feature_input_for
 from repro.plan.physical import PhysicalOp
 from repro.plan.signatures import compute_signature_bundles
 from repro.plan.stages import build_stage_graph
+from repro.serving.service import CleoService, PredictionRequest
 
 _EPS = 1e-9
 
@@ -127,7 +128,10 @@ class JobPerformancePredictor:
     """Rolls learned operator costs up to job latency and CPU-hours.
 
     Args:
-        predictor: a trained :class:`CleoPredictor`.
+        predictor: a :class:`~repro.serving.service.CleoService` (preferred:
+            plan operators are priced through its batched, cached path), a
+            trained :class:`CleoPredictor`, or any object with the scalar
+            ``predict(features, signatures)`` surface.
         estimator: the cardinality estimator providing compile-time
             statistics; a fresh default estimator when omitted.
         stage_startup_seconds: fixed per-stage scheduling charge, matching
@@ -136,7 +140,7 @@ class JobPerformancePredictor:
 
     def __init__(
         self,
-        predictor: CleoPredictor,
+        predictor: CleoService | CleoPredictor,
         estimator: CardinalityEstimator | None = None,
         stage_startup_seconds: float = STAGE_STARTUP_SECONDS,
     ) -> None:
@@ -155,10 +159,20 @@ class JobPerformancePredictor:
         bundles = compute_signature_bundles(plan)
         graph = build_stage_graph(plan)
 
+        ops = list(plan.walk())
         op_cost: dict[int, float] = {}
-        for op in plan.walk():
-            features = feature_input_for(op, self.estimator)
-            op_cost[id(op)] = self.predictor.predict(features, bundles[id(op)])
+        batch = getattr(self.predictor, "predict_batch", None)
+        if callable(batch):
+            requests = [
+                PredictionRequest(feature_input_for(op, self.estimator), bundles[id(op)])
+                for op in ops
+            ]
+            for op, cost in zip(ops, batch(requests)):
+                op_cost[id(op)] = float(cost)
+        else:
+            for op in ops:
+                features = feature_input_for(op, self.estimator)
+                op_cost[id(op)] = self.predictor.predict(features, bundles[id(op)])
 
         durations: dict[int, float] = {}
         cpu: dict[int, float] = {}

@@ -35,6 +35,7 @@ from repro.execution.simulator import STAGE_STARTUP_SECONDS, ExecutionSimulator
 from repro.plan.physical import PhysicalOp
 from repro.plan.signatures import compute_signature_bundles
 from repro.plan.stages import build_stage_graph
+from repro.serving.service import CleoService, as_cost_model
 
 
 @dataclass(frozen=True)
@@ -67,7 +68,7 @@ class TaskSpec:
 def job_to_tasks(
     plan: PhysicalOp,
     job_id: str,
-    cost_model: CostModel,
+    cost_model: "CostModel | CleoService",
     estimator: CardinalityEstimator,
     simulator: ExecutionSimulator,
 ) -> list[TaskSpec]:
@@ -78,6 +79,7 @@ def job_to_tasks(
     time).  Actual runtime: the simulator's noise-free ground truth (what
     execution will take).
     """
+    cost_model = as_cost_model(cost_model)
     estimator.reset()
     graph = build_stage_graph(plan)
     bundles = compute_signature_bundles(plan)
@@ -268,7 +270,7 @@ class SchedulingStudy:
     def run(
         self,
         plans: dict[str, PhysicalOp],
-        cost_models: dict[str, CostModel],
+        cost_models: "dict[str, CostModel | CleoService]",
     ) -> dict[str, ScheduleOutcome]:
         """Schedule the same plans under each estimator; returns outcomes."""
         if not plans:

@@ -30,6 +30,7 @@ from repro.core.predictor import CleoPredictor
 from repro.features.featurizer import FeatureInput
 from repro.plan.physical import PhysicalOp
 from repro.plan.signatures import SignatureBundle
+from repro.serving.service import CleoService, PredictionRequest
 
 
 @dataclass(frozen=True)
@@ -115,19 +116,34 @@ class SkuRecommendation:
         return "\n".join(lines)
 
 
-class _ScaledPredictor:
-    """Wraps a predictor, scaling every operator cost by a speed ratio.
+class _ScaledScalarPredictor:
+    """Wraps a scalar predictor, scaling every operator cost by a speed ratio.
 
-    Implements the slice of the :class:`CleoPredictor` interface that
-    :class:`JobPerformancePredictor` consumes.
+    Implements the slice of the predictor interface that
+    :class:`JobPerformancePredictor` consumes from scalar-only predictors.
     """
 
-    def __init__(self, inner: CleoPredictor, scale: float) -> None:
+    def __init__(self, inner, scale: float) -> None:
         self._inner = inner
         self._scale = scale
 
     def predict(self, features: FeatureInput, signatures: SignatureBundle) -> float:
         return self._inner.predict(features, signatures) * self._scale
+
+
+class _ScaledPredictor(_ScaledScalarPredictor):
+    """Scaled wrapper that also forwards the batched path, so the inner
+    service's grouping and caches are reused per SKU probe."""
+
+    def predict_batch(self, requests: list[PredictionRequest]):
+        return self._inner.predict_batch(requests) * self._scale
+
+
+def _scaled(inner, scale: float) -> _ScaledScalarPredictor:
+    """The widest scaled adapter the inner predictor supports."""
+    if callable(getattr(inner, "predict_batch", None)):
+        return _ScaledPredictor(inner, scale)
+    return _ScaledScalarPredictor(inner, scale)
 
 
 class SkuAdvisor:
@@ -144,17 +160,32 @@ class SkuAdvisor:
 
     def __init__(
         self,
-        predictor: CleoPredictor,
+        predictor: CleoService | CleoPredictor,
         estimator: CardinalityEstimator | None = None,
         reference_speed: float = 1.0,
         stage_startup_seconds: float | None = None,
     ) -> None:
         if reference_speed <= 0:
             raise ValidationError("reference_speed must be positive")
-        self.predictor = predictor
+        if isinstance(predictor, (CleoService, CleoPredictor)):
+            self.service: CleoService | None = CleoService.ensure(predictor)
+        else:  # duck-typed scalar predictor (adapters, tests)
+            self.service = None
+            self._scalar_predictor = predictor
         self.estimator = estimator or CardinalityEstimator()
         self.reference_speed = reference_speed
         self.stage_startup_seconds = stage_startup_seconds
+
+    @property
+    def predictor(self):
+        """The currently served predictor (tracks service rollbacks)."""
+        if self.service is not None:
+            return self.service.predictor
+        return self._scalar_predictor
+
+    @property
+    def _serving(self):
+        return self.service if self.service is not None else self._scalar_predictor
 
     def estimate(self, plan: PhysicalOp, sku: MachineSku) -> SkuEstimate:
         """Predicted latency/CPU/cost of running ``plan`` on ``sku``."""
@@ -163,7 +194,7 @@ class SkuAdvisor:
         if self.stage_startup_seconds is not None:
             kwargs["stage_startup_seconds"] = self.stage_startup_seconds
         performance = JobPerformancePredictor(
-            _ScaledPredictor(self.predictor, scale), self.estimator, **kwargs
+            _scaled(self._serving, scale), self.estimator, **kwargs
         )
         return SkuEstimate(sku=sku, prediction=performance.predict(plan))
 

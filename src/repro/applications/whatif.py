@@ -33,10 +33,10 @@ from repro.applications.prediction import JobPerformancePredictor, JobPrediction
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.common.errors import ValidationError
 from repro.common.hashing import combine_hashes, stable_hash
-from repro.core.cost_model import CleoCostModel
 from repro.core.predictor import CleoPredictor
 from repro.optimizer.planner import PlannerConfig, QueryPlanner
 from repro.plan.logical import LogicalOp, LogicalOpType, normalize_input_name
+from repro.serving.service import CleoService
 
 
 # --------------------------------------------------------------------- #
@@ -253,14 +253,19 @@ class WhatIfAnalyzer:
 
     def __init__(
         self,
-        predictor: CleoPredictor,
+        predictor: CleoService | CleoPredictor,
         estimator: CardinalityEstimator | None = None,
         planner_config: PlannerConfig | None = None,
     ) -> None:
-        self.predictor = predictor
+        self.service = CleoService.ensure(predictor)
         self.estimator = estimator or CardinalityEstimator()
         self.planner_config = planner_config or PlannerConfig()
-        self.performance = JobPerformancePredictor(predictor, self.estimator)
+        self.performance = JobPerformancePredictor(self.service, self.estimator)
+
+    @property
+    def predictor(self) -> CleoPredictor:
+        """The currently served predictor (tracks service rollbacks)."""
+        return self.service.predictor
 
     # ------------------------------------------------------------------ #
     # Generic transform evaluation
@@ -336,7 +341,7 @@ class WhatIfAnalyzer:
 
     def _plan_and_predict(self, logical: LogicalOp) -> JobPrediction:
         planner = QueryPlanner(
-            CleoCostModel(self.predictor), self.estimator, self.planner_config
+            self.service.cost_model(), self.estimator, self.planner_config
         )
         planned = planner.plan(logical)
         return self.performance.predict(planned.plan)

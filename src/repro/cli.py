@@ -1,14 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's day-to-day loops without writing code:
+Five commands cover the library's day-to-day loops without writing code:
 
 * ``workload``   — generate + execute a synthetic cluster workload and
   print its Figure-9-style profile;
-* ``train``      — run a workload, train Cleo on the early days, and save
-  the predictor to a JSON model file (the paper's "models can be served
-  from a text file", Section 5.1);
+* ``train``      — run a workload, train Cleo on the early days via
+  :class:`~repro.serving.service.CleoService`, and save the models to a
+  JSON model file (the paper's "models can be served from a text file",
+  Section 5.1);
 * ``evaluate``   — load a saved model file and score it against the same
   workload's held-out day, printing the per-model-kind quality table;
+* ``predict``    — serve a saved model file against a held-out day through
+  the batched prediction path, reporting accuracy, per-model-group call
+  counts, and cache hit rates, with optional per-operator explanations;
 * ``experiment`` — regenerate any paper table/figure or ablation by id
   (``--list`` enumerates them), printing the same report the benchmark
   suite persists.
@@ -134,8 +138,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import CleoTrainer
-    from repro.core.serialization import save_predictor
+    from repro.serving import CleoService
 
     if args.days < 3:
         print("train needs at least 3 days (2 train + 1 combined)", file=sys.stderr)
@@ -143,33 +146,87 @@ def cmd_train(args: argparse.Namespace) -> int:
     generator, runner = _build_workload(args)
     log = runner.run_days(generator, days=range(1, args.days + 1))
     train_days = list(range(1, args.days))
-    predictor = CleoTrainer().train(
+    service = CleoService.train(
         log, individual_days=train_days, combined_days=[args.days - 1]
     )
-    save_predictor(predictor, args.out)
-    print(f"trained {predictor.model_count} models on days {train_days} "
+    service.save(args.out)
+    print(f"trained {service.model_count} models on days {train_days} "
           f"({len(log.filter(days=train_days))} jobs)")
     print(f"saved model file: {args.out} "
-          f"({predictor.memory_bytes / 1024:.0f} KiB in memory)")
+          f"({service.memory_bytes / 1024:.0f} KiB in memory)")
     return 0
+
+
+def _load_service(path: str):
+    """Load a model file, or return None after printing a clean error."""
+    from repro.serving import CleoService
+
+    try:
+        return CleoService.load(path)
+    except FileNotFoundError:
+        print(f"model file not found: {path}", file=sys.stderr)
+    except OSError as exc:  # directory, permission denied, ...
+        print(f"cannot read model file: {path} ({exc})", file=sys.stderr)
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        # Malformed payloads surface as assorted lookup/shape errors deep in
+        # deserialization; all of them mean "this is not a model file".
+        print(f"not a valid model file: {path} ({exc})", file=sys.stderr)
+    return None
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.core import evaluate_predictor_on_log, evaluate_store_on_log
-    from repro.core.serialization import load_predictor
 
-    predictor = load_predictor(args.model)
+    service = _load_service(args.model)
+    if service is None:
+        return 2
     generator, runner = _build_workload(args)
     log = runner.run_days(generator, days=[args.day])
     print(f"evaluating {args.model} on day {args.day} "
           f"({len(log)} jobs, {log.operator_count} operators)")
     print(f"  {'model':<22} {'corr':>6} {'median_err':>11} {'coverage':>9}")
-    for kind, quality in evaluate_store_on_log(predictor.store, log).items():
+    for kind, quality in evaluate_store_on_log(service.store, log).items():
         print(f"  {quality.name:<22} {quality.pearson:6.2f} "
               f"{quality.median_error_pct:10.1f}% {quality.coverage_pct:8.1f}%")
-    combined = evaluate_predictor_on_log(predictor, log)
+    combined = evaluate_predictor_on_log(service, log)
     print(f"  {'combined':<22} {combined.pearson:6.2f} "
           f"{combined.median_error_pct:10.1f}% {100.0:8.1f}%")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.common.stats import median_error_pct, pearson
+
+    service = _load_service(args.model)
+    if service is None:
+        return 2
+    generator, runner = _build_workload(args)
+    log = runner.run_days(generator, days=[args.day])
+    records = list(log.operator_records())
+    if not records:
+        print(f"day {args.day} produced no operators", file=sys.stderr)
+        return 2
+
+    predicted = service.predict_records(records)
+    actual = [r.actual_latency for r in records]
+    stats = service.stats()
+    print(f"served {args.model} over day {args.day}: "
+          f"{len(log)} jobs, {len(records)} operators")
+    print(f"  pearson correlation:   {pearson(list(predicted), actual):6.2f}")
+    print(f"  median error:          {median_error_pct(list(predicted), actual):6.1f}%")
+    print(f"  vectorized model calls: {stats.model_calls} "
+          f"({stats.individual_model_calls} individual model groups + "
+          f"{stats.combined_model_calls} combined)")
+    print(f"  prediction cache:      {stats.cache_hits} hits / "
+          f"{stats.cache.requests} lookups "
+          f"({100.0 * stats.hit_rate:.1f}% hit rate), "
+          f"{stats.in_batch_reuses} in-batch reuses")
+    if args.explain > 0:
+        shown = min(args.explain, len(records))
+        print(f"\nfirst {shown} operators explained:")
+        for record in records[:shown]:
+            explanation = service.explain(record.features, record.signatures)
+            print(f"  {record.op_type:<18} {explanation.describe()}")
     return 0
 
 
@@ -220,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--model", required=True, help="model file from `repro train`")
     p_eval.add_argument("--day", type=int, default=3, help="held-out day (default: 3)")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_pred = sub.add_parser(
+        "predict", help="serve a model file against a held-out day (batched)"
+    )
+    _add_workload_options(p_pred)
+    p_pred.add_argument("--model", required=True, help="model file from `repro train`")
+    p_pred.add_argument("--day", type=int, default=3, help="held-out day (default: 3)")
+    p_pred.add_argument("--explain", type=int, default=0, metavar="N",
+                        help="also explain the first N operator predictions")
+    p_pred.set_defaults(func=cmd_predict)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure or ablation")
     p_exp.add_argument("id", nargs="?", help="experiment id, e.g. tab5 or fig14")

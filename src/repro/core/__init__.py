@@ -15,6 +15,10 @@ The package implements the full Section 3-5 pipeline:
   specificity-ordered fallback chain;
 * :class:`~repro.core.cost_model.CleoCostModel` — the optimizer-facing cost
   model (implements the same protocol as the default model).
+
+Consumers should reach these through :class:`~repro.serving.service.
+CleoService`, the serving façade that owns batching, caching, persistence,
+and versioned deployment.
 """
 
 from repro.core.combined import CombinedModel

@@ -56,6 +56,10 @@ def build_meta_row(
     Missing individual predictions are imputed with the most general
     available prediction; the coverage flags let the trees learn where each
     model's prediction is real versus imputed.
+
+    KEEP IN LOCKSTEP with the batched twin,
+    :meth:`repro.serving.service.CleoService._meta_rows`, which must mirror
+    this layout (column order, imputation, extras) bit for bit.
     """
     predictions: list[float | None] = []
     for kind in _KIND_ORDER:

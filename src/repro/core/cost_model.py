@@ -3,6 +3,13 @@
 Implements the same protocol as the default cost model, so retrofitting it
 into the planner is a drop-in replacement of the cost call in Optimize
 Inputs (step 10 of Figure 8a) — the paper's "minimally invasive" goal.
+
+The heavy lifting lives in :class:`~repro.serving.service.CleoService`:
+this class is the thin :class:`~repro.cost.interface.CostModel` adapter the
+planner holds.  Signature bundles are memoized in the service's *bounded*
+LRU (the earlier per-``id()`` dict grew without bound and could alias
+recycled ids across plans), and whole-plan pricing goes through the
+service's batched path.
 """
 
 from __future__ import annotations
@@ -10,31 +17,39 @@ from __future__ import annotations
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.core.learned_model import ResourceProfile
 from repro.core.predictor import CleoPredictor
+from repro.cost.interface import CostExplanation
 from repro.features.extract import feature_input_for
 from repro.plan.physical import PhysicalOp
-from repro.plan.signatures import SignatureBundle
 
 
 class CleoCostModel:
-    """Prices operators with the learned models.
+    """Prices operators with the learned models, through the serving layer.
 
-    Signature bundles are cached per operator object (they are partition-
-    independent), so partition exploration — which re-prices the same
-    operator at many candidate counts — only pays for featurization.
+    Args:
+        predictor: a trained :class:`CleoPredictor`, or a
+            :class:`~repro.serving.service.CleoService` to adopt.
+        service: explicit service to serve through (overrides the wrapping
+            behaviour; used by :meth:`CleoService.cost_model`).
+
+    A bare predictor is wrapped in a service with the prediction cache
+    *disabled*, so optimizer experiments keep their exact per-prediction
+    model-lookup accounting; pass a service to share its caches instead.
     """
 
-    def __init__(self, predictor: CleoPredictor) -> None:
-        self.predictor = predictor
-        # id -> (op, bundle); holding the op reference keeps ids stable.
-        self._bundles: dict[int, tuple[PhysicalOp, SignatureBundle]] = {}
+    def __init__(self, predictor, service=None) -> None:
+        from repro.serving.service import CleoService  # deferred: import cycle
 
-    def _bundle(self, op: PhysicalOp) -> SignatureBundle:
-        entry = self._bundles.get(id(op))
-        if entry is not None and entry[0] is op:
-            return entry[1]
-        bundle = SignatureBundle.of(op)
-        self._bundles[id(op)] = (op, bundle)
-        return bundle
+        if service is None:
+            if isinstance(predictor, CleoService):
+                service = predictor
+            else:
+                service = CleoService(predictor, prediction_cache_size=0)
+        self.service = service
+
+    @property
+    def predictor(self) -> CleoPredictor:
+        """The currently served predictor (tracks service rollbacks)."""
+        return self.service.predictor
 
     def operator_cost(
         self,
@@ -42,15 +57,23 @@ class CleoCostModel:
         estimator: CardinalityEstimator,
         partition_override: int | None = None,
     ) -> float:
-        features = feature_input_for(op, estimator, partition_override)
-        return self.predictor.predict(features, self._bundle(op))
+        return self.service.predict_operator(op, estimator, partition_override)
+
+    def plan_cost(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
+        """Total plan cost through the service's batched path."""
+        return self.service.predict_plan(root, estimator)
+
+    def explain(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> CostExplanation:
+        return self.service.explain_operator(op, estimator)
 
     def resource_profile(
         self, op: PhysicalOp, estimator: CardinalityEstimator
     ) -> ResourceProfile | None:
         """(theta_p, theta_c, theta_0) for the partition-exploration step."""
         features = feature_input_for(op, estimator)
-        return self.predictor.resource_profile(features, self._bundle(op))
+        return self.predictor.resource_profile(features, self.service.bundle_for(op))
 
     @property
     def lookup_count(self) -> int:
@@ -60,4 +83,4 @@ class CleoCostModel:
         self.predictor.reset_lookup_count()
 
     def clear_cache(self) -> None:
-        self._bundles.clear()
+        self.service.clear_caches()

@@ -7,7 +7,14 @@ hand-crafted combination of statistics whose estimates are "usually way off"
 """
 
 from repro.cost.default_model import DefaultCostModel
-from repro.cost.interface import CostModel, plan_cost
+from repro.cost.interface import CostExplanation, CostModel, CostModelBase, plan_cost
 from repro.cost.tuned_model import TunedCostModel
 
-__all__ = ["CostModel", "DefaultCostModel", "TunedCostModel", "plan_cost"]
+__all__ = [
+    "CostExplanation",
+    "CostModel",
+    "CostModelBase",
+    "DefaultCostModel",
+    "TunedCostModel",
+    "plan_cost",
+]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 
 from repro.cardinality.estimator import CardinalityEstimator
+from repro.cost.interface import CostModelBase
 from repro.plan.physical import PhysOpType, PhysicalOp
 
 #: (cpu_per_row, io_per_byte, out_per_row, nlogn) — deliberately generic and
@@ -46,7 +47,7 @@ DEFAULT_COEFFICIENTS: dict[PhysOpType, tuple[float, float, float, bool]] = {
 }
 
 
-class DefaultCostModel:
+class DefaultCostModel(CostModelBase):
     """SCOPE's default hand-crafted cost model (reproduction)."""
 
     #: Global inflation factor: legacy calibration against older hardware.

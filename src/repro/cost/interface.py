@@ -4,19 +4,64 @@ A cost model prices the *exclusive* cost of a physical operator — its own
 runtime contribution — given the optimizer's cardinality estimates; the total
 plan cost combines exclusive costs bottom-up exactly like SCOPE's default
 models do (Section 3.2).  Costs are in seconds of estimated latency.
+
+Every cost model exposes the same three-method surface so consumers (the
+planner, the serving layer, the applications) never special-case the model
+family:
+
+* :meth:`CostModel.operator_cost` — exclusive cost of one operator;
+* :meth:`CostModel.plan_cost` — total cost of a plan tree;
+* :meth:`CostModel.explain` — where a cost came from: which model kind and
+  signature answered, or why a fallback tier was used instead.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.plan.physical import PhysicalOp
 
 
+@dataclass(frozen=True)
+class CostExplanation:
+    """Provenance of one operator cost.
+
+    Attributes:
+        source: which predictor produced the number — ``"combined"``, an
+            individual model kind value (``"op_subgraph"``, ...),
+            ``"heuristic"`` for the hand-crafted models, or ``"fallback"``
+            for the trained global mean.
+        model_kind: the most specific individual model kind covering the
+            operator (``None`` when nothing covers it, or for heuristics).
+        signature: the signature keying that model in the store (``None``
+            when no model covers the operator, or for heuristics).
+        cost: the predicted exclusive cost, in seconds.
+        fallback_reason: why a more specific tier did not answer (``None``
+            when the most specific tier covered the operator).
+    """
+
+    source: str
+    model_kind: str | None
+    signature: int | None
+    cost: float
+    fallback_reason: str | None = None
+
+    def describe(self) -> str:
+        parts = [f"{self.source}: {self.cost:.6g}s"]
+        if self.model_kind is not None:
+            parts.append(f"kind={self.model_kind}")
+        if self.signature is not None:
+            parts.append(f"signature={self.signature}")
+        if self.fallback_reason is not None:
+            parts.append(f"({self.fallback_reason})")
+        return " ".join(parts)
+
+
 @runtime_checkable
 class CostModel(Protocol):
-    """Anything that can price an operator."""
+    """Anything that can price an operator, a plan, and explain itself."""
 
     def operator_cost(
         self,
@@ -29,9 +74,56 @@ class CostModel(Protocol):
         partition exploration) without rebuilding the plan."""
         ...
 
+    def plan_cost(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
+        """Total plan cost: the sum of exclusive operator costs."""
+        ...
+
+    def explain(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> CostExplanation:
+        """Cost of ``op`` plus the provenance of that number."""
+        ...
+
+
+class CostModelBase:
+    """Default ``plan_cost``/``explain`` for simple (heuristic) models.
+
+    Subclasses only implement :meth:`operator_cost`; learned models override
+    :meth:`explain` with real provenance.
+    """
+
+    def operator_cost(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        raise NotImplementedError
+
+    def plan_cost(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
+        return float(sum(self.operator_cost(op, estimator) for op in root.walk()))
+
+    def explain(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> CostExplanation:
+        return CostExplanation(
+            source="heuristic",
+            model_kind=None,
+            signature=None,
+            cost=self.operator_cost(op, estimator),
+            fallback_reason=None,
+        )
+
 
 def plan_cost(
     model: CostModel, root: PhysicalOp, estimator: CardinalityEstimator
 ) -> float:
-    """Total plan cost: sum of exclusive operator costs over the tree."""
+    """Total plan cost: sum of exclusive operator costs over the tree.
+
+    Prefers the model's own :meth:`~CostModel.plan_cost` (learned models
+    batch it); falls back to a plain sum for minimal duck-typed models.
+    """
+    method = getattr(model, "plan_cost", None)
+    if callable(method):
+        return float(method(root, estimator))
     return float(sum(model.operator_cost(op, estimator) for op in root.walk()))

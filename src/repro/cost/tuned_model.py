@@ -16,11 +16,12 @@ from __future__ import annotations
 import math
 
 from repro.cardinality.estimator import CardinalityEstimator
+from repro.cost.interface import CostModelBase
 from repro.execution.ground_truth import GROUND_TRUTH_COEFFICIENTS
 from repro.plan.physical import PhysOpType, PhysicalOp
 
 
-class TunedCostModel:
+class TunedCostModel(CostModelBase):
     """Manually-improved heuristic model: better structure, same blindness."""
 
     #: Residual per-operator mis-calibration: the tuned constants were fitted

@@ -27,7 +27,6 @@ from repro.applications.progress import (
 )
 from repro.applications.scheduling import SchedulingStudy
 from repro.common.stats import median_error_pct, pearson
-from repro.core.cost_model import CleoCostModel
 from repro.cost.default_model import DefaultCostModel
 from repro.execution.runtime_log import RunLog
 from repro.execution.trace import trace_job
@@ -40,14 +39,14 @@ N_STUDY_JOBS = 24
 
 def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     bundle = get_bundle("cluster1", scale=scale, seed=seed)
-    predictor = bundle.predictor()
+    service = bundle.service()
     test_jobs = list(bundle.test_log())
     plans = {job.job_id: bundle.runner.plans[job.job_id] for job in test_jobs}
 
     rows: list[dict] = []
 
     # ---- 1. Job-level performance prediction --------------------------- #
-    perf = JobPerformancePredictor(predictor, bundle.fresh_estimator())
+    perf = JobPerformancePredictor(service, bundle.fresh_estimator())
     pairs = perf.validate_jobs(plans, bundle.test_log())
     predicted = np.array([p for p, _ in pairs.values()])
     actual = np.array([a for _, a in pairs.values()])
@@ -105,7 +104,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     outcomes = study.run(
         study_jobs,
-        {"learned": CleoCostModel(predictor), "default": DefaultCostModel()},
+        {"learned": service, "default": DefaultCostModel()},
     )
     oracle = study.oracle(study_jobs)
     for metric, extract in (

@@ -17,6 +17,7 @@ from repro.core.predictor import CleoPredictor
 from repro.core.trainer import CleoTrainer
 from repro.execution.hardware import DEFAULT_CLUSTERS, ClusterSpec
 from repro.execution.runtime_log import RunLog
+from repro.serving.service import CleoService
 from repro.workload.generator import ClusterWorkloadConfig, WorkloadGenerator
 from repro.workload.runner import WorkloadRunner
 
@@ -58,6 +59,7 @@ class ClusterBundle:
     runner: WorkloadRunner
     log: RunLog
     _predictor: CleoPredictor | None = None
+    _service: CleoService | None = None
     _train_days: tuple[int, ...] = ()
     _combined_days: tuple[int, ...] = ()
 
@@ -81,7 +83,20 @@ class ClusterBundle:
             )
             self._train_days = train_days
             self._combined_days = combined_days
+            self._service = None
         return self._predictor
+
+    def service(
+        self,
+        train_days: tuple[int, ...] = (1, 2),
+        combined_days: tuple[int, ...] = (2,),
+        config: CleoConfig | None = None,
+    ) -> CleoService:
+        """The serving façade over :meth:`predictor` (cached alongside it)."""
+        predictor = self.predictor(train_days, combined_days, config)
+        if self._service is None or self._service.predictor is not predictor:
+            self._service = CleoService(predictor, config=config)
+        return self._service
 
     def test_log(self, days: tuple[int, ...] = (3,)) -> RunLog:
         return self.log.filter(days=list(days))

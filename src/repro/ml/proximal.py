@@ -149,7 +149,11 @@ class ElasticNetMSLE:
         features = check_predict_input(features, self.coef_ is not None)
         x = self._scaler.transform(features)
         assert self.coef_ is not None
-        raw = (x @ self.coef_ + self.intercept_) * self._y_scale
+        # Per-row multiply-sum instead of a BLAS matvec: BLAS kernels pick
+        # different summation orders for different batch shapes, which would
+        # make batched serving drift from one-at-a-time prediction by ulps.
+        # This form is bitwise batch-size-invariant.
+        raw = ((x * self.coef_).sum(axis=1) + self.intercept_) * self._y_scale
         return np.maximum(raw, 0.0)
 
     def coefficients_raw(self) -> tuple[np.ndarray, float]:

@@ -3,8 +3,11 @@
 A Cascades-style Optimize-Inputs loop: required properties (partitioning,
 sort order) flow down, delivered properties flow up, Exchange/Sort enforcers
 reconcile the two, and every candidate operator is priced through a pluggable
-cost model — the default heuristic model or Cleo's learned models (step 10 of
-Figure 8a is literally one call-site here).
+cost model — the default heuristic model or Cleo's learned models served via
+:class:`~repro.serving.service.CleoService` (step 10 of Figure 8a is
+literally one call-site here).  Final plan totals go through the model's
+``plan_cost``, which the learned models answer with one batched, grouped
+prediction call.
 
 Alternatives explored per logical operator:
 

@@ -1,0 +1,24 @@
+"""Serving layer: the public façade for trained Cleo cost models.
+
+:class:`~repro.serving.service.CleoService` is *the* entry point for
+training, loading, versioning, and querying cost models — batched and
+cached, the way the paper's production deployment consults them
+(Section 5.1).  Everything else in the package is supporting machinery.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.service import (
+    CleoService,
+    PredictionRequest,
+    ServiceStats,
+    as_cost_model,
+)
+
+__all__ = [
+    "CacheStats",
+    "CleoService",
+    "LRUCache",
+    "PredictionRequest",
+    "ServiceStats",
+    "as_cost_model",
+]

@@ -1,0 +1,99 @@
+"""Bounded LRU caches for the serving layer.
+
+The paper's production deployment loads every model upfront and then answers
+millions of prediction calls per optimization pass (Section 5.1), so lookup
+and prediction cost dominate serving.  Recurring workloads re-price the same
+(signature, features) pairs constantly; a bounded LRU in front of the models
+turns those repeats into O(1) hits while keeping memory flat — unlike the
+previous per-``id()`` dict that grew without bound across plans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache since construction (or the last reset)."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0.0 when idle)."""
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+
+class LRUCache:
+    """A bounded least-recently-used map with hit/miss accounting.
+
+    ``capacity <= 0`` disables the cache entirely: every ``get`` misses and
+    ``put`` is a no-op, so callers can switch caching off without branching.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key`` (refreshing its recency), else ``default``."""
+        value = self._entries.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            capacity=self.capacity,
+            size=len(self._entries),
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )

@@ -1,0 +1,600 @@
+"""``CleoService``: the serving façade over trained cost models.
+
+The paper's production story (Section 5.1) is that trained models are
+*served*: loaded upfront into a signature-keyed map and consulted millions
+of times per optimization pass, either "from a text file ... or using a web
+service".  This module is that serving layer for the reproduction — one
+object that owns training, persistence, versioned deployment, and the hot
+prediction path, so no consumer ever assembles ``ModelStore`` +
+``CombinedModel`` + ``CleoPredictor`` by hand again.
+
+Serving-grade mechanics:
+
+* **Batched prediction** — :meth:`CleoService.predict_batch` groups the
+  requests of a workload by covering ``(model kind, signature)`` and prices
+  each group with a single vectorized model call (one ``feature_matrix``
+  build + one matrix predict) instead of N scalar calls.  The batched path
+  is *bitwise identical* to one-at-a-time prediction: every underlying
+  regressor computes per-row, batch-size-invariant reductions.
+* **Prediction cache** — a bounded, signature-keyed LRU in front of the
+  models turns the recurring-job workload's repeated (features, signatures)
+  pairs into O(1) hits; hit/miss counters surface via :meth:`stats`.
+* **Bundle cache** — signature bundles of live plan operators are memoized
+  in a bounded LRU owned by the service (replacing the unbounded per-``id``
+  dict the optimizer-facing cost model used to leak across plans).
+* **Lifecycle** — :meth:`train` / :meth:`load` / :meth:`save` /
+  :meth:`deploy` wrap the trainer, the JSON model-file format, and the
+  versioned :class:`~repro.core.lifecycle.ModelRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.combined import _KIND_ORDER
+from repro.core.config import CleoConfig, ModelKind
+from repro.core.learned_model import LearnedCostModel, ResourceProfile
+from repro.core.lifecycle import ModelRegistry, ModelVersion
+from repro.core.model_store import ModelStore, signature_for
+from repro.core.predictor import CleoPredictor
+from repro.core.trainer import CleoTrainer
+from repro.cost.interface import CostExplanation, CostModel
+from repro.execution.runtime_log import OperatorRecord, RunLog
+from repro.features.extract import feature_input_for
+from repro.features.featurizer import FeatureInput
+from repro.plan.physical import PhysicalOp
+from repro.plan.signatures import SignatureBundle
+from repro.serving.cache import CacheStats, LRUCache
+
+#: Default prediction-cache capacity: comfortably holds a few optimization
+#: passes of a production-shaped recurring workload.
+DEFAULT_PREDICTION_CACHE = 65_536
+
+#: Default bundle-cache capacity: a few hundred plans' worth of operators.
+DEFAULT_BUNDLE_CACHE = 8_192
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One operator to price: its compile-time features and signatures."""
+
+    features: FeatureInput
+    signatures: SignatureBundle
+
+    @classmethod
+    def for_record(cls, record: OperatorRecord) -> "PredictionRequest":
+        """Request for a logged operator (its compile-time view)."""
+        return cls(features=record.features, signatures=record.signatures)
+
+    @property
+    def key(self) -> tuple[FeatureInput, SignatureBundle]:
+        """The prediction-cache key (both components are frozen/hashable)."""
+        return (self.features, self.signatures)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Serving counters since construction (or the last ``reset_stats``).
+
+    ``individual_model_calls`` counts vectorized individual-model
+    invocations — exactly one per covering ``(kind, signature)`` group per
+    batch — and ``combined_model_calls`` counts meta-ensemble matrix calls
+    (at most one per batch).  Scalar (non-batched) predictions are tracked
+    separately and never inflate the vectorized-call counters.
+    """
+
+    predictions: int
+    batches: int
+    batched_predictions: int
+    scalar_predictions: int
+    cache: CacheStats
+    bundle_cache: CacheStats
+    individual_model_calls: int
+    combined_model_calls: int
+    fallback_predictions: int
+    #: Batch requests answered by deduplication against an identical request
+    #: in the *same* batch (computed once, reused without a cache entry).
+    in_batch_reuses: int
+
+    @property
+    def model_calls(self) -> int:
+        """All vectorized model invocations (individual + combined)."""
+        return self.individual_model_calls + self.combined_model_calls
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    def describe(self) -> str:
+        return (
+            f"{self.predictions} predictions "
+            f"({self.batches} batches, {self.scalar_predictions} scalar), "
+            f"cache {self.cache.hits}/{self.cache.requests} hits "
+            f"({100.0 * self.cache.hit_rate:.1f}%) "
+            f"+ {self.in_batch_reuses} in-batch reuses, "
+            f"{self.individual_model_calls} individual + "
+            f"{self.combined_model_calls} combined vectorized model calls, "
+            f"{self.fallback_predictions} global fallbacks"
+        )
+
+
+class CleoService:
+    """The public serving API for training, loading, and querying models.
+
+    Args:
+        predictor: the trained models to serve.
+        config: training/config knobs kept for save/load round-trips.
+        prediction_cache_size: LRU capacity of the (features, signatures)
+            prediction cache; ``0`` disables caching (every request is
+            computed, preserving exact model-lookup accounting).
+        bundle_cache_size: LRU capacity of the per-operator signature-bundle
+            cache used by the optimizer-facing path.
+        registry: versioned deployment registry; a fresh one when omitted.
+    """
+
+    def __init__(
+        self,
+        predictor: CleoPredictor,
+        config: CleoConfig | None = None,
+        prediction_cache_size: int = DEFAULT_PREDICTION_CACHE,
+        bundle_cache_size: int = DEFAULT_BUNDLE_CACHE,
+        registry: ModelRegistry | None = None,
+    ) -> None:
+        self.config = config or CleoConfig()
+        self._prediction_cache = LRUCache(prediction_cache_size)
+        self._bundle_cache = LRUCache(bundle_cache_size)
+        self._predictor = predictor
+        self.registry = registry or ModelRegistry()
+        self._batches = 0
+        self._batched_predictions = 0
+        self._scalar_predictions = 0
+        self._individual_calls = 0
+        self._combined_calls = 0
+        self._fallbacks = 0
+        self._batch_reuses = 0
+
+    @property
+    def predictor(self) -> CleoPredictor:
+        """The served models; assigning new ones drops stale cached results."""
+        return self._predictor
+
+    @predictor.setter
+    def predictor(self, predictor: CleoPredictor) -> None:
+        self._predictor = predictor
+        self.clear_caches()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def train(
+        cls,
+        log: RunLog,
+        config: CleoConfig | None = None,
+        individual_days: list[int] | None = None,
+        combined_days: list[int] | None = None,
+        **service_kwargs,
+    ) -> "CleoService":
+        """Train Cleo on a run log and return a ready service.
+
+        Day splits default to the trainer's "all but last / last" cadence.
+        """
+        predictor = CleoTrainer(config).train(
+            log, individual_days=individual_days, combined_days=combined_days
+        )
+        return cls(predictor, config=config, **service_kwargs)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, config: CleoConfig | None = None, **service_kwargs
+    ) -> "CleoService":
+        """Load a service from a model file written by :meth:`save`."""
+        from repro.core.serialization import load_predictor
+
+        return cls(load_predictor(path, config), config=config, **service_kwargs)
+
+    @classmethod
+    def ensure(cls, predictor: "CleoService | CleoPredictor", **kwargs) -> "CleoService":
+        """Adopt an existing service, or wrap a bare predictor in one."""
+        if isinstance(predictor, cls):
+            return predictor
+        return cls(predictor, **kwargs)
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the served models to a JSON model file."""
+        from repro.core.serialization import save_predictor
+
+        save_predictor(self.predictor, path)
+
+    # ------------------------------------------------------------------ #
+    # Deployment (versioned registry)
+    # ------------------------------------------------------------------ #
+
+    def deploy(self, day: int = 0, window: tuple[int, ...] = ()) -> ModelVersion:
+        """Publish the served predictor as a new active registry version."""
+        return self.registry.publish(self.predictor, day=day, window=window)
+
+    def rollback(self) -> ModelVersion:
+        """Reactivate the previous registry version and serve it."""
+        version = self.registry.rollback()
+        self.predictor = version.predictor  # setter drops stale caches
+        return version
+
+    # ------------------------------------------------------------------ #
+    # Scalar prediction (CleoPredictor-compatible surface)
+    # ------------------------------------------------------------------ #
+
+    def predict(self, features: FeatureInput, signatures: SignatureBundle) -> float:
+        """Predicted exclusive cost (seconds) of one operator instance."""
+        key = (features, signatures)
+        cached = self._prediction_cache.get(key)
+        if cached is not None:
+            self._scalar_predictions += 1
+            return cached
+        value = self.predictor.predict(features, signatures)
+        if self._is_fallback(signatures):
+            self._fallbacks += 1
+        self._prediction_cache.put(key, value)
+        self._scalar_predictions += 1
+        return value
+
+    def predict_record(self, record: OperatorRecord) -> float:
+        return self.predict(record.features, record.signatures)
+
+    def resource_profile(
+        self, features: FeatureInput, signatures: SignatureBundle
+    ) -> ResourceProfile | None:
+        return self.predictor.resource_profile(features, signatures)
+
+    def covers(self, kind: ModelKind, signatures: SignatureBundle) -> bool:
+        return self.predictor.covers(kind, signatures)
+
+    def coverage_fraction(self, kind: ModelKind, records: list[OperatorRecord]) -> float:
+        return self.predictor.coverage_fraction(kind, records)
+
+    # ------------------------------------------------------------------ #
+    # Batched prediction
+    # ------------------------------------------------------------------ #
+
+    def predict_batch(self, requests: Sequence[PredictionRequest]) -> np.ndarray:
+        """Price a batch of operators with grouped, vectorized model calls.
+
+        Cache hits are answered immediately; the remaining unique requests
+        are grouped by covering model and each group is priced with one
+        vectorized call.  Results are bitwise identical to calling
+        :meth:`predict` per request.
+        """
+        out = np.empty(len(requests), dtype=float)
+        self._batches += 1
+        self._batched_predictions += len(requests)
+
+        pending: dict[tuple[FeatureInput, SignatureBundle], list[int]] = {}
+        uncached = 0
+        for i, request in enumerate(requests):
+            key = request.key
+            indices = pending.get(key)
+            if indices is not None:  # duplicate within this batch
+                indices.append(i)
+                self._batch_reuses += 1
+                uncached += 1
+                continue
+            cached = self._prediction_cache.get(key)
+            if cached is not None:
+                out[i] = cached
+            else:
+                pending[key] = [i]
+                uncached += 1
+
+        # Lookup accounting (and the fallback counter) charges every request
+        # not served from the LRU, so a cache-disabled service matches the
+        # scalar path's "five learned predictions per sample" bookkeeping
+        # exactly (Section 6.5).  With the cache *enabled* the paths can
+        # legitimately differ by `in_batch_reuses`: a sequential replay
+        # turns in-batch duplicates into LRU hits (uncharged), while the
+        # batch computes them once and reuses the value without a cache
+        # round-trip (charged per request).
+        self.predictor.lookup_count += uncached * CleoPredictor.LOOKUPS_PER_PREDICTION
+
+        if pending:
+            keys = list(pending)
+            values = self._compute_batch(keys, [len(pending[k]) for k in keys])
+            for key, value in zip(keys, values):
+                scalar = float(value)
+                self._prediction_cache.put(key, scalar)
+                for i in pending[key]:
+                    out[i] = scalar
+        return out
+
+    def predict_records(self, records: Iterable[OperatorRecord]) -> np.ndarray:
+        """Batched predictions for logged operators, in record order."""
+        return self.predict_batch([PredictionRequest.for_record(r) for r in records])
+
+    def _compute_batch(
+        self,
+        keys: list[tuple[FeatureInput, SignatureBundle]],
+        request_counts: list[int],
+    ) -> np.ndarray:
+        """Grouped, vectorized predictions for unique uncached requests.
+
+        ``request_counts[i]`` is how many batch requests key ``i`` answers,
+        so per-request counters (fallbacks) match the scalar path exactly.
+        """
+        n = len(keys)
+        features = [key[0] for key in keys]
+        bundles = [key[1] for key in keys]
+        predictor = self.predictor
+        store = predictor.store
+
+        combined = predictor.combined
+        if combined is not None and combined.is_fitted:
+            rows = self._meta_rows(store, features, bundles)
+            self._combined_calls += 1
+            return combined.predict_rows(rows)
+
+        values = np.full(n, predictor.fallback_cost, dtype=float)
+        groups: dict[tuple[ModelKind, int], list[int]] = {}
+        for i, bundle in enumerate(bundles):
+            best = store.most_specific(bundle)
+            if best is None:
+                self._fallbacks += request_counts[i]
+                continue
+            kind, _ = best
+            groups.setdefault((kind, signature_for(kind, bundle)), []).append(i)
+        for (kind, signature), indices in groups.items():
+            model = store.get(kind, signature)
+            assert model is not None
+            self._individual_calls += 1
+            values[indices] = model.predict_many([features[i] for i in indices])
+        return values
+
+    def _meta_rows(
+        self,
+        store: ModelStore,
+        features: list[FeatureInput],
+        bundles: list[SignatureBundle],
+    ) -> np.ndarray:
+        """Vectorized :func:`~repro.core.combined.build_meta_row` for a batch.
+
+        One ``predict_many`` per covering ``(kind, signature)`` group fills
+        the prediction columns; imputation and flags replicate the scalar
+        meta-row construction value-for-value.
+
+        KEEP IN LOCKSTEP with ``build_meta_row`` (column order, imputation
+        rule, extras) — any layout change there must be mirrored here, or
+        batched combined-model predictions diverge from scalar ones.  The
+        regression net is ``tests/serving/test_service.py::
+        TestBatchedPrediction::test_batch_bitwise_identical_to_sequential``.
+        """
+        n = len(features)
+        kinds = len(_KIND_ORDER)
+        predictions = np.zeros((n, kinds), dtype=float)
+        flags = np.zeros((n, kinds), dtype=float)
+
+        for k, kind in enumerate(_KIND_ORDER):
+            groups: dict[int, list[int]] = {}
+            for i, bundle in enumerate(bundles):
+                signature = signature_for(kind, bundle)
+                if store.get(kind, signature) is not None:
+                    groups.setdefault(signature, []).append(i)
+            for signature, indices in groups.items():
+                model = store.get(kind, signature)
+                assert model is not None
+                self._individual_calls += 1
+                predictions[indices, k] = model.predict_many(
+                    [features[i] for i in indices]
+                )
+                flags[indices, k] = 1.0
+
+        # Impute missing predictions with the most general available one —
+        # the last covered kind in specificity order, 0.0 when none covers.
+        impute = np.zeros(n, dtype=float)
+        for k in range(kinds):
+            impute = np.where(flags[:, k] == 1.0, predictions[:, k], impute)
+        filled = np.where(flags == 1.0, predictions, impute[:, None])
+
+        input_card = np.array([f.input_card for f in features], dtype=float)
+        base_card = np.array([f.base_card for f in features], dtype=float)
+        output_card = np.array([f.output_card for f in features], dtype=float)
+        partitions = np.array([f.partition_count for f in features], dtype=float)
+        extras = np.column_stack(
+            [
+                input_card,
+                base_card,
+                output_card,
+                input_card / partitions,
+                base_card / partitions,
+                output_card / partitions,
+                partitions,
+            ]
+        )
+        return np.concatenate([filled, flags, extras], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Operator / plan entry points (optimizer-facing)
+    # ------------------------------------------------------------------ #
+
+    def bundle_for(self, op: PhysicalOp) -> SignatureBundle:
+        """The operator's signature bundle, via the bounded bundle cache.
+
+        Entries carry the operator reference, so a recycled ``id`` from a
+        freed plan can never alias a live operator's signatures.
+        """
+        entry = self._bundle_cache.get(id(op))
+        if entry is not None and entry[0] is op:
+            return entry[1]
+        bundle = SignatureBundle.of(op)
+        self._bundle_cache.put(id(op), (op, bundle))
+        return bundle
+
+    def predict_operator(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        """Exclusive cost of a live plan operator (the planner's call)."""
+        features = feature_input_for(op, estimator, partition_override)
+        return self.predict(features, self.bundle_for(op))
+
+    def predict_plan(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
+        """Total plan cost, priced through one batched call.
+
+        The left-fold summation matches a sequential ``operator_cost`` loop
+        exactly, so batching never changes a plan's total cost.
+        """
+        requests = [
+            PredictionRequest(feature_input_for(op, estimator), self.bundle_for(op))
+            for op in root.walk()
+        ]
+        total = 0.0
+        for value in self.predict_batch(requests):
+            total = total + float(value)
+        return total
+
+    def cost_model(self) -> CostModel:
+        """An optimizer-facing :class:`CostModel` bound to this service."""
+        from repro.core.cost_model import CleoCostModel
+
+        return CleoCostModel(self.predictor, service=self)
+
+    # ------------------------------------------------------------------ #
+    # Explanation
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self, features: FeatureInput, signatures: SignatureBundle
+    ) -> CostExplanation:
+        """The prediction plus which model tier produced it and why."""
+        cost = self.predict(features, signatures)
+        predictor = self.predictor
+        best = predictor.store.most_specific(signatures)
+        kind = best[0] if best is not None else None
+        signature = signature_for(kind, signatures) if kind is not None else None
+
+        if predictor.combined is not None and predictor.combined.is_fitted:
+            reason = None
+            if kind is None:
+                reason = (
+                    "no individual model covers this operator; the combined "
+                    "model imputed every meta-feature"
+                )
+            elif kind is not ModelKind.OP_SUBGRAPH:
+                reason = (
+                    "no model more specific than "
+                    f"{kind.value} covers this signature"
+                )
+            return CostExplanation(
+                source="combined",
+                model_kind=kind.value if kind is not None else None,
+                signature=signature,
+                cost=cost,
+                fallback_reason=reason,
+            )
+        if kind is not None:
+            reason = (
+                None
+                if kind is ModelKind.OP_SUBGRAPH
+                else f"no model more specific than {kind.value} covers this signature"
+            )
+            return CostExplanation(
+                source=kind.value,
+                model_kind=kind.value,
+                signature=signature,
+                cost=cost,
+                fallback_reason=reason,
+            )
+        return CostExplanation(
+            source="fallback",
+            model_kind=None,
+            signature=None,
+            cost=cost,
+            fallback_reason="no trained model covers this operator; "
+            "serving the trained global mean",
+        )
+
+    def explain_operator(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> CostExplanation:
+        features = feature_input_for(op, estimator)
+        return self.explain(features, self.bundle_for(op))
+
+    # ------------------------------------------------------------------ #
+    # Introspection and stats
+    # ------------------------------------------------------------------ #
+
+    def _is_fallback(self, signatures: SignatureBundle) -> bool:
+        predictor = self.predictor
+        if predictor.combined is not None and predictor.combined.is_fitted:
+            return False
+        return predictor.store.most_specific(signatures) is None
+
+    @property
+    def store(self) -> ModelStore:
+        return self.predictor.store
+
+    @property
+    def model_count(self) -> int:
+        return self.predictor.model_count
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.predictor.memory_bytes
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            predictions=self._batched_predictions + self._scalar_predictions,
+            batches=self._batches,
+            batched_predictions=self._batched_predictions,
+            scalar_predictions=self._scalar_predictions,
+            cache=self._prediction_cache.stats(),
+            bundle_cache=self._bundle_cache.stats(),
+            individual_model_calls=self._individual_calls,
+            combined_model_calls=self._combined_calls,
+            fallback_predictions=self._fallbacks,
+            in_batch_reuses=self._batch_reuses,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every counter (cache contents are kept)."""
+        self._batches = 0
+        self._batched_predictions = 0
+        self._scalar_predictions = 0
+        self._individual_calls = 0
+        self._combined_calls = 0
+        self._fallbacks = 0
+        self._batch_reuses = 0
+        self._prediction_cache.reset_stats()
+        self._bundle_cache.reset_stats()
+
+    def clear_caches(self) -> None:
+        """Drop cached predictions and bundles (counters are kept)."""
+        self._prediction_cache.clear()
+        self._bundle_cache.clear()
+
+    def describe(self) -> str:
+        return (
+            f"CleoService({self.predictor.model_count} models, "
+            f"{self.memory_bytes / 1024:.0f} KiB, "
+            f"cache {self._prediction_cache.capacity})"
+        )
+
+
+def as_cost_model(model: "CostModel | CleoService") -> CostModel:
+    """Normalize a service or cost model into the :class:`CostModel` surface."""
+    if isinstance(model, CleoService):
+        return model.cost_model()
+    return model

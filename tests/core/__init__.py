@@ -1,0 +1,1 @@
+"""Test package (unique import paths for duplicate basenames)."""

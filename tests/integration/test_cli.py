@@ -70,6 +70,32 @@ class TestTrainEvaluateRoundTrip:
         assert code == 2
 
 
+class TestPredictCommand:
+    def test_serves_batched_predictions_with_stats(self, tmp_path, capsys):
+        model_path = tmp_path / "models.json"
+        main(["train", "--days", "3", *SMALL, "--out", str(model_path)])
+        capsys.readouterr()
+        code = main(["predict", "--model", str(model_path), *SMALL, "--day", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vectorized model calls" in out
+        assert "prediction cache" in out
+        assert "median error" in out
+
+    def test_explains_operator_predictions(self, tmp_path, capsys):
+        model_path = tmp_path / "models.json"
+        main(["train", "--days", "3", *SMALL, "--out", str(model_path)])
+        capsys.readouterr()
+        code = main(
+            ["predict", "--model", str(model_path), *SMALL, "--day", "3",
+             "--explain", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operators explained" in out
+        assert "combined" in out
+
+
 class TestExperimentCommand:
     def test_list_covers_every_paper_artifact(self, capsys):
         code = main(["experiment", "--list"])

@@ -1,0 +1,256 @@
+"""Tests for the serving façade (repro.serving).
+
+The load-bearing guarantee: batched serving is *bitwise identical* to
+one-at-a-time prediction while collapsing a workload's pricing into one
+vectorized model call per covering (kind, signature) group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SPECIFICITY_ORDER, ModelKind
+from repro.core.model_store import ModelStore, signature_for
+from repro.core.predictor import CleoPredictor
+from repro.serving import CleoService, LRUCache, PredictionRequest
+from repro.serving.service import as_cost_model
+
+
+@pytest.fixture(scope="module")
+def workload_records(tiny_bundle):
+    """At least 1000 operator instances from the tiny cluster workload."""
+    records = list(tiny_bundle.log.operator_records())
+    assert len(records) >= 1000, "tiny workload should exceed 1k operators"
+    return records
+
+
+@pytest.fixture()
+def service(tiny_predictor):
+    return CleoService(tiny_predictor)
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_bounded_with_lru_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now the oldest
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestBatchedPrediction:
+    def test_batch_bitwise_identical_to_sequential(self, service, workload_records):
+        """Acceptance: 1k+ operators, batched == sequential, bit for bit."""
+        requests = [PredictionRequest.for_record(r) for r in workload_records]
+        batched = service.predict_batch(requests)
+        sequential = np.array(
+            [
+                service.predictor.predict(r.features, r.signatures)
+                for r in workload_records
+            ]
+        )
+        assert np.array_equal(batched, sequential)
+
+    def test_one_vectorized_call_per_model_group(self, service, workload_records):
+        """Acceptance: at most one vectorized call per (kind, signature)
+        group (plus one combined-model matrix call), via ``stats()``."""
+        requests = [PredictionRequest.for_record(r) for r in workload_records]
+        unique = {r.key for r in requests}
+        expected_groups = len(
+            {
+                (kind, signature_for(kind, signatures))
+                for _, signatures in unique
+                for kind in ModelKind
+                if service.store.lookup(kind, signatures) is not None
+            }
+        )
+        service.reset_stats()
+        service.predict_batch(requests)
+        stats = service.stats()
+        assert stats.individual_model_calls == expected_groups
+        assert stats.combined_model_calls == 1
+        assert stats.model_calls <= expected_groups + 1
+        assert stats.batched_predictions == len(requests)
+
+    def test_cache_hits_counted_and_models_not_recalled(self, service, workload_records):
+        requests = [PredictionRequest.for_record(r) for r in workload_records[:200]]
+        first = service.predict_batch(requests)
+        calls_after_first = service.stats().model_calls
+        second = service.predict_batch(requests)
+        stats = service.stats()
+        assert np.array_equal(first, second)
+        assert stats.model_calls == calls_after_first  # no new model work
+        assert stats.cache_hits >= len({r.key for r in requests})
+
+    def test_scalar_predict_uses_cache(self, service, workload_records):
+        record = workload_records[0]
+        first = service.predict(record.features, record.signatures)
+        lookups_after_first = service.predictor.lookup_count
+        second = service.predict(record.features, record.signatures)
+        assert first == second
+        assert service.predictor.lookup_count == lookups_after_first
+        assert service.stats().cache_hits >= 1
+
+    def test_store_only_batch_matches_sequential(self, tiny_predictor, workload_records):
+        """Without the combined model the grouped fallback chain batches too."""
+        store_only = CleoPredictor(store=tiny_predictor.store)
+        service = CleoService(store_only)
+        requests = [PredictionRequest.for_record(r) for r in workload_records[:500]]
+        batched = service.predict_batch(requests)
+        sequential = np.array(
+            [store_only.predict(r.features, r.signatures) for r in workload_records[:500]]
+        )
+        assert np.array_equal(batched, sequential)
+        assert service.stats().combined_model_calls == 0
+
+    def test_cache_disabled_recomputes(self, tiny_predictor, workload_records):
+        service = CleoService(tiny_predictor, prediction_cache_size=0)
+        requests = [PredictionRequest.for_record(r) for r in workload_records[:50]]
+        service.predict_batch(requests)
+        first_calls = service.stats().model_calls
+        service.predict_batch(requests)
+        assert service.stats().model_calls == 2 * first_calls
+        assert service.stats().cache_hits == 0
+
+    def test_cache_disabled_lookup_accounting_matches_scalar(
+        self, tiny_predictor, workload_records
+    ):
+        """In-batch dedup must not undercount the 5-lookups-per-sample
+        accounting when the cache is off (Section 6.5 parity)."""
+        service = CleoService(tiny_predictor, prediction_cache_size=0)
+        requests = [PredictionRequest.for_record(r) for r in workload_records]
+        tiny_predictor.reset_lookup_count()
+        service.predict_batch(requests)
+        assert tiny_predictor.lookup_count == (
+            len(requests) * CleoPredictor.LOOKUPS_PER_PREDICTION
+        )
+
+    def test_predictor_reassignment_drops_stale_cache(
+        self, tiny_predictor, workload_records
+    ):
+        service = CleoService(tiny_predictor)
+        record = workload_records[0]
+        with_combined = service.predict(record.features, record.signatures)
+        service.predictor = CleoPredictor(store=tiny_predictor.store)
+        fresh = service.predict(record.features, record.signatures)
+        assert fresh == tiny_predictor.store.most_specific(record.signatures)[
+            1
+        ].predict_one(record.features)
+        assert fresh != with_combined  # not served from the stale entry
+
+
+class TestExplain:
+    def test_combined_tier(self, service, workload_records):
+        record = workload_records[0]
+        explanation = service.explain(record.features, record.signatures)
+        assert explanation.source == "combined"
+        assert explanation.cost == service.predict(record.features, record.signatures)
+
+    def test_individual_tier_reports_most_specific_kind(
+        self, tiny_predictor, workload_records
+    ):
+        store_only = CleoService(CleoPredictor(store=tiny_predictor.store))
+        for record in workload_records[:100]:
+            explanation = store_only.explain(record.features, record.signatures)
+            best = tiny_predictor.store.most_specific(record.signatures)
+            assert best is not None
+            kind = best[0]
+            assert explanation.source == kind.value
+            assert explanation.model_kind == kind.value
+            assert explanation.signature == signature_for(kind, record.signatures)
+            if kind is SPECIFICITY_ORDER[0]:
+                assert explanation.fallback_reason is None
+            else:
+                assert kind.value in explanation.fallback_reason
+
+    def test_global_fallback_tier(self, workload_records):
+        empty = CleoService(CleoPredictor(store=ModelStore(), fallback_cost=7.5))
+        record = workload_records[0]
+        explanation = empty.explain(record.features, record.signatures)
+        assert explanation.source == "fallback"
+        assert explanation.model_kind is None
+        assert explanation.cost == 7.5
+        assert "no trained model" in explanation.fallback_reason
+
+
+class TestLifecycle:
+    def test_save_load_round_trip(self, service, workload_records, tmp_path):
+        path = tmp_path / "models.json"
+        service.save(path)
+        reloaded = CleoService.load(path)
+        requests = [PredictionRequest.for_record(r) for r in workload_records[:200]]
+        assert np.array_equal(
+            service.predict_batch(requests), reloaded.predict_batch(requests)
+        )
+        assert reloaded.model_count == service.model_count
+
+    def test_train_constructor(self, tiny_bundle):
+        trained = CleoService.train(
+            tiny_bundle.log, individual_days=[1, 2], combined_days=[2]
+        )
+        assert trained.model_count > 0
+        record = next(tiny_bundle.log.operator_records())
+        assert trained.predict(record.features, record.signatures) >= 0.0
+
+    def test_deploy_and_rollback(self, tiny_predictor, tiny_bundle):
+        service = CleoService(tiny_predictor)
+        first = service.deploy(day=2, window=(1, 2))
+        assert first.version == 1
+        other = CleoPredictor(store=tiny_predictor.store)
+        service.predictor = other
+        second = service.deploy(day=3, window=(2, 3))
+        assert second.version == 2
+        rolled = service.rollback()
+        assert rolled.version == 1
+        assert service.predictor is tiny_predictor
+
+    def test_ensure_idempotent(self, service, tiny_predictor):
+        assert CleoService.ensure(service) is service
+        wrapped = CleoService.ensure(tiny_predictor)
+        assert isinstance(wrapped, CleoService)
+        assert wrapped.predictor is tiny_predictor
+
+
+class TestCostModelFacade:
+    def test_cost_model_prices_like_predictor(self, service, tiny_bundle):
+        job = next(iter(tiny_bundle.test_log()))
+        plan = tiny_bundle.runner.plans[job.job_id]
+        estimator = tiny_bundle.fresh_estimator()
+        model = service.cost_model()
+        estimator.reset()
+        sequential = [model.operator_cost(op, estimator) for op in plan.walk()]
+        total = model.plan_cost(plan, estimator)
+        assert total == pytest.approx(sum(sequential))
+        explanation = model.explain(next(plan.walk()), estimator)
+        assert explanation.source == "combined"
+
+    def test_as_cost_model(self, service):
+        model = as_cost_model(service)
+        assert model.service is service
+        assert as_cost_model(model) is model
+
+    def test_bundle_cache_is_bounded(self, tiny_predictor, tiny_bundle):
+        service = CleoService(tiny_predictor, bundle_cache_size=8)
+        job = next(iter(tiny_bundle.test_log()))
+        plan = tiny_bundle.runner.plans[job.job_id]
+        for op in plan.walk():
+            service.bundle_for(op)
+        assert service.stats().bundle_cache.size <= 8
