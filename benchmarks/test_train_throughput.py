@@ -1,0 +1,30 @@
+"""Benchmark: training throughput (scalar reference vs columnar trainer).
+
+Unlike the figure/table benchmarks this one has no paper counterpart — it
+tracks the reproduction's own perf trajectory (ROADMAP: "fast as the
+hardware allows").  It runs ``CleoTrainer.train`` through both paths,
+asserts bitwise-identical predictions, and drops ``BENCH_train.json`` under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.train_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_train_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_train.json")
+    assert result["predictions_bitwise_identical"]
+    assert result["speedup"] > 1.0

@@ -6,15 +6,25 @@ cardinalities, per-partition cardinalities, and the partition count, and
 outputs a corrected cost.  It characterizes where each individual model is
 reliable, covers every operator (the operator model always predicts), and
 degrades gracefully where specialized models are missing.
+
+Meta rows are built **columnar**: :func:`build_meta_matrix` fills the
+prediction columns with one vectorized model call per covering
+``(kind, signature)`` group over a :class:`~repro.features.table.
+FeatureTable`, then imputes and appends the extras with array ops.  The
+scalar :func:`build_meta_row` is a one-row call into the same code, so the
+two can never drift.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.config import CleoConfig, ModelKind
-from repro.core.model_store import ModelStore
-from repro.features.featurizer import FeatureInput
+from repro.core.model_store import SIGNATURE_FIELDS, ModelStore
+from repro.features.featurizer import FeatureInput, feature_names
+from repro.features.table import FeatureTable
 from repro.ml.base import Regressor
 from repro.ml.gbm import FastTreeRegressor
 from repro.plan.signatures import SignatureBundle
@@ -48,40 +58,103 @@ _KIND_ORDER: tuple[ModelKind, ...] = (
 )
 
 
-def build_meta_row(
-    store: ModelStore, features: FeatureInput, bundle: SignatureBundle
+def predict_covered(
+    store: ModelStore,
+    table: FeatureTable,
+    kind: ModelKind,
+    full_matrix: np.ndarray | None = None,
+    on_model_call: Callable[[], None] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One kind's vectorized predictions over a table's covered rows.
+
+    Groups rows by the kind's signature column and prices each covered
+    ``(kind, signature)`` group with a single ``predict_matrix`` call.
+    Returns ``(mask, predictions)`` in row order; ``predictions[i]`` is 0.0
+    (and meaningless) where ``mask[i]`` is False.  This is the one grouped
+    prediction loop shared by meta-row construction, the robustness
+    evaluators, and the serving layer — keep it that way.
+
+    ``full_matrix`` may pass a precomputed ``table.feature_matrix(
+    include_context=True)`` to avoid a second expansion; ``on_model_call``
+    is invoked once per vectorized model call (the serving layer counts
+    these).
+    """
+    if full_matrix is None:
+        full_matrix = table.feature_matrix(include_context=True)
+    width = len(feature_names(kind.uses_context_features))
+    mask = np.zeros(len(table), dtype=bool)
+    values = np.zeros(len(table), dtype=float)
+    uniques, order, starts, counts = table.group_by_signature(SIGNATURE_FIELDS[kind])
+    for signature, start, count in zip(uniques, starts, counts):
+        model = store.get(kind, int(signature))
+        if model is None:
+            continue
+        indices = order[start : start + count]
+        if on_model_call is not None:
+            on_model_call()
+        values[indices] = model.predict_matrix(full_matrix[indices, :width])
+        mask[indices] = True
+    return mask, values
+
+
+def build_meta_matrix(
+    store: ModelStore,
+    table: FeatureTable,
+    full_matrix: np.ndarray | None = None,
+    on_model_call: Callable[[], None] | None = None,
 ) -> np.ndarray:
-    """One meta-feature row: individual predictions + coverage + extras.
+    """Meta-feature rows for every table row, built with grouped model calls.
+
+    ``full_matrix`` may pass a precomputed ``table.feature_matrix(
+    include_context=True)`` so callers that already expanded the table
+    (the trainer) avoid a second pass.  ``on_model_call`` is invoked once
+    per vectorized individual-model call — the serving layer counts these.
 
     Missing individual predictions are imputed with the most general
     available prediction; the coverage flags let the trees learn where each
     model's prediction is real versus imputed.
-
-    KEEP IN LOCKSTEP with the batched twin,
-    :meth:`repro.serving.service.CleoService._meta_rows`, which must mirror
-    this layout (column order, imputation, extras) bit for bit.
     """
-    predictions: list[float | None] = []
-    for kind in _KIND_ORDER:
-        model = store.lookup(kind, bundle)
-        predictions.append(model.predict_one(features) if model is not None else None)
+    n = len(table)
+    if full_matrix is None:
+        full_matrix = table.feature_matrix(include_context=True)
+    kinds = len(_KIND_ORDER)
+    predictions = np.zeros((n, kinds), dtype=float)
+    flags = np.zeros((n, kinds), dtype=float)
 
-    available = [p for p in predictions if p is not None]
-    impute = available[-1] if available else 0.0  # most general available
-    filled = [p if p is not None else impute for p in predictions]
-    flags = [1.0 if p is not None else 0.0 for p in predictions]
+    for k, kind in enumerate(_KIND_ORDER):
+        mask, values = predict_covered(
+            store, table, kind, full_matrix, on_model_call
+        )
+        predictions[:, k] = values
+        flags[:, k] = mask
 
-    f = features
-    extras = [
-        f.input_card,
-        f.base_card,
-        f.output_card,
-        f.input_card / f.partition_count,
-        f.base_card / f.partition_count,
-        f.output_card / f.partition_count,
-        f.partition_count,
-    ]
-    return np.array(filled + flags + extras, dtype=float)
+    # Impute missing predictions with the most general available one —
+    # the last covered kind in specificity order, 0.0 when none covers.
+    impute = np.zeros(n, dtype=float)
+    for k in range(kinds):
+        impute = np.where(flags[:, k] == 1.0, predictions[:, k], impute)
+    filled = np.where(flags == 1.0, predictions, impute[:, None])
+
+    extras = np.column_stack(
+        [
+            table.input_card,
+            table.base_card,
+            table.output_card,
+            table.input_card / table.partition_count,
+            table.base_card / table.partition_count,
+            table.output_card / table.partition_count,
+            table.partition_count,
+        ]
+    )
+    return np.concatenate([filled, flags, extras], axis=1)
+
+
+def build_meta_row(
+    store: ModelStore, features: FeatureInput, bundle: SignatureBundle
+) -> np.ndarray:
+    """One meta-feature row: a single-row :func:`build_meta_matrix` call,
+    so scalar and batched meta-row construction share one implementation."""
+    return build_meta_matrix(store, FeatureTable.from_inputs([features], [bundle]))[0]
 
 
 class CombinedModel:

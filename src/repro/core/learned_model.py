@@ -24,7 +24,7 @@ from repro.features.featurizer import (
     feature_names,
     feature_vector,
 )
-from repro.ml.proximal import ElasticNetMSLE
+from repro.ml.proximal import ElasticNetMSLE, fit_elastic_nets
 
 _MAX_PREDICT_SECONDS = 1e7  # clamp: a single operator below ~116 days
 
@@ -105,10 +105,29 @@ class LearnedCostModel:
         if len(inputs) != len(latencies):
             raise ValueError("inputs and latencies must align")
         matrix = feature_matrix(inputs, include_context=self.include_context)
+        return self.fit_matrix(matrix, latencies)
+
+    def fit_matrix(self, matrix: np.ndarray, latencies: np.ndarray) -> "LearnedCostModel":
+        """Fit directly on a pre-built feature matrix (column slice).
+
+        The columnar trainer expands the full feature table once and hands
+        each model its rows — same values as per-record featurization.
+        """
+        latencies = np.asarray(latencies, dtype=float).ravel()
+        if matrix.shape[0] != len(latencies):
+            raise ValueError("matrix rows and latencies must align")
+        self._check_width(matrix)
         self._net.fit(matrix, np.clip(latencies, 0.0, None))
-        self.n_samples = len(inputs)
+        self.n_samples = matrix.shape[0]
         self._fitted = True
         return self
+
+    def _check_width(self, matrix: np.ndarray) -> None:
+        expected = len(feature_names(self.include_context))
+        if matrix.ndim != 2 or matrix.shape[1] != expected:
+            raise ValueError(
+                f"expected a (n, {expected}) feature matrix, got {matrix.shape}"
+            )
 
     # ------------------------------------------------------------------ #
     # Prediction
@@ -121,6 +140,12 @@ class LearnedCostModel:
 
     def predict_many(self, inputs: list[FeatureInput]) -> np.ndarray:
         matrix = feature_matrix(inputs, include_context=self.include_context)
+        return self.predict_matrix(matrix)
+
+    def predict_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Predict directly from pre-built feature rows (bitwise identical
+        to :meth:`predict_many` — the regressor is batch-size-invariant)."""
+        self._check_width(matrix)
         return np.minimum(self._net.predict(matrix), _MAX_PREDICT_SECONDS)
 
     # ------------------------------------------------------------------ #
@@ -172,3 +197,32 @@ class LearnedCostModel:
         """Approximate serialized size (the paper's ~600 MB footprint note)."""
         width = len(feature_names(self.include_context))
         return (width + 1) * 8 + 64
+
+
+def fit_models_batched(
+    models: list[LearnedCostModel],
+    matrix: np.ndarray,
+    latencies: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+) -> None:
+    """Fit many per-signature models of one kind in a single Adam loop.
+
+    ``matrix`` stacks every model's feature rows contiguously (model ``g``
+    owns rows ``starts[g] : starts[g]+lengths[g]``); all models must share
+    ``include_context`` (one model kind).  Coefficients are bitwise
+    identical to fitting each model alone on its slice — see
+    :func:`repro.ml.proximal.fit_elastic_nets`.
+    """
+    if not models:
+        return
+    include_context = models[0].include_context
+    for model in models[1:]:
+        if model.include_context != include_context:
+            raise ValueError("batched models must share include_context")
+    models[0]._check_width(matrix)
+    latencies = np.clip(np.asarray(latencies, dtype=float).ravel(), 0.0, None)
+    fit_elastic_nets([m._net for m in models], matrix, latencies, starts, lengths)
+    for model, length in zip(models, lengths):
+        model.n_samples = int(length)
+        model._fitted = True

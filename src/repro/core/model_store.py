@@ -14,15 +14,18 @@ from repro.core.learned_model import LearnedCostModel
 from repro.plan.signatures import SignatureBundle
 
 
+#: The SignatureBundle / FeatureTable signature column that keys each kind.
+SIGNATURE_FIELDS: dict[ModelKind, str] = {
+    ModelKind.OP_SUBGRAPH: "strict",
+    ModelKind.OP_SUBGRAPH_APPROX: "approx",
+    ModelKind.OP_INPUT: "input",
+    ModelKind.OPERATOR: "operator",
+}
+
+
 def signature_for(kind: ModelKind, bundle: SignatureBundle) -> int:
     """The bundle component that keys models of ``kind``."""
-    if kind is ModelKind.OP_SUBGRAPH:
-        return bundle.strict
-    if kind is ModelKind.OP_SUBGRAPH_APPROX:
-        return bundle.approx
-    if kind is ModelKind.OP_INPUT:
-        return bundle.input
-    return bundle.operator
+    return getattr(bundle, SIGNATURE_FIELDS[kind])
 
 
 @dataclass

@@ -13,12 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.combined import CombinedModel
+from repro.core.combined import CombinedModel, build_meta_matrix
 from repro.core.config import ModelKind
 from repro.core.learned_model import ResourceProfile
 from repro.core.model_store import ModelStore
 from repro.execution.runtime_log import OperatorRecord
 from repro.features.featurizer import FeatureInput
+from repro.features.table import FeatureTable
 from repro.plan.signatures import SignatureBundle
 
 
@@ -98,5 +99,25 @@ class CleoPredictor:
     def memory_bytes(self) -> int:
         return self.store.memory_bytes
 
-    def predict_records(self, records: list[OperatorRecord]) -> np.ndarray:
+    def predict_records(
+        self, records: list[OperatorRecord], table: FeatureTable | None = None
+    ) -> np.ndarray:
+        """Batched predictions for logged operators, in record order.
+
+        Routes through the columnar meta-row builder (one vectorized model
+        call per covering group) — bitwise identical to per-record
+        :meth:`predict_record`, with the same lookup accounting.  Callers
+        that already materialized the records' columns (``log.to_table()``)
+        can pass ``table`` to skip re-packing them.
+        """
+        records = list(records)
+        if not records:
+            return np.empty(0, dtype=float)
+        if self.combined is not None and self.combined.is_fitted:
+            self.lookup_count += len(records) * self.LOOKUPS_PER_PREDICTION
+            if table is None:
+                table = FeatureTable.from_records(records)
+            elif len(table) != len(records):
+                raise ValueError("table and records must align")
+            return self.combined.predict_rows(build_meta_matrix(self.store, table))
         return np.array([self.predict_record(r) for r in records], dtype=float)

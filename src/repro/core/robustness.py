@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.stats import median_error_pct, pearson, percentile_error_pct
+from repro.core.combined import predict_covered
 from repro.core.config import ModelKind
 from repro.core.model_store import ModelStore
 from repro.core.predictor import CleoPredictor
@@ -62,22 +63,38 @@ def _quality(
     )
 
 
+def store_predictions_by_kind(
+    store: ModelStore, log: RunLog, kinds: tuple[ModelKind, ...] = tuple(ModelKind)
+) -> dict[ModelKind, tuple[np.ndarray, np.ndarray]]:
+    """Per-kind ``(covered mask, predictions)`` aligned with record order.
+
+    Predictions are computed columnar: groups are formed with array ops over
+    the log's feature table and each covering ``(kind, signature)`` group is
+    priced with one vectorized model call.  ``predictions[i]`` is only
+    meaningful where ``mask[i]`` is True.
+    """
+    table = log.to_table()
+    full_matrix = table.feature_matrix(include_context=True)
+    return {
+        kind: predict_covered(store, table, kind, full_matrix) for kind in kinds
+    }
+
+
 def evaluate_store_on_log(
     store: ModelStore, log: RunLog, kinds: tuple[ModelKind, ...] = tuple(ModelKind)
 ) -> dict[ModelKind, ModelQuality]:
     """Per-kind accuracy over *covered* records plus coverage fraction."""
-    records = list(log.operator_records())
+    table = log.to_table()
+    by_kind = store_predictions_by_kind(store, log, kinds)
     out: dict[ModelKind, ModelQuality] = {}
     for kind in kinds:
-        predicted: list[float] = []
-        actual: list[float] = []
-        for record in records:
-            model = store.lookup(kind, record.signatures)
-            if model is None:
-                continue
-            predicted.append(model.predict_one(record.features))
-            actual.append(record.actual_latency)
-        out[kind] = _quality(kind.value, predicted, actual, len(records))
+        mask, predictions = by_kind[kind]
+        out[kind] = _quality(
+            kind.value,
+            predictions[mask],
+            table.latency[mask],
+            len(table),
+        )
     return out
 
 
@@ -86,9 +103,12 @@ def evaluate_predictor_on_log(
 ) -> ModelQuality:
     """Combined-model accuracy over every record (always 100% coverage)."""
     records = list(log.operator_records())
-    predicted = [predictor.predict_record(r) for r in records]
-    actual = [r.actual_latency for r in records]
-    return _quality(name, predicted, actual, len(records))
+    table = log.to_table()
+    if isinstance(predictor, CleoPredictor):
+        predicted = predictor.predict_records(records, table=table)
+    else:  # duck-typed: e.g. a CleoService (cached/batched serving path)
+        predicted = predictor.predict_records(records)
+    return _quality(name, predicted, table.latency, len(records))
 
 
 def evaluate_baseline_on_records(

@@ -5,19 +5,31 @@ independently per template signature (in SCOPE, in parallel on SCOPE
 itself), then the combined model is trained on a *later* slice of the
 workload so that the meta-features reflect the individual models'
 generalization rather than their training fit.
+
+The hot path is **columnar**: the run log is materialized once into a
+:class:`~repro.features.table.FeatureTable`, the full derived feature
+matrix is expanded with one vectorized pass per feature expression, groups
+are formed with ``argsort``/``unique`` over the signature columns, all of a
+kind's per-signature elastic nets are fitted in one batched Adam loop, and
+the combined model's meta rows are built through the same grouped
+vectorized prediction that the serving layer uses.  The per-record
+reference implementations (``train_individual_reference`` /
+``train_combined_reference``) are kept as the pinned scalar baseline: they
+produce bitwise-identical models and feed the training-throughput
+benchmark's before/after comparison.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.combined import CombinedModel, build_meta_row
+from repro.core.combined import CombinedModel, build_meta_matrix, build_meta_row
 from repro.core.config import CleoConfig, ModelKind
-from repro.core.learned_model import LearnedCostModel
-from repro.core.model_store import ModelStore, signature_for
+from repro.core.learned_model import LearnedCostModel, fit_models_batched
+from repro.core.model_store import SIGNATURE_FIELDS, ModelStore, signature_for
 from repro.core.predictor import CleoPredictor
 from repro.execution.runtime_log import RunLog
-from repro.features.featurizer import FeatureInput
+from repro.features.featurizer import FeatureInput, feature_names
 from repro.ml.base import Regressor
 
 
@@ -35,7 +47,55 @@ class CleoTrainer:
         """One elastic net per (model kind, template signature).
 
         Only templates with at least ``config.min_samples`` occurrences get a
-        model (the paper requires 5 occurrences per subgraph).
+        model (the paper requires 5 occurrences per subgraph).  Groups are
+        formed with array ops over the log's feature table and each kind's
+        models are fitted in one batched optimization pass — bitwise
+        identical to :meth:`train_individual_reference`.
+        """
+        table = log.to_table()
+        store = ModelStore()
+        if len(table) == 0:
+            return store
+        full_matrix = table.feature_matrix(include_context=True)
+        latencies = table.latency
+
+        for kind in ModelKind:
+            uniques, order, starts, counts = table.group_by_signature(
+                SIGNATURE_FIELDS[kind]
+            )
+            keep = counts >= self.config.min_samples
+            if not keep.any():
+                continue
+            # Compact the kept groups into one contiguous stack (original
+            # record order preserved within each group by the stable sort).
+            kept_rows = order[np.repeat(keep, counts)]
+            kept_counts = counts[keep]
+            kept_starts = np.concatenate(([0], np.cumsum(kept_counts)[:-1]))
+            width = len(feature_names(kind.uses_context_features))
+
+            models = [
+                LearnedCostModel(
+                    include_context=kind.uses_context_features, config=self.config
+                )
+                for _ in range(int(keep.sum()))
+            ]
+            fit_models_batched(
+                models,
+                full_matrix[kept_rows, :width],
+                latencies[kept_rows],
+                kept_starts,
+                kept_counts,
+            )
+            for signature, model in zip(uniques[keep], models):
+                store.add(kind, int(signature), model)
+        return store
+
+    def train_individual_reference(self, log: RunLog) -> ModelStore:
+        """Per-record scalar reference for :meth:`train_individual`.
+
+        Groups with dict appends and fits one model at a time; kept as the
+        pinned baseline for the columnar path (parity tests, the training-
+        throughput benchmark).
         """
         groups: dict[tuple[ModelKind, int], tuple[list[FeatureInput], list[float]]] = {}
         for record in log.operator_records():
@@ -69,7 +129,34 @@ class CleoTrainer:
         log: RunLog,
         regressor: Regressor | None = None,
     ) -> CombinedModel:
-        """Fit the meta-ensemble on the individual models' predictions."""
+        """Fit the meta-ensemble on the individual models' predictions.
+
+        Meta rows are built in bulk through the serving layer's grouped
+        vectorized prediction (:func:`~repro.core.combined.build_meta_matrix`)
+        instead of one scalar ``build_meta_row`` call per record.
+        """
+        table = log.to_table()
+        if len(table) == 0:
+            raise ValueError("no operator records to train the combined model on")
+        combined = CombinedModel(store, config=self.config, regressor=regressor)
+        matrix = build_meta_matrix(store, table)
+        target_arr = np.asarray(table.latency)
+        if len(matrix) > self.config.max_meta_samples:
+            rng = np.random.default_rng(self.config.seed)
+            take = rng.choice(
+                len(matrix), size=self.config.max_meta_samples, replace=False
+            )
+            matrix, target_arr = matrix[take], target_arr[take]
+        combined.fit_rows(matrix, target_arr)
+        return combined
+
+    def train_combined_reference(
+        self,
+        store: ModelStore,
+        log: RunLog,
+        regressor: Regressor | None = None,
+    ) -> CombinedModel:
+        """Per-record scalar reference for :meth:`train_combined`."""
         combined = CombinedModel(store, config=self.config, regressor=regressor)
         rows: list[np.ndarray] = []
         targets: list[float] = []
@@ -91,13 +178,13 @@ class CleoTrainer:
     # End-to-end
     # ------------------------------------------------------------------ #
 
-    def train(
+    def _day_split(
         self,
         log: RunLog,
-        individual_days: list[int] | None = None,
-        combined_days: list[int] | None = None,
-    ) -> CleoPredictor:
-        """Full pipeline; day splits default to "all but last / last".
+        individual_days: list[int] | None,
+        combined_days: list[int] | None,
+    ) -> tuple[list[int], list[int]]:
+        """Default day split: "all but last / last".
 
         The paper's cadence: two days of training data for the individual
         models, the following day for the combined model.
@@ -110,6 +197,32 @@ class CleoTrainer:
             else:
                 individual_days = individual_days or days
                 combined_days = combined_days or days
+        return individual_days, combined_days
+
+    def train(
+        self,
+        log: RunLog,
+        individual_days: list[int] | None = None,
+        combined_days: list[int] | None = None,
+    ) -> CleoPredictor:
+        """Full pipeline over the columnar path."""
+        individual_days, combined_days = self._day_split(
+            log, individual_days, combined_days
+        )
         store = self.train_individual(log.filter(days=individual_days))
         combined = self.train_combined(store, log.filter(days=combined_days))
+        return CleoPredictor(store=store, combined=combined)
+
+    def train_reference(
+        self,
+        log: RunLog,
+        individual_days: list[int] | None = None,
+        combined_days: list[int] | None = None,
+    ) -> CleoPredictor:
+        """Full pipeline over the scalar reference path (for benchmarks)."""
+        individual_days, combined_days = self._day_split(
+            log, individual_days, combined_days
+        )
+        store = self.train_individual_reference(log.filter(days=individual_days))
+        combined = self.train_combined_reference(store, log.filter(days=combined_days))
         return CleoPredictor(store=store, combined=combined)

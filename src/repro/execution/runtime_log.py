@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.features.featurizer import FeatureInput
+from repro.features.table import FeatureTable
 from repro.plan.signatures import SignatureBundle
 
 
@@ -71,12 +72,28 @@ class RunLog:
     """
 
     jobs: list[JobRecord] = field(default_factory=list)
+    #: Cached columnar materialization; invalidated whenever jobs mutate.
+    _table: FeatureTable | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Fingerprint of ``jobs`` at materialization time (staleness guard).
+    _table_key: tuple = field(default=(), init=False, repr=False, compare=False)
 
     def append(self, job: JobRecord) -> None:
         self.jobs.append(job)
+        self._table = None
 
     def extend(self, jobs: list[JobRecord]) -> None:
         self.jobs.extend(jobs)
+        self._table = None
+
+    def _jobs_fingerprint(self) -> tuple:
+        return (
+            len(self.jobs),
+            self.operator_count,
+            id(self.jobs[0]) if self.jobs else None,
+            id(self.jobs[-1]) if self.jobs else None,
+        )
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -106,6 +123,23 @@ class RunLog:
         """All operator records across jobs, in execution order."""
         for job in self.jobs:
             yield from job.operators
+
+    def to_table(self) -> FeatureTable:
+        """Columnar view of every operator record (features, signatures,
+        latencies, day, cluster), materialized once and cached.
+
+        The cache is invalidated by :meth:`append` / :meth:`extend`;
+        :meth:`filter` returns a fresh log with its own (lazy) table.
+        Mutate jobs through those methods: direct surgery on the public
+        ``jobs`` list is only caught heuristically (count and end-element
+        fingerprint), so e.g. replacing an interior job with one of equal
+        length would serve a stale table.
+        """
+        key = self._jobs_fingerprint()
+        if self._table is None or self._table_key != key:
+            self._table = FeatureTable.from_records(list(self.operator_records()))
+            self._table_key = key
+        return self._table
 
     @property
     def operator_count(self) -> int:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.common.stats import Cdf, error_ratio
 from repro.core.config import ModelKind
+from repro.core.robustness import store_predictions_by_kind
 from repro.cost.default_model import DefaultCostModel
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.shared import get_all_cluster_bundles
@@ -38,25 +39,23 @@ def run(scale: str = "small", seed: int = 0, adhoc_only: bool = False) -> Experi
         records = list(test.operator_records())
         if not records:
             continue
-        actuals = np.array([r.actual_latency for r in records])
+        table = test.to_table()
+        actuals = table.latency
 
+        # Columnar path: one grouped vectorized prediction pass per kind
+        # instead of a per-record model lookup + predict loop.
+        by_kind = store_predictions_by_kind(predictor.store, test)
         for kind in ModelKind:
-            covered_pred, covered_act = [], []
-            for record in records:
-                model = predictor.store.lookup(kind, record.signatures)
-                if model is None:
-                    continue
-                covered_pred.append(model.predict_one(record.features))
-                covered_act.append(record.actual_latency)
-            if covered_pred:
-                ratios = error_ratio(np.array(covered_pred), np.array(covered_act))
+            mask, predictions = by_kind[kind]
+            if mask.any():
+                ratios = error_ratio(predictions[mask], actuals[mask])
                 series[f"cdf_{name}_{kind.value}"] = list(Cdf.of(ratios).fractions)
                 rows.append(
                     {
                         "cluster": name,
                         "model": kind.value,
                         "central_mass_0.5_2x": round(Cdf.of(ratios).central_mass(), 3),
-                        "coverage_pct": round(100.0 * len(covered_pred) / len(records), 1),
+                        "coverage_pct": round(100.0 * int(mask.sum()) / len(records), 1),
                     }
                 )
 

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.shared import get_bundle
-from repro.features.featurizer import FEATURE_FUNCTIONS
+from repro.features.featurizer import FEATURE_EXPRESSIONS
+from repro.features.table import FeatureTable
 from repro.ml.model_selection import KFold
 from repro.ml.proximal import ElasticNetMSLE
 
@@ -49,16 +50,24 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         bucket[0].append(perfect)
         bucket[1].append(record.actual_latency)
 
+    # Expand every named feature column once per operator type (columnar),
+    # then each cumulative-subset matrix is a cheap column slice.
+    expanded: dict[str, np.ndarray] = {}
+    for op_type, (inputs, targets) in by_type.items():
+        if len(targets) < 10:
+            continue
+        type_table = FeatureTable.from_inputs(inputs)
+        expanded[op_type] = np.column_stack(
+            [FEATURE_EXPRESSIONS[n](type_table) for n in FEATURE_ORDER]
+        )
+
     medians = []
     for k in range(1, len(FEATURE_ORDER) + 1):
-        names = FEATURE_ORDER[:k]
         errors: list[float] = []
-        for inputs, targets in by_type.values():
+        for op_type, (inputs, targets) in by_type.items():
             if len(targets) < 10:
                 continue
-            matrix = np.array(
-                [[FEATURE_FUNCTIONS[n](f) for n in names] for f in inputs]
-            )
+            matrix = expanded[op_type][:, :k]
             y = np.asarray(targets)
             preds = np.empty(len(y))
             for train_idx, test_idx in KFold(n_splits=3, seed=seed).split(len(y)):

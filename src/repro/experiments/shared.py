@@ -7,7 +7,7 @@ within the process — a benchmark session builds each workload once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from repro.core.predictor import CleoPredictor
 from repro.core.trainer import CleoTrainer
 from repro.execution.hardware import DEFAULT_CLUSTERS, ClusterSpec
 from repro.execution.runtime_log import RunLog
+from repro.features.table import FeatureTable
 from repro.serving.service import CleoService
 from repro.workload.generator import ClusterWorkloadConfig, WorkloadGenerator
 from repro.workload.runner import WorkloadRunner
@@ -62,6 +63,7 @@ class ClusterBundle:
     _service: CleoService | None = None
     _train_days: tuple[int, ...] = ()
     _combined_days: tuple[int, ...] = ()
+    _filtered_logs: dict[tuple[int, ...], RunLog] = field(default_factory=dict)
 
     def predictor(
         self,
@@ -99,7 +101,22 @@ class ClusterBundle:
         return self._service
 
     def test_log(self, days: tuple[int, ...] = (3,)) -> RunLog:
-        return self.log.filter(days=list(days))
+        """Day-filtered log, cached so its columnar table is built once.
+
+        Experiments hit the same test slice repeatedly; reusing the RunLog
+        instance means ``to_table()`` materializes each slice's
+        :class:`FeatureTable` a single time per bundle.
+        """
+        key = tuple(days)
+        cached = self._filtered_logs.get(key)
+        if cached is None:
+            cached = self.log.filter(days=list(days))
+            self._filtered_logs[key] = cached
+        return cached
+
+    def test_table(self, days: tuple[int, ...] = (3,)) -> FeatureTable:
+        """Columnar view of the test slice (features, signatures, latencies)."""
+        return self.test_log(days).to_table()
 
     def fresh_estimator(self) -> CardinalityEstimator:
         return CardinalityEstimator(self.runner.estimator_config)

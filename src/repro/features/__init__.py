@@ -2,7 +2,10 @@
 
 One :class:`FeatureInput` captures the raw statistics of an operator
 instance; :func:`feature_vector` expands it into the ~30-dimensional derived
-feature vector shared by all learned models.
+feature vector shared by all learned models.  :class:`FeatureTable` is the
+columnar (struct-of-arrays) form that the training and evaluation pipelines
+expand in bulk — one vectorized pass per registry expression instead of one
+Python call per operator.
 """
 
 from repro.features.featurizer import (
@@ -10,19 +13,27 @@ from repro.features.featurizer import (
     BASIC_FEATURE_NAMES,
     CONTEXT_FEATURE_NAMES,
     DERIVED_FEATURE_NAMES,
+    FEATURE_EXPRESSIONS,
+    FEATURE_FUNCTIONS,
     FeatureInput,
+    expand_columns,
     feature_matrix,
     feature_names,
     feature_vector,
     partition_feature_names,
 )
+from repro.features.table import FeatureTable
 
 __all__ = [
     "ALL_FEATURE_NAMES",
     "BASIC_FEATURE_NAMES",
     "CONTEXT_FEATURE_NAMES",
     "DERIVED_FEATURE_NAMES",
+    "FEATURE_EXPRESSIONS",
+    "FEATURE_FUNCTIONS",
     "FeatureInput",
+    "FeatureTable",
+    "expand_columns",
     "feature_matrix",
     "feature_names",
     "feature_vector",

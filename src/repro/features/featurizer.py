@@ -15,12 +15,22 @@ Implements the paper's feature set:
 Cardinalities fed here are the *estimated* ones (the paper feeds learned
 models the same statistics the default cost model sees), so per-template
 estimation biases become learnable adjustments.
+
+The registry is **columnar**: every named feature is an expression over
+whole columns (`Callable[[columns], np.ndarray]`), evaluated once per
+workload on a :class:`~repro.features.table.FeatureTable` instead of once
+per operator.  Because an expression only uses elementwise numpy ufuncs, it
+computes bit-for-bit the same values whether it is handed a million-row
+column or the scalar attributes of a single :class:`FeatureInput` — the
+scalar `feature_vector` / `feature_matrix` wrappers below are pinned
+bitwise-identical to the columnar path by construction (regression net:
+``tests/features/test_feature_table.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -60,65 +70,98 @@ class FeatureInput:
         return float(np.mean(params)) if params else 0.0
 
 
-def _log(x: float) -> float:
-    return float(np.log1p(max(x, 0.0)))
+#: Attribute names consumed by feature expressions, in FeatureInput order.
+COLUMN_NAMES: tuple[str, ...] = (
+    "input_card",
+    "base_card",
+    "output_card",
+    "avg_row_bytes",
+    "partition_count",
+    "input_enc",
+    "params_enc",
+    "logical_count",
+    "depth",
+)
 
 
-def _sqrt(x: float) -> float:
-    return float(np.sqrt(max(x, 0.0)))
+def _log(x):
+    """Elementwise ``log1p(max(x, 0))`` — works on columns and scalars."""
+    return np.log1p(np.maximum(x, 0.0))
 
 
-# Each feature is (name, function of FeatureInput).  Order defines the
-# feature-vector layout and is part of the public API.
-_BasicSpec = list[tuple[str, Callable[[FeatureInput], float]]]
+def _sqrt(x):
+    """Elementwise ``sqrt(max(x, 0))`` — works on columns and scalars."""
+    return np.sqrt(np.maximum(x, 0.0))
 
-_BASIC: _BasicSpec = [
-    ("I", lambda f: f.input_card),
-    ("B", lambda f: f.base_card),
-    ("C", lambda f: f.output_card),
-    ("L", lambda f: f.avg_row_bytes),
-    ("P", lambda f: f.partition_count),
-    ("IN", lambda f: f.input_enc),
-    ("PM", lambda f: f.params_enc),
+
+#: A feature expression: any object exposing the COLUMN_NAMES attributes
+#: (FeatureTable columns or a single FeatureInput's scalars) -> values.
+#: Expressions must use only elementwise operations so that columnar and
+#: scalar evaluation are bitwise identical.
+FeatureExpr = Callable[[Any], Any]
+
+_ExprSpec = list[tuple[str, FeatureExpr]]
+
+_BASIC: _ExprSpec = [
+    ("I", lambda t: t.input_card),
+    ("B", lambda t: t.base_card),
+    ("C", lambda t: t.output_card),
+    ("L", lambda t: t.avg_row_bytes),
+    ("P", lambda t: t.partition_count),
+    ("IN", lambda t: t.input_enc),
+    ("PM", lambda t: t.params_enc),
 ]
 
-_DERIVED: _BasicSpec = [
+_DERIVED: _ExprSpec = [
     # Input or output data volume.
-    ("sqrt(I)", lambda f: _sqrt(f.input_card)),
-    ("sqrt(B)", lambda f: _sqrt(f.base_card)),
-    ("sqrt(C)", lambda f: _sqrt(f.output_card)),
-    ("L*I", lambda f: f.avg_row_bytes * f.input_card),
-    ("L*B", lambda f: f.avg_row_bytes * f.base_card),
-    ("L*log(B)", lambda f: f.avg_row_bytes * _log(f.base_card)),
-    ("L*log(I)", lambda f: f.avg_row_bytes * _log(f.input_card)),
-    ("L*log(C)", lambda f: f.avg_row_bytes * _log(f.output_card)),
+    ("sqrt(I)", lambda t: _sqrt(t.input_card)),
+    ("sqrt(B)", lambda t: _sqrt(t.base_card)),
+    ("sqrt(C)", lambda t: _sqrt(t.output_card)),
+    ("L*I", lambda t: t.avg_row_bytes * t.input_card),
+    ("L*B", lambda t: t.avg_row_bytes * t.base_card),
+    ("L*log(B)", lambda t: t.avg_row_bytes * _log(t.base_card)),
+    ("L*log(I)", lambda t: t.avg_row_bytes * _log(t.input_card)),
+    ("L*log(C)", lambda t: t.avg_row_bytes * _log(t.output_card)),
     # Input x output (processing and network communication).
-    ("B*C", lambda f: f.base_card * f.output_card),
-    ("I*C", lambda f: f.input_card * f.output_card),
-    ("log(B)*C", lambda f: _log(f.base_card) * f.output_card),
-    ("B*log(C)", lambda f: f.base_card * _log(f.output_card)),
-    ("I*log(C)", lambda f: f.input_card * _log(f.output_card)),
-    ("log(I)*log(C)", lambda f: _log(f.input_card) * _log(f.output_card)),
-    ("log(B)*log(C)", lambda f: _log(f.base_card) * _log(f.output_card)),
+    ("B*C", lambda t: t.base_card * t.output_card),
+    ("I*C", lambda t: t.input_card * t.output_card),
+    ("log(B)*C", lambda t: _log(t.base_card) * t.output_card),
+    ("B*log(C)", lambda t: t.base_card * _log(t.output_card)),
+    ("I*log(C)", lambda t: t.input_card * _log(t.output_card)),
+    ("log(I)*log(C)", lambda t: _log(t.input_card) * _log(t.output_card)),
+    ("log(B)*log(C)", lambda t: _log(t.base_card) * _log(t.output_card)),
     # Per-partition (partition size seen by one machine).
-    ("I/P", lambda f: f.input_card / f.partition_count),
-    ("C/P", lambda f: f.output_card / f.partition_count),
-    ("I*L/P", lambda f: f.input_card * f.avg_row_bytes / f.partition_count),
-    ("C*L/P", lambda f: f.output_card * f.avg_row_bytes / f.partition_count),
-    ("sqrt(I)/P", lambda f: _sqrt(f.input_card) / f.partition_count),
-    ("sqrt(C)/P", lambda f: _sqrt(f.output_card) / f.partition_count),
-    ("log(I)/P", lambda f: _log(f.input_card) / f.partition_count),
+    ("I/P", lambda t: t.input_card / t.partition_count),
+    ("C/P", lambda t: t.output_card / t.partition_count),
+    ("I*L/P", lambda t: t.input_card * t.avg_row_bytes / t.partition_count),
+    ("C*L/P", lambda t: t.output_card * t.avg_row_bytes / t.partition_count),
+    ("sqrt(I)/P", lambda t: _sqrt(t.input_card) / t.partition_count),
+    ("sqrt(C)/P", lambda t: _sqrt(t.output_card) / t.partition_count),
+    ("log(I)/P", lambda t: _log(t.input_card) / t.partition_count),
 ]
 
-_CONTEXT: _BasicSpec = [
-    ("CL", lambda f: f.logical_count),
-    ("D", lambda f: f.depth),
+_CONTEXT: _ExprSpec = [
+    ("CL", lambda t: t.logical_count),
+    ("D", lambda t: t.depth),
 ]
 
-#: Public registry: feature name -> extractor, for experiments that build
-#: custom feature subsets (e.g. the Figure 18 cumulative-feature ablation).
-FEATURE_FUNCTIONS: dict[str, Callable[[FeatureInput], float]] = {
+#: Public columnar registry: feature name -> vectorized expression, for
+#: experiments that build custom feature subsets (e.g. the Figure 18
+#: cumulative-feature ablation) on whole tables at once.
+FEATURE_EXPRESSIONS: dict[str, FeatureExpr] = {
     name: fn for name, fn in (_BASIC + _DERIVED + _CONTEXT)
+}
+
+
+def _scalarized(expr: FeatureExpr) -> Callable[[FeatureInput], float]:
+    return lambda f: float(expr(f))
+
+
+#: Scalar compatibility registry: feature name -> per-instance extractor.
+#: Each entry evaluates the *same* columnar expression on one instance's
+#: scalar attributes, so scalar and columnar values agree bitwise.
+FEATURE_FUNCTIONS: dict[str, Callable[[FeatureInput], float]] = {
+    name: _scalarized(fn) for name, fn in (_BASIC + _DERIVED + _CONTEXT)
 }
 
 BASIC_FEATURE_NAMES: tuple[str, ...] = tuple(name for name, _ in _BASIC)
@@ -148,18 +191,56 @@ def feature_names(include_context: bool = False) -> tuple[str, ...]:
     return BASIC_FEATURE_NAMES + DERIVED_FEATURE_NAMES
 
 
-def feature_vector(f: FeatureInput, include_context: bool = False) -> np.ndarray:
-    """Expand one :class:`FeatureInput` into the derived feature vector."""
+def expand_columns(columns: Any, include_context: bool = False) -> np.ndarray:
+    """Evaluate the feature registry over a column provider.
+
+    ``columns`` is anything exposing the :data:`COLUMN_NAMES` attributes as
+    equal-length float64 arrays (a :class:`~repro.features.table.FeatureTable`).
+    Returns the ``(n, d)`` derived feature matrix.  The context features are
+    a suffix of the full layout, so ``expand_columns(t, True)[:, :29]``
+    equals ``expand_columns(t, False)``.
+    """
     spec = _BASIC + _DERIVED + (_CONTEXT if include_context else [])
-    return np.array([fn(f) for _, fn in spec], dtype=float)
+    n = len(columns.input_card)
+    if n == 0:
+        return np.empty((0, len(spec)))
+    out = np.empty((n, len(spec)), dtype=float)
+    for j, (_, expr) in enumerate(spec):
+        out[:, j] = expr(columns)
+    return out
+
+
+class _InputColumns:
+    """Column view over a list of FeatureInput (the scalar-API bridge)."""
+
+    __slots__ = COLUMN_NAMES
+
+    def __init__(self, inputs: list[FeatureInput]) -> None:
+        for name in COLUMN_NAMES:
+            setattr(
+                self, name, np.array([getattr(f, name) for f in inputs], dtype=float)
+            )
+
+
+def feature_vector(f: FeatureInput, include_context: bool = False) -> np.ndarray:
+    """Expand one :class:`FeatureInput` into the derived feature vector.
+
+    Thin compatibility wrapper over the columnar registry (one-row table);
+    bitwise identical to the corresponding :func:`expand_columns` row.
+    """
+    return expand_columns(_InputColumns([f]), include_context)[0]
 
 
 def feature_matrix(inputs: list[FeatureInput], include_context: bool = False) -> np.ndarray:
-    """Stack feature vectors for many instances into an (n, d) matrix."""
+    """Stack feature vectors for many instances into an (n, d) matrix.
+
+    Thin compatibility wrapper over the columnar registry: inputs are packed
+    into columns once and expanded with one vectorized pass per feature.
+    """
     if not inputs:
         width = len(feature_names(include_context))
         return np.empty((0, width))
-    return np.vstack([feature_vector(f, include_context) for f in inputs])
+    return expand_columns(_InputColumns(list(inputs)), include_context)
 
 
 def partition_feature_names(include_context: bool = False) -> tuple[tuple[int, str], ...]:

@@ -12,6 +12,17 @@ exploration reads off the coefficients (Section 5.3).
 The objective is optimized with Adam on standardized features plus a
 proximal (soft-threshold) step for the L1 term; the L2 term enters the
 gradient directly.
+
+**Batched training.**  The feedback loop fits thousands of small per-
+signature models; running one Python/numpy optimization loop per model is
+dispatch-bound.  :func:`fit_elastic_nets` therefore stacks many same-shaped
+fits into a single Adam loop over segmented arrays.  Every reduction is
+expressed with primitives whose result is independent of how fits are
+batched — per-row multiply-sums and ``np.add.reduceat`` segment sums, whose
+within-segment accumulation depends only on the segment's own slice — and
+single-model :meth:`ElasticNetMSLE.fit` runs the same core with one
+segment, so batched and one-at-a-time training produce bitwise-identical
+coefficients.
 """
 
 from __future__ import annotations
@@ -22,6 +33,127 @@ from repro.ml.base import check_fit_inputs, check_predict_input
 from repro.ml.preprocessing import StandardScaler
 
 _P_FLOOR = 1e-6  # predictions are clamped here inside the log
+
+
+def _segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment sums along axis 0 (sequential within each segment)."""
+    return np.add.reduceat(values, starts, axis=0)
+
+
+def _adam_msle_batched(
+    x: np.ndarray,
+    y_log: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    *,
+    learning_rate: float,
+    max_iter: int,
+    tol: float,
+    l1: float,
+    l2: float,
+    nonneg_indices: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fit ``m`` independent MSLE elastic nets in one Adam loop.
+
+    ``x`` is the (N, d) stack of all models' standardized training rows,
+    grouped contiguously; segment ``g`` is ``x[starts[g]:starts[g]+
+    lengths[g]]``.  Each model follows exactly the update sequence it would
+    follow alone (converged models are frozen, not dropped), so results do
+    not depend on which models share a batch.
+
+    Returns per-model ``(weights (m, d), bias (m,), n_iter (m,))``.
+    """
+    n_rows, n_features = x.shape
+    m = len(starts)
+
+    out_weights = np.zeros((m, n_features))
+    out_bias = np.zeros(m)
+    out_iter = np.zeros(m, dtype=np.int64)
+
+    # Live state: models still optimizing.  Converged models are written to
+    # the output arrays with the weights of their final update — exactly as
+    # if they had exited their own loop — and their rows are periodically
+    # compacted away; segment math is per-model, so dropping finished
+    # segments cannot perturb the survivors.
+    model_ids = np.arange(m)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    lengths_f = lengths.astype(float)
+    seg_id = np.repeat(np.arange(m), lengths)
+    n_of_row = lengths_f[seg_id]
+
+    weights = np.zeros((m, n_features))
+    y_log_mean = _segment_sum(y_log, starts) / lengths_f
+    bias = np.exp(y_log_mean) - 1.0  # geometric-mean start
+
+    m_w = np.zeros((m, n_features))
+    v_w = np.zeros((m, n_features))
+    m_b = np.zeros(m)
+    v_b = np.zeros(m)
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    previous_loss = np.full(m, np.inf)
+    starts = np.asarray(starts, dtype=np.int64)
+
+    for step in range(1, max_iter + 1):
+        # MSLE term: loss and gradients, per segment.  The zero-slope region
+        # below the floor still receives a push because pred is clamped,
+        # keeping the optimization live there.
+        raw = (x * weights[seg_id]).sum(axis=1) + bias[seg_id]
+        pred = np.maximum(raw, _P_FLOOR)
+        diff = np.log1p(pred) - y_log
+        loss = _segment_sum(diff * diff, starts) / lengths_f
+        dpred = 2.0 * diff / (1.0 + pred) / n_of_row
+        grad_w = _segment_sum(x * dpred[:, None], starts)
+        grad_b = _segment_sum(dpred, starts)
+        grad_w = grad_w + l2 * weights
+
+        m_w = beta1 * m_w + (1 - beta1) * grad_w
+        v_w = beta2 * v_w + (1 - beta2) * grad_w * grad_w
+        m_b = beta1 * m_b + (1 - beta1) * grad_b
+        v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b
+        lr_t = learning_rate * np.sqrt(1 - beta2**step) / (1 - beta1**step)
+        weights = weights - lr_t * m_w / (np.sqrt(v_w) + eps)
+        bias = bias - lr_t * m_b / (np.sqrt(v_b) + eps)
+        # Proximal step for L1 (soft threshold scaled by the step size).
+        if l1 > 0:
+            shrink = lr_t * l1
+            weights = np.sign(weights) * np.maximum(np.abs(weights) - shrink, 0.0)
+        # Projection for sign-constrained coefficients.  Standardization
+        # preserves signs (scales are positive), so clamping the
+        # standardized weight clamps the raw-space weight too.
+        if nonneg_indices:
+            idx = list(nonneg_indices)
+            weights[:, idx] = np.maximum(weights[:, idx], 0.0)
+
+        converged = np.abs(previous_loss - loss) < tol
+        previous_loss = loss
+        done = converged | (step == max_iter)
+        if done.any():
+            finished = model_ids[done]
+            out_weights[finished] = weights[done]
+            out_bias[finished] = bias[done]
+            out_iter[finished] = step
+            if done.all():
+                return out_weights, out_bias, out_iter
+            # Compact the live stack down to unconverged segments.
+            keep = ~done
+            row_keep = np.repeat(keep, lengths)
+            x = x[row_keep]
+            y_log = y_log[row_keep]
+            model_ids = model_ids[keep]
+            lengths = lengths[keep]
+            lengths_f = lengths.astype(float)
+            starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            seg_id = np.repeat(np.arange(len(lengths)), lengths)
+            n_of_row = lengths_f[seg_id]
+            weights = weights[keep]
+            bias = bias[keep]
+            m_w = m_w[keep]
+            v_w = v_w[keep]
+            m_b = m_b[keep]
+            v_b = v_b[keep]
+            previous_loss = previous_loss[keep]
+
+    return out_weights, out_bias, out_iter
 
 
 class ElasticNetMSLE:
@@ -74,75 +206,49 @@ class ElasticNetMSLE:
 
     # ------------------------------------------------------------------ #
 
-    def _loss_grad(
-        self, x: np.ndarray, y_log: np.ndarray, weights: np.ndarray, bias: float
-    ) -> tuple[float, np.ndarray, float]:
-        """Loss and gradients of the (unpenalized) MSLE term."""
-        raw = x @ weights + bias
-        pred = np.maximum(raw, _P_FLOOR)
-        diff = np.log1p(pred) - y_log
-        loss = float(np.mean(diff * diff))
-        # d loss / d raw: zero-slope region below the floor still receives a
-        # push because pred is clamped, keeping the optimization live there.
-        dpred = 2.0 * diff / (1.0 + pred) / len(y_log)
-        grad_w = x.T @ dpred
-        grad_b = float(dpred.sum())
-        return loss, grad_w, grad_b
+    def _hyperparams(self) -> tuple:
+        """The knobs that must agree for nets to share a batched fit."""
+        return (
+            self.alpha,
+            self.l1_ratio,
+            self.learning_rate,
+            self.max_iter,
+            self.tol,
+            self.nonneg_indices,
+        )
+
+    def _prepare(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Standardize features, scale the target; returns (x, log1p(y)).
+
+        The target is scaled to a O(1) magnitude (geometric mean) so the
+        penalty strength is comparable across templates.
+        """
+        x = self._scaler.fit_transform(features)
+        self._y_scale = float(np.exp(np.mean(np.log1p(targets)))) or 1.0
+        return x, np.log1p(targets / self._y_scale)
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "ElasticNetMSLE":
         features, targets = check_fit_inputs(features, targets)
         if (targets < 0).any():
             raise ValueError("MSLE requires non-negative targets")
-        x = self._scaler.fit_transform(features)
-        # Scale the target to a O(1) magnitude (geometric mean) so the
-        # penalty strength is comparable across templates.
-        self._y_scale = float(np.exp(np.mean(np.log1p(targets)))) or 1.0
-        y = targets / self._y_scale
-        y_log = np.log1p(y)
-
-        n_features = x.shape[1]
-        weights = np.zeros(n_features)
-        bias = float(np.exp(y_log.mean()) - 1.0)  # geometric-mean start
-        l1 = self.alpha * self.l1_ratio
-        l2 = self.alpha * (1.0 - self.l1_ratio)
-
-        m_w = np.zeros(n_features)
-        v_w = np.zeros(n_features)
-        m_b = 0.0
-        v_b = 0.0
-        beta1, beta2, eps = 0.9, 0.999, 1e-8
-        previous_loss = np.inf
-
-        for step in range(1, self.max_iter + 1):
-            loss, grad_w, grad_b = self._loss_grad(x, y_log, weights, bias)
-            grad_w = grad_w + l2 * weights
-
-            m_w = beta1 * m_w + (1 - beta1) * grad_w
-            v_w = beta2 * v_w + (1 - beta2) * grad_w * grad_w
-            m_b = beta1 * m_b + (1 - beta1) * grad_b
-            v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b
-            lr_t = self.learning_rate * np.sqrt(1 - beta2**step) / (1 - beta1**step)
-            weights = weights - lr_t * m_w / (np.sqrt(v_w) + eps)
-            bias -= float(lr_t * m_b / (np.sqrt(v_b) + eps))
-            # Proximal step for L1 (soft threshold scaled by the step size).
-            if l1 > 0:
-                shrink = lr_t * l1
-                weights = np.sign(weights) * np.maximum(np.abs(weights) - shrink, 0.0)
-            # Projection for sign-constrained coefficients.  Standardization
-            # preserves signs (scales are positive), so clamping the
-            # standardized weight clamps the raw-space weight too.
-            if self.nonneg_indices:
-                for idx in self.nonneg_indices:
-                    if weights[idx] < 0.0:
-                        weights[idx] = 0.0
-
-            self.n_iter_ = step
-            if abs(previous_loss - loss) < self.tol:
-                break
-            previous_loss = loss
-
-        self.coef_ = weights
-        self.intercept_ = bias
+        x, y_log = self._prepare(features, targets)
+        weights, bias, n_iter = _adam_msle_batched(
+            x,
+            y_log,
+            starts=np.zeros(1, dtype=np.int64),
+            lengths=np.array([len(y_log)], dtype=np.int64),
+            learning_rate=self.learning_rate,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            l1=self.alpha * self.l1_ratio,
+            l2=self.alpha * (1.0 - self.l1_ratio),
+            nonneg_indices=self.nonneg_indices,
+        )
+        self.coef_ = weights[0]
+        self.intercept_ = float(bias[0])
+        self.n_iter_ = int(n_iter[0])
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -179,3 +285,64 @@ class ElasticNetMSLE:
         if self.coef_ is None:
             raise RuntimeError("selected_features before fit()")
         return np.flatnonzero(np.abs(self.coef_) > 1e-12)
+
+
+def fit_elastic_nets(
+    nets: list[ElasticNetMSLE],
+    features: np.ndarray,
+    targets: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+) -> None:
+    """Fit many elastic nets (one per contiguous row segment) in one pass.
+
+    ``features``/``targets`` stack every net's training set; net ``g`` owns
+    rows ``starts[g] : starts[g] + lengths[g]``.  All nets must share
+    hyperparameters (they do within one model kind).  Results are bitwise
+    identical to calling ``nets[g].fit(features[seg], targets[seg])`` per
+    net — the standardization is still computed per segment and the shared
+    Adam loop freezes each net at its own convergence step.
+    """
+    if not nets:
+        return
+    if len(nets) != len(starts) or len(nets) != len(lengths):
+        raise ValueError("nets, starts, and lengths must align")
+    reference = nets[0]._hyperparams()
+    for net in nets[1:]:
+        if net._hyperparams() != reference:
+            raise ValueError("batched nets must share hyperparameters")
+    features, targets = check_fit_inputs(features, targets)
+    if (targets < 0).any():
+        raise ValueError("MSLE requires non-negative targets")
+
+    x_parts: list[np.ndarray] = []
+    y_parts: list[np.ndarray] = []
+    for net, start, length in zip(nets, starts, lengths):
+        stop = start + length
+        x_g, y_log_g = net._prepare(features[start:stop], targets[start:stop])
+        x_parts.append(x_g)
+        y_parts.append(y_log_g)
+
+    # The per-segment slices above re-pack the rows contiguously, so the
+    # optimizer's segment offsets are recomputed from the lengths — the
+    # caller's `starts` may legitimately contain gaps (unused rows).
+    lengths = np.asarray(lengths, dtype=np.int64)
+    packed_starts = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(lengths)[:-1])
+    )
+    weights, bias, n_iter = _adam_msle_batched(
+        np.concatenate(x_parts, axis=0),
+        np.concatenate(y_parts),
+        starts=packed_starts,
+        lengths=lengths,
+        learning_rate=reference[2],
+        max_iter=reference[3],
+        tol=reference[4],
+        l1=nets[0].alpha * nets[0].l1_ratio,
+        l2=nets[0].alpha * (1.0 - nets[0].l1_ratio),
+        nonneg_indices=nets[0].nonneg_indices,
+    )
+    for g, net in enumerate(nets):
+        net.coef_ = weights[g]
+        net.intercept_ = float(bias[g])
+        net.n_iter_ = int(n_iter[g])

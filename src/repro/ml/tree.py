@@ -131,10 +131,13 @@ class DecisionTreeRegressor:
         codes = np.empty((n_samples, n_features), dtype=np.int32)
         edges: list[np.ndarray] = []
         quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        # One batched quantile pass over all columns (same per-column values
+        # as a column-at-a-time computation; quantiles are exact order
+        # statistics plus elementwise interpolation).
+        all_cuts = np.quantile(features, quantiles, axis=0)
         for j in range(n_features):
-            col = features[:, j]
-            cuts = np.unique(np.quantile(col, quantiles))
-            codes[:, j] = np.searchsorted(cuts, col, side="right")
+            cuts = np.unique(all_cuts[:, j])
+            codes[:, j] = np.searchsorted(cuts, features[:, j], side="right")
             edges.append(cuts)
         return codes, edges
 
@@ -159,41 +162,47 @@ class DecisionTreeRegressor:
         else:
             candidates = np.arange(n_features)
 
-        best: tuple[float, int, int] | None = None
         min_leaf = self.min_samples_leaf
-        for j in candidates:
-            cuts = edges[j]
-            if len(cuts) == 0:
-                continue
-            col_codes = codes[idx, j]
-            n_bins = len(cuts) + 1
-            counts = np.bincount(col_codes, minlength=n_bins)
-            sums = np.bincount(col_codes, weights=y, minlength=n_bins)
-            # Prefix sums over bins: split after bin b sends bins <= b left.
-            left_counts = np.cumsum(counts)[:-1]
-            left_sums = np.cumsum(sums)[:-1]
-            right_counts = n - left_counts
-            right_sums = total_sum - left_sums
-            valid = (left_counts >= min_leaf) & (right_counts >= min_leaf)
-            if not valid.any():
-                continue
-            with np.errstate(divide="ignore", invalid="ignore"):
-                gain = np.where(
-                    valid,
-                    left_sums**2 / np.maximum(left_counts, 1)
-                    + right_sums**2 / np.maximum(right_counts, 1),
-                    -np.inf,
-                )
-            b = int(np.argmax(gain))
-            score = float(gain[b]) - total_sum * total_sum / n
-            if score <= 1e-12:
-                continue
-            if best is None or score > best[0]:
-                best = (score, int(j), b)
-
-        if best is None or total_sse <= 0:
+        # All candidate features are scanned at once: one flat bincount for
+        # counts and weighted sums, prefix sums along the bin axis, then the
+        # same argmax cascade a feature-at-a-time loop would run (first-max
+        # within a feature, first strictly-better feature across features),
+        # so the chosen split is identical to the scalar scan's.
+        n_bins_per = np.array([len(edges[j]) + 1 for j in candidates])
+        width = int(n_bins_per.max())
+        if width < 2:  # no feature has any cut
             return None
-        _, feature_idx, bin_idx = best
+        m = len(candidates)
+        col_codes = codes[np.ix_(idx, candidates)]
+        flat = (col_codes + np.arange(m, dtype=col_codes.dtype) * width).ravel()
+        counts = np.bincount(flat, minlength=m * width).reshape(m, width)
+        # Row-major ravel keeps each bucket's accumulation in sample order,
+        # so the weighted sums match per-feature bincounts bit for bit.
+        sums = np.bincount(flat, weights=np.repeat(y, m), minlength=m * width)
+        sums = sums.reshape(m, width)
+        # Prefix sums over bins: split after bin b sends bins <= b left.
+        left_counts = np.cumsum(counts, axis=1)[:, :-1]
+        left_sums = np.cumsum(sums, axis=1)[:, :-1]
+        right_counts = n - left_counts
+        right_sums = total_sum - left_sums
+        # Bins past a feature's real width have zero counts, so their
+        # right_counts hit 0 and validity masks them out automatically.
+        valid = (left_counts >= min_leaf) & (right_counts >= min_leaf)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gain = np.where(
+                valid,
+                left_sums**2 / np.maximum(left_counts, 1)
+                + right_sums**2 / np.maximum(right_counts, 1),
+                -np.inf,
+            )
+        best_bin = gain.argmax(axis=1)  # first max within each feature
+        best_gain = gain[np.arange(m), best_bin]
+        scores = best_gain - total_sum * total_sum / n
+        pick = int(np.argmax(scores))  # first strictly-better feature wins
+        if not np.isfinite(scores[pick]) or scores[pick] <= 1e-12 or total_sse <= 0:
+            return None
+        feature_idx = int(candidates[pick])
+        bin_idx = int(best_bin[pick])
         threshold = float(edges[feature_idx][bin_idx])
         return feature_idx, bin_idx, threshold
 

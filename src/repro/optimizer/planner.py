@@ -227,7 +227,14 @@ class QueryPlanner:
             PhysOpType.FILTER if node.op_type is LogicalOpType.FILTER else PhysOpType.COMPUTE
         )
         child = node.children[0]
-        requirement_pairs = {(req_part, req_sort), (_ANY, _NO_SORT)}
+        # Push-down first, relaxed second, in a deterministic ORDER: a set
+        # here would iterate in salted-hash order, and since `_optimize`
+        # breaks cost ties by first-seen candidate, plan shapes (and thus
+        # every simulated latency) would vary with PYTHONHASHSEED across
+        # processes.
+        requirement_pairs = [(req_part, req_sort)]
+        if (req_part, req_sort) != (_ANY, _NO_SORT):
+            requirement_pairs.append((_ANY, _NO_SORT))
         out: list[PlanCandidate] = []
         for child_part, child_sort in requirement_pairs:
             child_cand = self._optimize(child, child_part, child_sort)

@@ -36,9 +36,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.cardinality.estimator import CardinalityEstimator
-from repro.core.combined import _KIND_ORDER
+from repro.core.combined import build_meta_matrix
 from repro.core.config import CleoConfig, ModelKind
-from repro.core.learned_model import LearnedCostModel, ResourceProfile
+from repro.core.learned_model import ResourceProfile
 from repro.core.lifecycle import ModelRegistry, ModelVersion
 from repro.core.model_store import ModelStore, signature_for
 from repro.core.predictor import CleoPredictor
@@ -47,6 +47,7 @@ from repro.cost.interface import CostExplanation, CostModel
 from repro.execution.runtime_log import OperatorRecord, RunLog
 from repro.features.extract import feature_input_for
 from repro.features.featurizer import FeatureInput
+from repro.features.table import FeatureTable
 from repro.plan.physical import PhysicalOp
 from repro.plan.signatures import SignatureBundle
 from repro.serving.cache import CacheStats, LRUCache
@@ -367,61 +368,21 @@ class CleoService:
         features: list[FeatureInput],
         bundles: list[SignatureBundle],
     ) -> np.ndarray:
-        """Vectorized :func:`~repro.core.combined.build_meta_row` for a batch.
+        """Vectorized meta rows for a batch, with model-call accounting.
 
-        One ``predict_many`` per covering ``(kind, signature)`` group fills
-        the prediction columns; imputation and flags replicate the scalar
-        meta-row construction value-for-value.
-
-        KEEP IN LOCKSTEP with ``build_meta_row`` (column order, imputation
-        rule, extras) — any layout change there must be mirrored here, or
-        batched combined-model predictions diverge from scalar ones.  The
-        regression net is ``tests/serving/test_service.py::
-        TestBatchedPrediction::test_batch_bitwise_identical_to_sequential``.
+        Delegates to :func:`~repro.core.combined.build_meta_matrix` — the
+        same implementation behind the scalar ``build_meta_row`` and the
+        trainer's bulk meta-row construction — so batched, scalar, and
+        training-time meta rows can never drift.  The regression net is
+        ``tests/serving/test_service.py::TestBatchedPrediction::
+        test_batch_bitwise_identical_to_sequential``.
         """
-        n = len(features)
-        kinds = len(_KIND_ORDER)
-        predictions = np.zeros((n, kinds), dtype=float)
-        flags = np.zeros((n, kinds), dtype=float)
 
-        for k, kind in enumerate(_KIND_ORDER):
-            groups: dict[int, list[int]] = {}
-            for i, bundle in enumerate(bundles):
-                signature = signature_for(kind, bundle)
-                if store.get(kind, signature) is not None:
-                    groups.setdefault(signature, []).append(i)
-            for signature, indices in groups.items():
-                model = store.get(kind, signature)
-                assert model is not None
-                self._individual_calls += 1
-                predictions[indices, k] = model.predict_many(
-                    [features[i] for i in indices]
-                )
-                flags[indices, k] = 1.0
+        def count_call() -> None:
+            self._individual_calls += 1
 
-        # Impute missing predictions with the most general available one —
-        # the last covered kind in specificity order, 0.0 when none covers.
-        impute = np.zeros(n, dtype=float)
-        for k in range(kinds):
-            impute = np.where(flags[:, k] == 1.0, predictions[:, k], impute)
-        filled = np.where(flags == 1.0, predictions, impute[:, None])
-
-        input_card = np.array([f.input_card for f in features], dtype=float)
-        base_card = np.array([f.base_card for f in features], dtype=float)
-        output_card = np.array([f.output_card for f in features], dtype=float)
-        partitions = np.array([f.partition_count for f in features], dtype=float)
-        extras = np.column_stack(
-            [
-                input_card,
-                base_card,
-                output_card,
-                input_card / partitions,
-                base_card / partitions,
-                output_card / partitions,
-                partitions,
-            ]
-        )
-        return np.concatenate([filled, flags, extras], axis=1)
+        table = FeatureTable.from_inputs(features, bundles)
+        return build_meta_matrix(store, table, on_model_call=count_call)
 
     # ------------------------------------------------------------------ #
     # Operator / plan entry points (optimizer-facing)

@@ -1,0 +1,136 @@
+"""Columnar trainer parity: the fast path must match the scalar reference.
+
+``CleoTrainer.train`` (columnar: table grouping, batched elastic nets,
+bulk meta rows) and ``CleoTrainer.train_reference`` (per-record scalar
+loops) must produce bitwise-identical models and predictions — this is the
+pin that lets the hot path evolve without silently changing results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.combined import build_meta_matrix, build_meta_row
+from repro.core.config import CleoConfig, ModelKind
+from repro.core.trainer import CleoTrainer
+from repro.ml.proximal import ElasticNetMSLE, fit_elastic_nets
+
+
+@pytest.fixture(scope="module")
+def parity_predictors(tiny_bundle):
+    trainer = CleoTrainer(CleoConfig())
+    columnar = trainer.train(tiny_bundle.log)
+    reference = trainer.train_reference(tiny_bundle.log)
+    return columnar, reference
+
+
+class TestTrainerParity:
+    def test_same_model_inventory(self, parity_predictors):
+        columnar, reference = parity_predictors
+        for kind in ModelKind:
+            assert set(columnar.store.models[kind]) == set(reference.store.models[kind])
+
+    def test_individual_coefficients_bitwise_identical(self, parity_predictors):
+        columnar, reference = parity_predictors
+        for kind in ModelKind:
+            for signature, model in columnar.store.models[kind].items():
+                twin = reference.store.models[kind][signature]
+                assert model.n_samples == twin.n_samples
+                assert np.array_equal(model._net.coef_, twin._net.coef_)
+                assert model._net.intercept_ == twin._net.intercept_
+
+    def test_predictions_bitwise_identical(self, tiny_bundle, parity_predictors):
+        columnar, reference = parity_predictors
+        records = list(tiny_bundle.test_log().operator_records())
+        batched = columnar.predict_records(records)
+        scalar = np.array([reference.predict_record(r) for r in records])
+        assert np.array_equal(batched, scalar)
+
+    def test_train_raises_on_empty_log(self):
+        from repro.execution.runtime_log import RunLog
+
+        trainer = CleoTrainer()
+        with pytest.raises(ValueError):
+            trainer.train_combined(trainer.train_individual(RunLog()), RunLog())
+
+
+class TestMetaMatrix:
+    def test_matches_scalar_meta_rows(self, tiny_bundle, parity_predictors):
+        columnar, _ = parity_predictors
+        log = tiny_bundle.test_log()
+        table = log.to_table()
+        matrix = build_meta_matrix(columnar.store, table)
+        records = list(log.operator_records())
+        for i in range(0, len(records), max(1, len(records) // 25)):
+            row = build_meta_row(
+                columnar.store, records[i].features, records[i].signatures
+            )
+            assert np.array_equal(matrix[i], row)
+
+    def test_model_call_accounting(self, tiny_bundle, parity_predictors):
+        columnar, _ = parity_predictors
+        table = tiny_bundle.test_log().to_table()
+        calls = 0
+
+        def count() -> None:
+            nonlocal calls
+            calls += 1
+
+        build_meta_matrix(columnar.store, table, on_model_call=count)
+        # One vectorized call per covering (kind, signature) group; never
+        # more than one per model nor per (kind, record).
+        assert 0 < calls <= columnar.store.count()
+
+
+class TestBatchedElasticNet:
+    def test_batched_fit_bitwise_equals_individual_fits(self):
+        rng = np.random.default_rng(7)
+        sizes = [5, 23, 8, 147, 64]
+        matrices = [np.exp(rng.normal(0, 4, size=(n, 6))) for n in sizes]
+        targets = [np.exp(rng.normal(2, 1, size=n)) for n in sizes]
+
+        def make_net() -> ElasticNetMSLE:
+            return ElasticNetMSLE(alpha=0.01, max_iter=120, tol=1e-5, nonneg_indices=(2,))
+
+        solo = [make_net().fit(x, y) for x, y in zip(matrices, targets)]
+        batched = [make_net() for _ in sizes]
+        lengths = np.array(sizes)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        fit_elastic_nets(
+            batched, np.vstack(matrices), np.concatenate(targets), starts, lengths
+        )
+        for one, many in zip(solo, batched):
+            assert np.array_equal(one.coef_, many.coef_)
+            assert one.intercept_ == many.intercept_
+            assert one.n_iter_ == many.n_iter_
+
+    def test_batched_fit_with_gapped_starts(self):
+        # The segment contract is "net g owns rows starts[g]:starts[g]+
+        # lengths[g]" — gaps between segments (skipped rows) are legal and
+        # must not shift any net's training data.
+        rng = np.random.default_rng(11)
+        x = np.exp(rng.normal(0, 3, size=(100, 4)))
+        y = np.exp(rng.normal(1, 1, size=100))
+        starts = np.array([0, 60])  # rows 50..59 belong to no net
+        lengths = np.array([50, 40])
+
+        def make_net() -> ElasticNetMSLE:
+            return ElasticNetMSLE(alpha=0.01, max_iter=80, tol=1e-5)
+
+        batched = [make_net(), make_net()]
+        fit_elastic_nets(batched, x, y, starts, lengths)
+        solo = [
+            make_net().fit(x[0:50], y[0:50]),
+            make_net().fit(x[60:100], y[60:100]),
+        ]
+        for one, many in zip(solo, batched):
+            assert np.array_equal(one.coef_, many.coef_)
+            assert one.intercept_ == many.intercept_
+
+    def test_batched_fit_rejects_mismatched_hyperparams(self):
+        nets = [ElasticNetMSLE(alpha=0.01), ElasticNetMSLE(alpha=0.5)]
+        x = np.ones((4, 2))
+        y = np.ones(4)
+        with pytest.raises(ValueError):
+            fit_elastic_nets(nets, x, y, np.array([0, 2]), np.array([2, 2]))
