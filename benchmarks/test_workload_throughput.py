@@ -1,0 +1,30 @@
+"""Benchmark: workload-generation throughput (scalar reference vs batched).
+
+Like ``test_train_throughput`` this one has no paper counterpart — it
+tracks the reproduction's own perf trajectory (ROADMAP: "fast as the
+hardware allows").  It runs ``run_multi_cluster_workload`` through both
+execution paths, asserts bitwise-identical run logs, and drops
+``BENCH_workload.json`` under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.workload_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_workload_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_workload.json")
+    assert result["runlogs_bitwise_identical"]
+    assert result["speedup"] > 1.0

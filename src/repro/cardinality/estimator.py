@@ -36,8 +36,6 @@ DEFAULT_SIGMAS: dict[LogicalOpType, float] = {
     LogicalOpType.OUTPUT: 0.0,
 }
 
-#: Operators whose output can never exceed their input; estimates are capped.
-_CAPPED = frozenset({LogicalOpType.FILTER, LogicalOpType.AGGREGATE, LogicalOpType.TOP_K})
 
 
 @dataclass(frozen=True)
@@ -102,17 +100,33 @@ class CardinalityEstimator:
     def __init__(self, config: EstimatorConfig | None = None) -> None:
         self.config = config or EstimatorConfig()
         self._memo: dict[int, float] = {}
+        #: Error factors are template-level constants; memoized across plans
+        #: (the same recurring template is misestimated identically every
+        #: day).  Keyed by (tag, id(op_type)) — enum members are singletons
+        #: and id() skips enum.__hash__ on this hot lookup.
+        self._error_memo: dict[tuple[str, int], float] = {}
 
     def error_factor(self, op: PhysicalOp) -> float:
         """Deterministic multiplicative error for this operator's template."""
         logical = op.logical
         if logical is None:
             return 1.0
-        sigma = self.config.sigmas.get(logical.op_type, 0.0) * self.config.sigma_scale
+        return self.error_factor_for(logical.template_tag, logical.op_type)
+
+    def error_factor_for(self, template_tag: str, op_type: LogicalOpType) -> float:
+        """Template-level error factor by (tag, logical type), memoized."""
+        key = (template_tag, id(op_type))
+        cached = self._error_memo.get(key)
+        if cached is not None:
+            return cached
+        sigma = self.config.sigmas.get(op_type, 0.0) * self.config.sigma_scale
         if sigma <= 0.0:
-            return 1.0
-        u = stable_unit_float(self.config.seed_salt, logical.template_tag, logical.op_type.value)
-        return math.exp(sigma * _gauss_from_unit(u))
+            value = 1.0
+        else:
+            u = stable_unit_float(self.config.seed_salt, template_tag, op_type.value)
+            value = math.exp(sigma * _gauss_from_unit(u))
+        self._error_memo[key] = value
+        return value
 
     def estimate(self, op: PhysicalOp) -> float:
         """Estimated output cardinality of ``op`` (recursive, memoized)."""
@@ -130,28 +144,47 @@ class CardinalityEstimator:
         if logical is None:
             # Enforcers (Exchange, enforcer Sort) pass cardinality through.
             return child_estimates[0]
-        if logical.op_type is LogicalOpType.GET:
+        return self.estimate_logical(logical, child_estimates)
+
+    def estimate_logical(self, logical, child_estimates: list[float]) -> float:
+        """The estimate formula for one logical node over its (physical)
+        children's estimates.
+
+        Single source of truth shared by the per-plan recursion above and the
+        skeleton planner's replay search, which tracks child estimates on its
+        own lightweight nodes.
+        """
+        op_type = logical.op_type
+        if op_type is LogicalOpType.GET:
             # Base table row counts come from catalog statistics, which the
             # system maintains accurately; errors enter at predicates and up.
             return logical.true_card
-        if logical.op_type is LogicalOpType.UNION:
+        if op_type is LogicalOpType.UNION:
             return float(sum(child_estimates))
 
-        if logical.op_type is LogicalOpType.JOIN:
+        if op_type is LogicalOpType.JOIN:
             base = max(child_estimates) if child_estimates else 0.0
         else:
             base = child_estimates[0]
 
+        error = self.error_factor_for(logical.template_tag, op_type)
         # Aggregates estimate "number of groups", independent of what
         # physical shape (e.g. local pre-aggregation) feeds them; top-k is
         # bounded by its literal limit.
-        if logical.op_type is LogicalOpType.AGGREGATE and logical.group_count is not None:
-            estimate = min(base, logical.group_count * self.error_factor(op))
-        elif logical.op_type is LogicalOpType.TOP_K and logical.limit is not None:
+        if op_type is LogicalOpType.AGGREGATE and logical.group_count is not None:
+            estimate = min(base, logical.group_count * error)
+        elif op_type is LogicalOpType.TOP_K and logical.limit is not None:
             estimate = min(base, float(logical.limit))
         else:
-            estimate = logical.sel_true * self.error_factor(op) * base
-            if logical.op_type in _CAPPED:
+            estimate = logical.sel_true * error * base
+            # Operators whose output can never exceed their input; identity
+            # checks because frozenset membership would hash the enum on
+            # every call.
+            if (
+                op_type is LogicalOpType.FILTER
+                or op_type is LogicalOpType.AGGREGATE
+                or op_type is LogicalOpType.TOP_K
+            ):
                 estimate = min(estimate, base)
         return max(estimate, 0.0)
 

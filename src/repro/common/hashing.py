@@ -21,7 +21,11 @@ def stable_hash(*parts: object) -> int:
     Parts are joined with an unlikely separator so that ``("ab", "c")`` and
     ``("a", "bc")`` hash differently.
     """
-    payload = "\x1f".join(_canonical(p) for p in parts).encode("utf-8")
+    try:
+        # Fast path: all-string parts (the overwhelmingly common case).
+        payload = "\x1f".join(parts).encode("utf-8")
+    except TypeError:
+        payload = "\x1f".join(_canonical(p) for p in parts).encode("utf-8")
     digest = hashlib.blake2b(payload, digest_size=8).digest()
     return struct.unpack("<Q", digest)[0]
 

@@ -67,12 +67,35 @@ class DefaultCostModel(CostModelBase):
         estimator: CardinalityEstimator,
         partition_override: int | None = None,
     ) -> float:
-        cpu, io, out, nlogn = self.coefficients[op.op_type]
-        partitions = float(partition_override or op.partition_count)
-        rows_in = min(estimator.estimate_input(op), self.row_cap) / partitions
-        rows_out = min(estimator.estimate(op), self.row_cap) / partitions
-        row_bytes = op.children[0].row_bytes if op.children else op.row_bytes
-        cost = io * rows_in * row_bytes + out * rows_out
+        return self.operator_cost_from_stats(
+            op.op_type,
+            estimator.estimate_input(op),
+            estimator.estimate(op),
+            op.children[0].row_bytes if op.children else op.row_bytes,
+            partition_override or op.partition_count,
+        )
+
+    def operator_cost_from_stats(
+        self,
+        op_type: PhysOpType,
+        estimated_input: float,
+        estimated_output: float,
+        input_row_bytes: float,
+        partition_count: int,
+    ) -> float:
+        """The cost formula on raw statistics.
+
+        Backs :meth:`operator_cost`.  The skeleton planner's replay search
+        (``repro.optimizer.skeleton.SkeletonPlanner._cost``) inlines a copy
+        of this exact expression for speed — keep the two in sync; the
+        parity suite (``tests/workload/test_batched_parity.py``) pins the
+        equivalence.
+        """
+        cpu, io, out, nlogn = self.coefficients[op_type]
+        partitions = float(partition_count)
+        rows_in = min(estimated_input, self.row_cap) / partitions
+        rows_out = min(estimated_output, self.row_cap) / partitions
+        cost = io * rows_in * input_row_bytes + out * rows_out
         if nlogn:
             cost += cpu * rows_in * math.log2(rows_in + 2.0)
         else:

@@ -1,0 +1,524 @@
+"""Batched job execution: array-speed ground truth over replayed plans.
+
+The scalar :class:`~repro.execution.simulator.ExecutionSimulator` walks a
+plan operator by operator — signature recursion, hidden-multiplier hashes,
+feature extraction, latency formula — all in Python per operator.  This
+module executes a whole *run* of jobs in a handful of array operations
+instead, in two layers:
+
+* **Shape statics**, cached per plan *shape* (the structural fingerprint of
+  a replayed plan, day-independent): signatures, hidden multipliers, skew
+  units, stage-graph structure, coefficient gathers, input encodings, CL/D
+  context features.  None of these depend on a job instance's numbers, so
+  every job that makes the same planning choices reuses them.  Statics are
+  extracted by running the *real* implementations
+  (``compute_signature_bundles``, ``build_stage_graph``,
+  ``hidden_multiplier``) once over a materialized representative plan —
+  parity with the scalar path is structural, not re-implemented.
+* **Per-run numerics**: jobs are accumulated into flat row-major buffers
+  (one row per operator) and the ground-truth latency formula runs once,
+  vectorized, over all rows at :meth:`BatchedExecutionEngine.finish`.
+  Per-execution noise stays a compact scalar loop so the RNG draw order
+  matches the scalar path's interleaved, outcome-dependent ``_noise`` calls
+  exactly; transcendental terms (``log2`` for sorts, ``log1p`` for skew) go
+  through the same ``math.*`` calls as the scalar path because numpy's SIMD
+  variants are not guaranteed bit-identical.
+
+The result is bitwise-identical to per-job ``ExecutionSimulator.run_job``
+runs: same operator latencies, features, signatures, and job records
+(pinned by ``tests/workload/test_batched_parity.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.execution.runtime_log import JobRecord, OperatorRecord
+from repro.execution.simulator import STAGE_STARTUP_SECONDS, ExecutionSimulator
+from repro.features.featurizer import FeatureInput
+from repro.features.table import FeatureTable
+from repro.optimizer.skeleton import RNode, materialize
+from repro.plan.physical import PhysOpType, PhysicalOp
+from repro.plan.signatures import compute_signature_bundles
+from repro.plan.stages import build_stage_graph
+
+
+class ShapeStatics:
+    """Everything about a plan shape that no job instance can change."""
+
+    __slots__ = (
+        "n",
+        "op_type_values",
+        "template_tags",
+        "bundles",
+        "multipliers",
+        "skew_u",
+        "input_enc",
+        "logical_count",
+        "depth",
+        "coef_cpu",
+        "coef_io",
+        "coef_out",
+        "coef_setup",
+        "nlogn_indices",
+        "hash_join_children",
+        "first_child",
+        "child_indices",
+        "leaf_sets",
+        "root_leaves",
+        "params_indices",
+        "stage_members",
+        "stage_upstream",
+        "stage_topo",
+        "sig_strict",
+        "sig_approx",
+        "sig_input",
+        "sig_operator",
+    )
+
+
+def build_shape_statics(plan: PhysicalOp, simulator: ExecutionSimulator) -> ShapeStatics:
+    """Extract a shape's static data by running the real scalar machinery
+    once over a representative materialized plan."""
+    ground_truth = simulator.ground_truth
+    ops = list(plan.walk())
+    index_of = {id(op): i for i, op in enumerate(ops)}
+    bundles_by_id = compute_signature_bundles(plan)
+
+    s = ShapeStatics()
+    s.n = len(ops)
+    s.op_type_values = [op.op_type.value for op in ops]
+    s.template_tags = [op.template_tag for op in ops]
+    s.bundles = [bundles_by_id[id(op)] for op in ops]
+    s.multipliers = [
+        ground_truth.hidden_multiplier(op, strict_sig=s.bundles[i].strict)
+        for i, op in enumerate(ops)
+    ]
+    s.skew_u = [
+        ground_truth.skew_unit(frozenset(op.normalized_inputs)) for op in ops
+    ]
+    s.input_enc = [FeatureInput.encode_inputs(op.normalized_inputs) for op in ops]
+
+    coefficients = ground_truth.params.coefficients
+    s.coef_cpu = [coefficients[op.op_type].cpu for op in ops]
+    s.coef_io = [coefficients[op.op_type].io for op in ops]
+    s.coef_out = [coefficients[op.op_type].out for op in ops]
+    s.coef_setup = [coefficients[op.op_type].setup for op in ops]
+    s.nlogn_indices = tuple(
+        i for i, op in enumerate(ops) if coefficients[op.op_type].nlogn
+    )
+    s.hash_join_children = tuple(
+        (i, index_of[id(op.children[0])], index_of[id(op.children[1])])
+        for i, op in enumerate(ops)
+        if op.op_type is PhysOpType.HASH_JOIN
+    )
+    s.first_child = tuple(
+        index_of[id(op.children[0])] if op.children else i
+        for i, op in enumerate(ops)
+    )
+    s.child_indices = tuple(
+        tuple(index_of[id(child)] for child in op.children) for op in ops
+    )
+    # CL / D / leaf sets, bottom-up in one pass (post-order guarantees the
+    # children's entries exist).  Integer-exact, matching the per-node
+    # recursive properties.
+    logical_count = [0] * s.n
+    depth = [1] * s.n
+    leaf_sets: list[tuple[int, ...]] = [()] * s.n
+    for i, op in enumerate(ops):
+        children = s.child_indices[i]
+        own = 1 if op.logical is not None else 0
+        if not children:
+            logical_count[i] = own
+            leaf_sets[i] = (i,)
+        else:
+            count = own
+            max_depth = 0
+            leaves: list[int] = []
+            for c in children:
+                count += logical_count[c]
+                if depth[c] > max_depth:
+                    max_depth = depth[c]
+                leaves.extend(leaf_sets[c])
+            logical_count[i] = count
+            depth[i] = 1 + max_depth
+            leaf_sets[i] = tuple(leaves)
+    s.logical_count = [float(v) for v in logical_count]
+    s.depth = [float(v) for v in depth]
+    s.leaf_sets = tuple(leaf_sets)
+    s.root_leaves = s.leaf_sets[-1]
+    s.params_indices = tuple(
+        i for i, op in enumerate(ops) if op.logical is not None and op.logical.params
+    )
+
+    graph = build_stage_graph(plan)
+    s.stage_members = tuple(
+        tuple(index_of[id(op)] for op in stage.operators) for stage in graph.stages
+    )
+    s.stage_upstream = tuple(tuple(stage.upstream) for stage in graph.stages)
+    s.stage_topo = tuple(stage.index for stage in graph.topological_order())
+
+    s.sig_strict = [b.strict for b in s.bundles]
+    s.sig_approx = [b.approx for b in s.bundles]
+    s.sig_input = [b.input for b in s.bundles]
+    s.sig_operator = [b.operator for b in s.bundles]
+    return s
+
+
+class _JobEntry:
+    """Bookkeeping for one accumulated job (row offset + metadata)."""
+
+    __slots__ = (
+        "statics",
+        "job_id",
+        "template_id",
+        "day",
+        "is_adhoc",
+        "offset",
+        "input_bytes",
+        "params_enc",
+    )
+
+
+class BatchedExecutionEngine:
+    """Executes replayed plans through the vectorized ground-truth model.
+
+    Wraps one cluster's :class:`ExecutionSimulator`, sharing its ground-truth
+    model (and thus its multiplier caches) and its RNG tree, so noise streams
+    are identical to the scalar path's.  Usage::
+
+        engine.begin()
+        for job ...:
+            statics = engine.statics_for(win)
+            engine.add_job(win, statics, job_id, template_id, day, adhoc)
+        records, table = engine.finish()
+    """
+
+    def __init__(self, simulator: ExecutionSimulator) -> None:
+        self.simulator = simulator
+        self.ground_truth = simulator.ground_truth
+        self.cluster = simulator.cluster
+        self._rngs = simulator._rngs
+        self._shape_cache: dict[tuple, ShapeStatics] = {}
+        self.begin()
+
+    def statics_for(
+        self, win: RNode, choice_key: tuple, plan: PhysicalOp | None = None
+    ) -> ShapeStatics:
+        """The (cached) shape statics of a replayed plan.
+
+        ``choice_key`` is the skeleton planner's ``last_choice_key``: the
+        template id plus the search's winner ordinals and join-existence
+        masks, which uniquely determine the plan shape (and is far cheaper
+        to hash than a structural fingerprint of the tree).
+        """
+        statics = self._shape_cache.get(choice_key)
+        if statics is None:
+            statics = build_shape_statics(plan or materialize(win), self.simulator)
+            self._shape_cache[choice_key] = statics
+        return statics
+
+    # ------------------------------------------------------------------ #
+    # Run accumulation
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> None:
+        """Reset the row buffers for a new run."""
+        self._jobs: list[_JobEntry] = []
+        self._true_card: list[float] = []
+        self._row_bytes: list[float] = []
+        self._partitions: list[int] = []
+        self._est_in: list[float] = []
+        self._est_out: list[float] = []
+        self._input_card: list[float] = []
+        self._base_card: list[float] = []
+        self._rb_src_idx: list[int] = []
+        self._multipliers: list[float] = []
+        self._skew_u: list[float] = []
+        self._coef_cpu: list[float] = []
+        self._coef_io: list[float] = []
+        self._coef_out: list[float] = []
+        self._coef_setup: list[float] = []
+        self._nlogn_rows: list[int] = []
+        self._hash_join_rows: list[tuple[int, int, int]] = []
+
+    def add_job(
+        self,
+        win: RNode,
+        statics: ShapeStatics,
+        job_id: str,
+        template_id: str,
+        day: int,
+        is_adhoc: bool,
+    ) -> None:
+        """Gather one job's numerics into the run buffers."""
+        offset = len(self._true_card)
+        true_card = self._true_card
+        row_bytes = self._row_bytes
+        partitions = self._partitions
+        est_in = self._est_in
+        est_out = self._est_out
+        # Iterative post-order walk (recursive generators cost a frame per
+        # node); order matches PhysicalOp.walk exactly — the ordering
+        # contract every row buffer and ShapeStatics index relies on.
+        nodes: list[RNode] = []
+        stack: list[tuple[RNode, bool]] = [(win, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or not node.children:
+                nodes.append(node)
+                true_card.append(node.true_card)
+                row_bytes.append(node.row_bytes)
+                partitions.append(node.partition_count)
+                est_in.append(node.est_in)
+                est_out.append(node.est_out)
+                continue
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+
+        # Summation orders below replicate the scalar properties exactly
+        # (PhysicalOp.input_card / base_card and run_job's input_bytes all
+        # accumulate left to right from zero).
+        for i, children in enumerate(statics.child_indices):
+            if not children:
+                self._input_card.append(true_card[offset + i])
+            else:
+                total = 0.0
+                for c in children:
+                    total += true_card[offset + c]
+                self._input_card.append(total)
+
+        # base_card per operator (the B feature).
+        for leaves in statics.leaf_sets:
+            total = 0
+            for leaf in leaves:
+                total += true_card[offset + leaf]
+            self._base_card.append(float(total))
+
+        entry = _JobEntry()
+        entry.statics = statics
+        entry.job_id = job_id
+        entry.template_id = template_id
+        entry.day = day
+        entry.is_adhoc = is_adhoc
+        entry.offset = offset
+        input_bytes = 0
+        for leaf in statics.root_leaves:
+            input_bytes += true_card[offset + leaf] * self._row_bytes[offset + leaf]
+        entry.input_bytes = float(input_bytes)
+        params_enc = [0.0] * statics.n
+        for i in statics.params_indices:
+            params_enc[i] = FeatureInput.encode_params(nodes[i].logical.params)
+        entry.params_enc = params_enc
+        self._jobs.append(entry)
+
+        for i in statics.first_child:
+            self._rb_src_idx.append(offset + i)
+        self._multipliers.extend(statics.multipliers)
+        self._skew_u.extend(statics.skew_u)
+        self._coef_cpu.extend(statics.coef_cpu)
+        self._coef_io.extend(statics.coef_io)
+        self._coef_out.extend(statics.coef_out)
+        self._coef_setup.extend(statics.coef_setup)
+        for i in statics.nlogn_indices:
+            self._nlogn_rows.append(offset + i)
+        for i, c0, c1 in statics.hash_join_children:
+            self._hash_join_rows.append((offset + i, offset + c0, offset + c1))
+
+    # ------------------------------------------------------------------ #
+    # Vectorized execution
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> tuple[list[JobRecord], FeatureTable]:
+        """Execute every accumulated job; returns records + columnar table."""
+        if not self._jobs:
+            return [], FeatureTable.from_records([])
+        ground_truth = self.ground_truth
+        params = ground_truth.params
+        n_rows = len(self._true_card)
+
+        true_card = np.array(self._true_card)
+        row_bytes = np.array(self._row_bytes)
+        partitions = np.array(self._partitions, dtype=float)
+        input_card = np.array(self._input_card)
+
+        rows_out = true_card / partitions
+        rows_in = input_card / partitions
+        bytes_in = rows_in * row_bytes[np.array(self._rb_src_idx)]
+
+        effective_rows_in = rows_in.copy()
+        for i, c0, c1 in self._hash_join_rows:
+            probe = self._true_card[c0] / partitions[i]
+            build = self._true_card[c1] / partitions[i]
+            effective_rows_in[i] = probe + ground_truth.HASH_BUILD_FACTOR * build
+
+        coef_cpu = np.array(self._coef_cpu)
+        work = np.array(self._coef_io) * bytes_in + np.array(self._coef_out) * rows_out
+        cpu_term = coef_cpu * effective_rows_in
+        for i in self._nlogn_rows:
+            # math.log2, matching the scalar path bit for bit.
+            cpu_term[i] = coef_cpu[i] * rows_in[i] * math.log2(rows_in[i] + 2.0)
+        work = work + cpu_term
+
+        log1p_cached = ground_truth.log1p_partitions
+        log1p_p = np.array([log1p_cached(p) for p in self._partitions])
+        skew = 1.0 + params.skew_base * np.array(self._skew_u) * log1p_p
+        base = work * skew
+        base = base + np.array(self._coef_setup) * partitions
+        latency = np.array(self._multipliers) * base / self.cluster.speed_factor
+
+        # Per-execution noise: a compact scalar loop in job order so the
+        # interleaved, outcome-dependent RNG draws match the scalar path's.
+        noise = np.empty(n_rows)
+        gt_noise = ground_truth._noise
+        rng_child = self._rngs.child
+        for entry in self._jobs:
+            rng = rng_child("noise", entry.job_id, entry.day)
+            for i in range(entry.offset, entry.offset + entry.statics.n):
+                noise[i] = gt_noise(rng)
+        latency = latency * noise
+        latency = np.maximum(latency, params.min_latency)
+        cpu_seconds = latency * partitions / skew
+
+        latency_list = latency.tolist()
+        cpu_list = cpu_seconds.tolist()
+        records = self._build_records(latency_list, cpu_list)
+        table = self._build_table(latency)
+        self.begin()
+        return records, table
+
+    def _build_records(
+        self, latency_list: list[float], cpu_list: list[float]
+    ) -> list[JobRecord]:
+        cluster_name = self.cluster.name
+        records: list[JobRecord] = []
+        for entry in self._jobs:
+            statics = entry.statics
+            offset = entry.offset
+            n = statics.n
+
+            # Stage critical path, replicating the scalar accumulation order.
+            stage_latency = []
+            for members in statics.stage_members:
+                total = 0
+                for i in members:
+                    total += latency_list[offset + i]
+                stage_latency.append(STAGE_STARTUP_SECONDS + total)
+            finish: dict[int, float] = {}
+            for idx in statics.stage_topo:
+                upstream_finish = max(
+                    (finish[u] for u in statics.stage_upstream[idx]), default=0.0
+                )
+                finish[idx] = upstream_finish + stage_latency[idx]
+            job_latency = max(finish.values()) if finish else 0.0
+
+            cpu_total = 0.0
+            operator_records = []
+            job_id = entry.job_id
+            day = entry.day
+            adhoc = entry.is_adhoc
+            for i in range(n):
+                row = offset + i
+                # Positional construction (field order) — this loop builds
+                # every operator record of the workload.
+                features = FeatureInput(
+                    self._est_in[row],
+                    self._base_card[row],
+                    self._est_out[row],
+                    self._row_bytes[row],
+                    float(self._partitions[row]),
+                    statics.input_enc[i],
+                    entry.params_enc[i],
+                    statics.logical_count[i],
+                    statics.depth[i],
+                )
+                cpu = cpu_list[row]
+                cpu_total += cpu
+                operator_records.append(
+                    OperatorRecord(
+                        job_id,
+                        cluster_name,
+                        day,
+                        statics.op_type_values[i],
+                        statics.template_tags[i],
+                        statics.bundles[i],
+                        features,
+                        latency_list[row],
+                        self._true_card[row],
+                        self._input_card[row],
+                        cpu,
+                        adhoc,
+                    )
+                )
+            records.append(
+                JobRecord(
+                    job_id=entry.job_id,
+                    template_id=entry.template_id,
+                    cluster=cluster_name,
+                    day=entry.day,
+                    is_adhoc=entry.is_adhoc,
+                    latency_seconds=job_latency,
+                    cpu_seconds=cpu_total,
+                    input_bytes=entry.input_bytes,
+                    operators=tuple(operator_records),
+                )
+            )
+        return records
+
+    def _build_table(self, latency: np.ndarray) -> FeatureTable:
+        input_enc: list[float] = []
+        logical_count: list[float] = []
+        depth: list[float] = []
+        params_enc: list[float] = []
+        sig_strict: list[int] = []
+        sig_approx: list[int] = []
+        sig_input: list[int] = []
+        sig_operator: list[int] = []
+        day: list[int] = []
+        is_adhoc: list[bool] = []
+        cluster: list[str] = []
+        cluster_name = self.cluster.name
+        for entry in self._jobs:
+            statics = entry.statics
+            input_enc.extend(statics.input_enc)
+            logical_count.extend(statics.logical_count)
+            depth.extend(statics.depth)
+            params_enc.extend(entry.params_enc)
+            sig_strict.extend(statics.sig_strict)
+            sig_approx.extend(statics.sig_approx)
+            sig_input.extend(statics.sig_input)
+            sig_operator.extend(statics.sig_operator)
+            day.extend([entry.day] * statics.n)
+            is_adhoc.extend([entry.is_adhoc] * statics.n)
+            cluster.extend([cluster_name] * statics.n)
+        return FeatureTable(
+            input_card=np.array(self._est_in),
+            base_card=np.array(self._base_card),
+            output_card=np.array(self._est_out),
+            avg_row_bytes=np.array(self._row_bytes),
+            partition_count=np.array(self._partitions, dtype=float),
+            input_enc=np.array(input_enc),
+            params_enc=np.array(params_enc),
+            logical_count=np.array(logical_count),
+            depth=np.array(depth),
+            signatures={
+                "strict": np.array(sig_strict, dtype=np.uint64),
+                "approx": np.array(sig_approx, dtype=np.uint64),
+                "input": np.array(sig_input, dtype=np.uint64),
+                "operator": np.array(sig_operator, dtype=np.uint64),
+            },
+            latency=latency,
+            day=np.array(day, dtype=np.int64),
+            cluster=tuple(cluster),
+            is_adhoc=np.array(is_adhoc, dtype=bool),
+        )
+
+
+__all__ = [
+    "BatchedExecutionEngine",
+    "ShapeStatics",
+    "build_shape_statics",
+]

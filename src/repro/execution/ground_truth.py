@@ -119,7 +119,9 @@ class GroundTruthModel:
     def __init__(self, cluster: ClusterSpec, params: GroundTruthParams | None = None) -> None:
         self.cluster = cluster
         self.params = params or GroundTruthParams()
-        self._multiplier_cache: dict[int, float] = {}
+        self._multiplier_cache: dict[tuple[int, str], float] = {}
+        self._skew_u_cache: dict[frozenset[str], float] = {}
+        self._log1p_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # Hidden multipliers
@@ -143,7 +145,10 @@ class GroundTruthModel:
         one bottom-up signature pass per plan) to avoid re-hashing subtrees.
         """
         sig = strict_signature(op) if strict_sig is None else strict_sig
-        cache_key = stable_hash(self.cluster.name, sig, op.op_type.value)
+        # The cluster name is constant per model instance, so (sig, op_type)
+        # identifies the template; a plain tuple key avoids re-hashing on the
+        # per-operator hot path.
+        cache_key = (sig, op.op_type.value)
         cached = self._multiplier_cache.get(cache_key)
         if cached is not None:
             return cached
@@ -169,10 +174,31 @@ class GroundTruthModel:
 
     def skew_factor(self, op: PhysicalOp) -> float:
         """Straggler multiplier: the slowest of P partitions sets the pace."""
-        u_skew = stable_unit_float(
-            self.params.seed_salt, "skew", frozenset(op.normalized_inputs)
+        u_skew = self.skew_unit(frozenset(op.normalized_inputs))
+        return 1.0 + self.params.skew_base * u_skew * self.log1p_partitions(
+            op.partition_count
         )
-        return 1.0 + self.params.skew_base * u_skew * math.log1p(op.partition_count)
+
+    def skew_unit(self, normalized_inputs: frozenset[str]) -> float:
+        """The cached per-input-set uniform behind :meth:`skew_factor`."""
+        cached = self._skew_u_cache.get(normalized_inputs)
+        if cached is None:
+            cached = stable_unit_float(self.params.seed_salt, "skew", normalized_inputs)
+            self._skew_u_cache[normalized_inputs] = cached
+        return cached
+
+    def log1p_partitions(self, partition_count: int) -> float:
+        """``log1p`` over the few distinct partition counts, cached.
+
+        Cached so the batched path can gather ``log1p(P)`` arrays from the
+        exact same ``math.log1p`` values the scalar path uses (numpy's
+        ``np.log1p`` is not guaranteed bit-identical to libm's).
+        """
+        cached = self._log1p_cache.get(partition_count)
+        if cached is None:
+            cached = math.log1p(partition_count)
+            self._log1p_cache[partition_count] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Work functions

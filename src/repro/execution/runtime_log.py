@@ -18,7 +18,7 @@ from repro.features.table import FeatureTable
 from repro.plan.signatures import SignatureBundle
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperatorRecord:
     """One executed operator instance: features, signatures, and outcome."""
 
@@ -40,7 +40,7 @@ class OperatorRecord:
             raise ValueError("actual_latency must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobRecord:
     """One executed job: end-to-end outcome plus its operator records."""
 
@@ -86,6 +86,20 @@ class RunLog:
     def extend(self, jobs: list[JobRecord]) -> None:
         self.jobs.extend(jobs)
         self._table = None
+
+    @classmethod
+    def from_columnar(cls, jobs: list[JobRecord], table: FeatureTable) -> "RunLog":
+        """A log whose columnar table was built alongside its records.
+
+        The batched execution engine produces operator rows directly in
+        column form; adopting that table here makes the first ``to_table()``
+        free instead of re-materializing from the records.  ``table`` must
+        hold exactly the rows of ``jobs``'s operator records, in order.
+        """
+        log = cls(jobs=jobs)
+        log._table = table
+        log._table_key = log._jobs_fingerprint()
+        return log
 
     def _jobs_fingerprint(self) -> tuple:
         return (

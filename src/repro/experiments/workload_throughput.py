@@ -1,0 +1,135 @@
+"""Workload-throughput benchmark: scalar reference vs batched engine.
+
+Every experiment and every training run starts from a generated
+:class:`~repro.execution.runtime_log.RunLog`, and "How Good are Learned
+Cost Models, Really?" (Heinrich et al., 2025) identifies training-data
+generation as *the* bottleneck of evaluating learned cost models at all.
+This benchmark times ``run_multi_cluster_workload`` end to end — planning,
+ground-truth simulation, feature extraction, log assembly — twice: once
+through the retained per-job scalar reference
+(:meth:`WorkloadRunner.run_days_reference`) and once through the batched
+engine (skeleton planner + vectorized ground truth + columnar ingest), and
+verifies the two produce bitwise-identical run logs before reporting the
+speedup.
+
+Each path runs ``repeats`` times over persistent runners (best-of),
+mirroring ``train_throughput``'s methodology: the first repeat pays the
+one-time cache warm-up (hidden multipliers, template skeletons, shape
+statics), later repeats measure steady state.  Both timings are recorded.
+
+Run it from the CLI (``python scripts/bench_workload.py``) to emit
+``BENCH_workload.json``, or through ``benchmarks/test_workload_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.execution.runtime_log import RunLog
+from repro.experiments.shared import SCALES
+from repro.workload.runner import multi_cluster_setup
+
+
+def _time_path(
+    scale: float, days: tuple[int, ...], seed: int, repeats: int, reference: bool
+) -> tuple[list[float], dict[str, RunLog]]:
+    """Time one execution path over persistent runners; returns all repeats."""
+    pairs = multi_cluster_setup(scale=scale, seed=seed)
+    times: list[float] = []
+    logs: dict[str, RunLog] = {}
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        logs = {}
+        for generator, runner in pairs:
+            run = runner.run_days_reference if reference else runner.run_days
+            logs[runner.cluster.name] = run(generator, list(days))
+        times.append(time.perf_counter() - start)
+    return times, logs
+
+
+def _logs_identical(a: dict[str, RunLog], b: dict[str, RunLog]) -> bool:
+    """Bitwise job-record equality across clusters (dataclass equality
+    covers every nested operator record field, including features and
+    signatures)."""
+    if set(a) != set(b):
+        return False
+    return all(a[name].jobs == b[name].jobs for name in a)
+
+
+def run_benchmark(
+    scale: str = "small",
+    days: tuple[int, ...] = (1, 2, 3),
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Time both workload paths and check run-log parity.
+
+    Returns a JSON-ready dict; ``speedup`` is best-of-``repeats`` reference
+    time over best batched time.
+    """
+    scale_factor = SCALES[scale]
+    ref_times, ref_logs = _time_path(scale_factor, days, seed, repeats, reference=True)
+    bat_times, bat_logs = _time_path(scale_factor, days, seed, repeats, reference=False)
+    identical = _logs_identical(ref_logs, bat_logs)
+
+    job_count = sum(len(log) for log in bat_logs.values())
+    operator_count = sum(log.operator_count for log in bat_logs.values())
+    ref_best = min(ref_times)
+    bat_best = min(bat_times)
+
+    def path_stats(times: list[float], best: float) -> dict:
+        return {
+            "seconds": [round(t, 4) for t in times],
+            "seconds_best": round(best, 4),
+            "seconds_first": round(times[0], 4),
+            "jobs_per_second": round(job_count / best, 1),
+            "operators_per_second": round(operator_count / best, 1),
+        }
+
+    return {
+        "benchmark": "workload_throughput",
+        "workload": {
+            "clusters": sorted(bat_logs),
+            "scale": scale,
+            "days": list(days),
+            "seed": seed,
+            "job_count": job_count,
+            "operator_count": operator_count,
+        },
+        "scalar_reference": path_stats(ref_times, ref_best),
+        "batched": path_stats(bat_times, bat_best),
+        "speedup": round(ref_best / bat_best, 2),
+        "speedup_first_run": round(ref_times[0] / bat_times[0], 2),
+        "runlogs_bitwise_identical": identical,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+def write_result(result: dict, path: str | Path) -> Path:
+    """Write the benchmark result as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def format_result(result: dict) -> str:
+    """One-paragraph human summary of a benchmark result."""
+    workload = result["workload"]
+    return (
+        f"workload_throughput [scale={workload['scale']} days={workload['days']} "
+        f"seed={workload['seed']}]: {workload['job_count']} jobs / "
+        f"{workload['operator_count']} operators; "
+        f"reference {result['scalar_reference']['seconds_best']}s -> "
+        f"batched {result['batched']['seconds_best']}s "
+        f"({result['speedup']}x best-of, {result['speedup_first_run']}x cold, "
+        f"{result['batched']['jobs_per_second']} jobs/s, "
+        f"bitwise identical={result['runlogs_bitwise_identical']})"
+    )

@@ -37,7 +37,7 @@ import numpy as np
 from repro.common.hashing import stable_unit_float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeatureInput:
     """Raw statistics of one operator instance.
 
@@ -62,12 +62,27 @@ class FeatureInput:
     @staticmethod
     def encode_inputs(normalized_inputs: frozenset[str]) -> float:
         """Stable numeric encoding of a normalized input set, in [0, 1)."""
-        return stable_unit_float("in-enc", frozenset(normalized_inputs))
+        key = frozenset(normalized_inputs)
+        cached = _INPUT_ENC_CACHE.get(key)
+        if cached is None:
+            if len(_INPUT_ENC_CACHE) >= _INPUT_ENC_CACHE_LIMIT:
+                _INPUT_ENC_CACHE.clear()
+            cached = stable_unit_float("in-enc", key)
+            _INPUT_ENC_CACHE[key] = cached
+        return cached
 
     @staticmethod
     def encode_params(params: tuple[float, ...]) -> float:
         """Numeric encoding of job parameters (mean value; 0 when absent)."""
         return float(np.mean(params)) if params else 0.0
+
+
+#: Input-set encodings recur across every operator instance of a template;
+#: the cache skips re-hashing identical frozensets (values unchanged).  It
+#: clears at the limit so long-running processes stay bounded (entries are
+#: pure recomputations).
+_INPUT_ENC_CACHE: dict[frozenset[str], float] = {}
+_INPUT_ENC_CACHE_LIMIT = 1 << 18
 
 
 #: Attribute names consumed by feature expressions, in FeatureInput order.

@@ -98,6 +98,18 @@ _ANY = Partitioning.any()
 _NO_SORT = SortOrder.none()
 
 
+def jitter_factor(salt: str, key: str, sigma: float) -> float:
+    """The deterministic log-normal allocation-jitter multiplier.
+
+    Shared by :meth:`QueryPlanner._jittered` and the skeleton planner so the
+    two paths draw bit-identical wobble from the same (salt, key) pair.
+    """
+    u = stable_unit_float("partition-jitter", salt, key)
+    v = stable_unit_float("partition-jitter-v", salt, key)
+    z = math.sqrt(-2.0 * math.log(max(u, 1e-12))) * math.cos(2.0 * math.pi * v)
+    return math.exp(sigma * z)
+
+
 class QueryPlanner:
     """Optimizes logical plans into physical plans under a cost model."""
 
@@ -587,10 +599,8 @@ class QueryPlanner:
         sigma = self.config.partition_jitter
         if sigma <= 0.0:
             return partitions
-        u = stable_unit_float("partition-jitter", self.jitter_salt, key)
-        v = stable_unit_float("partition-jitter-v", self.jitter_salt, key)
-        z = math.sqrt(-2.0 * math.log(max(u, 1e-12))) * math.cos(2.0 * math.pi * v)
-        return max(1, int(round(partitions * math.exp(sigma * z))))
+        factor = jitter_factor(self.jitter_salt, key, sigma)
+        return max(1, int(round(partitions * factor)))
 
     def _local_aggregate_logical(self, node: LogicalOp, partitions: int) -> LogicalOp:
         """Synthesize the logical node of a partial (per-partition) aggregate.

@@ -1,0 +1,866 @@
+"""Skeleton planner: memoized template-level planning with per-job replay.
+
+Recurring jobs instantiate the same template over and over: the logical
+structure, the requirement contexts the Cascades search explores, and every
+property object (hash partitionings, sort orders) are identical across
+instances — only the numbers differ (wobbled cardinalities, per-job
+partition jitter).  The skeleton planner splits
+:meth:`~repro.optimizer.planner.QueryPlanner.plan` accordingly:
+
+* a :class:`TemplateSkeleton`, memoized per ``(template_id, day)``, holds
+  the static per-node search data (requirement property objects, enforcer
+  tags, local-aggregate template tags) extracted once from the template's
+  logical structure;
+* a cheap per-job pass re-runs the *decisions* — candidate costing,
+  partition heuristics, allocation jitter, alignment — over lightweight
+  slotted nodes, because instance wobble can genuinely flip cost ties
+  (build-side choice, local pre-aggregation, push-down vs enforcement).
+
+The replay mirrors :class:`QueryPlanner`'s recursion exactly — same
+candidate order, same tie-breaking, same floating-point expression order —
+and shares the actual formula implementations
+(:meth:`DefaultCostModel.operator_cost_from_stats`,
+:meth:`CardinalityEstimator.estimate_logical`, :func:`jitter_factor`), so
+the plans it produces are bit-identical to the reference planner's.  The
+parity suite (``tests/workload/test_batched_parity.py``) pins this.
+
+The fast path only engages for the stock planner configuration (plain
+:class:`DefaultCostModel`, plain :class:`CardinalityEstimator`, no partition
+strategy); anything else falls back to the reference planner.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.common.errors import OptimizationError
+from repro.cost.default_model import DefaultCostModel
+from repro.optimizer.planner import PlannerConfig, jitter_factor
+from repro.plan.logical import LogicalOp, LogicalOpType
+from repro.plan.physical import (
+    PARTITIONING_OPS,
+    ExchangeMode,
+    PhysOpType,
+    PhysicalOp,
+)
+from repro.plan.properties import Partitioning, PartitionScheme, SortOrder
+
+_ANY = Partitioning.any()
+_NO_SORT = SortOrder.none()
+_RANDOM = Partitioning.random()
+_SINGLETON = Partitioning.singleton()
+
+
+class RNode:
+    """One node of a replayed physical plan: a slim PhysicalOp stand-in.
+
+    Carries the same structural payload as :class:`PhysicalOp` plus the
+    estimates the search needs, without frozen-dataclass construction cost.
+    ``true_card`` / ``row_bytes`` / ``est_out`` / ``est_in`` are resolved at
+    construction (enforcers inherit their child's), so costing is O(1).
+    """
+
+    __slots__ = (
+        "op_type",
+        "children",
+        "logical",
+        "partition_count",
+        "partitioning",
+        "sorting",
+        "exchange_mode",
+        "sort_keys",
+        "template_tag",
+        "true_card",
+        "row_bytes",
+        "est_out",
+        "est_in",
+        "primed",
+    )
+
+class SkelNode:
+    """Static per-logical-node search data, shared by a template's jobs."""
+
+    __slots__ = (
+        "index",
+        "children",
+        "op_type",
+        "template_tag",
+        # join
+        "hash_left",
+        "hash_right",
+        "sort_left",
+        "sort_right",
+        # aggregate
+        "final_req",
+        "sort_req",
+        "local_tag",
+        # sort / top-k
+        "sort_order",
+    )
+
+
+class TemplateSkeleton:
+    """The memoized product of one template's structure analysis."""
+
+    __slots__ = ("nodes", "root_index", "node_count")
+
+    def __init__(self, nodes: list[SkelNode]) -> None:
+        self.nodes = nodes
+        self.root_index = len(nodes) - 1
+        self.node_count = len(nodes)
+
+
+def _build_skeleton(root: LogicalOp) -> TemplateSkeleton:
+    """Extract the static search data from one logical plan (post-order)."""
+    nodes: list[SkelNode] = []
+
+    def visit(logical: LogicalOp) -> int:
+        child_indices = tuple(visit(child) for child in logical.children)
+        sn = SkelNode()
+        sn.children = child_indices
+        sn.op_type = logical.op_type
+        sn.template_tag = logical.template_tag
+        kind = logical.op_type
+        if kind is LogicalOpType.JOIN:
+            left_key, right_key = logical.keys
+            sn.hash_left = Partitioning.hash(left_key)
+            sn.hash_right = Partitioning.hash(right_key)
+            sn.sort_left = SortOrder.on(left_key)
+            sn.sort_right = SortOrder.on(right_key)
+        elif kind is LogicalOpType.AGGREGATE:
+            keys = logical.keys
+            sn.final_req = Partitioning.hash(*keys) if keys else Partitioning.singleton()
+            sn.sort_req = SortOrder.on(*keys)
+            sn.local_tag = f"{logical.template_tag}#local"
+        elif kind in (LogicalOpType.SORT, LogicalOpType.TOP_K):
+            sn.sort_order = SortOrder.on(*logical.keys)
+        sn.index = len(nodes)
+        nodes.append(sn)
+        return sn.index
+
+    visit(root)
+    return TemplateSkeleton(nodes)
+
+
+def _bind_logical(root: LogicalOp) -> list[LogicalOp]:
+    """This job's logical nodes in skeleton (post-order) position order."""
+    bound: list[LogicalOp] = []
+
+    def visit(logical: LogicalOp) -> None:
+        for child in logical.children:
+            visit(child)
+        bound.append(logical)
+
+    visit(root)
+    return bound
+
+
+def supports_fast_path(
+    cost_model: object, estimator: object, config: PlannerConfig
+) -> bool:
+    """True when the replay search is exact for this configuration.
+
+    The replay inlines the stock cost/estimate formulas; subclasses could
+    override either, and partition strategies run a separate optimization
+    pass the replay does not model — those fall back to the reference
+    planner.
+    """
+    return (
+        type(cost_model) is DefaultCostModel
+        and type(estimator) is CardinalityEstimator
+        and config.partition_strategy is None
+    )
+
+
+class SkeletonPlanner:
+    """Replays the Cascades search over a memoized template skeleton.
+
+    One instance per (cost model, estimator, config) triple — i.e. per
+    :class:`~repro.workload.runner.WorkloadRunner`.  ``plan_job`` returns the
+    winning :class:`RNode` tree; :func:`materialize` converts it to a real
+    :class:`PhysicalOp` plan when one is needed (``keep_plans``, shape-static
+    extraction).
+    """
+
+    def __init__(
+        self,
+        cost_model: DefaultCostModel,
+        estimator: CardinalityEstimator,
+        config: PlannerConfig | None = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.estimator = estimator
+        self.config = config or PlannerConfig()
+        self._skeletons: dict[tuple[str, int], TemplateSkeleton] = {}
+        self._mb_bytes = self.config.exchange_partition_mb * 1024 * 1024
+        self._estimate_logical = estimator.estimate_logical
+        # Cost-model constants, prefetched once.  id()-keyed coefficient
+        # lookup skips enum.__hash__ (a Python-level call) on the hottest
+        # dict access; enum members are singletons, so ids are stable.
+        self._inflation = cost_model.inflation
+        self._row_cap = cost_model.row_cap
+        self._coef_by_id = {
+            id(op_type): coef for op_type, coef in cost_model.coefficients.items()
+        }
+        # Per-job state, reset by plan_job.
+        self._bound: list[LogicalOp] = []
+        self._salt = ""
+        self._jitter_cache: dict[str, float] = {}
+        self._memo: dict[tuple[int, Partitioning, SortOrder], tuple[RNode, float]] = {}
+        self._skel: TemplateSkeleton | None = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def plan_job(
+        self, template_id: str, day: int, logical_root: LogicalOp, jitter_salt: str
+    ) -> RNode:
+        """Optimize one job instance through the memoized skeleton.
+
+        Also records the job's *choice key* (see :attr:`last_choice_key`): the
+        ordinal of the winning candidate at every memo entry, in entry-creation
+        order.  Entry order is a pure function of the template structure, so
+        ``(template_id, choices)`` uniquely identifies the resulting plan
+        shape — the batched execution engine keys its shape-statics cache on
+        it without fingerprinting the tree.
+        """
+        key = (template_id, day)
+        skeleton = self._skeletons.get(key)
+        bound = _bind_logical(logical_root)
+        if skeleton is None or skeleton.node_count != len(bound):
+            # node_count mismatch should be impossible (template structure is
+            # instance-independent); rebuilding keeps the path correct anyway.
+            skeleton = _build_skeleton(logical_root)
+            self._skeletons[key] = skeleton
+        self._skel = skeleton
+        self._bound = bound
+        self._salt = jitter_salt
+        self._jitter_cache = {}
+        self._memo = {}
+        self._choices: list[int] = []
+        # Prime one estimate per logical node.  Any candidate whose physical
+        # children all carry primed estimates shares the primed value (the
+        # estimate formula sees identical inputs); only subplans containing a
+        # synthesized local aggregate compute estimates live.  The JOIN and
+        # UNION formulas are symmetric/order-matching, so commuted join
+        # orientations share the primed value too.
+        estimate_logical = self._estimate_logical
+        primed: list[float] = []
+        for i, sn in enumerate(skeleton.nodes):
+            primed.append(
+                estimate_logical(bound[i], [primed[c] for c in sn.children])
+            )
+        self._primed = primed
+        best, _cost = self._optimize(skeleton.root_index, _ANY, _NO_SORT)
+        self.last_choice_key = (template_id, tuple(self._choices))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Node construction (the _mk analogue)
+    # ------------------------------------------------------------------ #
+
+    def _mk(
+        self,
+        op_type: PhysOpType,
+        children: tuple[RNode, ...],
+        logical: LogicalOp | None,
+        partition_count: int,
+        partitioning: Partitioning,
+        sorting: SortOrder = _NO_SORT,
+        exchange_mode: ExchangeMode | None = None,
+        sort_keys: tuple[str, ...] = (),
+        index: int = -1,
+    ) -> RNode:
+        node = RNode()
+        node.op_type = op_type
+        node.children = children
+        node.logical = logical
+        node.partition_count = partition_count
+        node.partitioning = partitioning
+        node.sorting = sorting
+        node.exchange_mode = exchange_mode
+        node.sort_keys = sort_keys
+        if logical is not None:
+            node.template_tag = logical.template_tag
+            node.true_card = logical.true_card
+            node.row_bytes = logical.row_bytes
+            primed = index >= 0
+            if primed:
+                for child in children:
+                    if not child.primed:
+                        primed = False
+                        break
+            if primed:
+                node.est_out = self._primed[index]
+            else:
+                node.est_out = self._estimate_logical(
+                    logical, [child.est_out for child in children]
+                )
+            node.primed = primed
+        else:
+            child = children[0]
+            if op_type is PhysOpType.EXCHANGE:
+                node.template_tag = f"xchg:{exchange_mode.value}"
+            else:
+                node.template_tag = (
+                    f"enf:{op_type.value.lower()}:{','.join(sort_keys)}"
+                )
+            node.true_card = child.true_card
+            node.row_bytes = child.row_bytes
+            node.est_out = child.est_out
+            node.primed = child.primed
+        if not children:
+            node.est_in = node.est_out
+        elif len(children) == 1:
+            # float(sum([e])) == e exactly; skip the generator machinery.
+            node.est_in = children[0].est_out
+        else:
+            total = 0.0
+            for child in children:
+                total += child.est_out
+            node.est_in = total
+        return node
+
+    @staticmethod
+    def _with_partitions(op: RNode, partition_count: int) -> RNode:
+        """A copy of ``op`` at a different partition count.
+
+        Estimates are partition-independent, so they are copied rather than
+        recomputed (used by the alignment rebuild).
+        """
+        node = RNode()
+        node.op_type = op.op_type
+        node.children = op.children
+        node.logical = op.logical
+        node.partition_count = partition_count
+        node.partitioning = op.partitioning
+        node.sorting = op.sorting
+        node.exchange_mode = op.exchange_mode
+        node.sort_keys = op.sort_keys
+        node.template_tag = op.template_tag
+        node.true_card = op.true_card
+        node.row_bytes = op.row_bytes
+        node.est_out = op.est_out
+        node.est_in = op.est_in
+        node.primed = op.primed
+        return node
+
+    def _cost(self, node: RNode) -> float:
+        # Inlined DefaultCostModel.operator_cost_from_stats — expression
+        # order kept identical; the parity suite pins the equivalence.
+        children = node.children
+        cpu, io, out, nlogn = self._coef_by_id[id(node.op_type)]
+        partitions = float(node.partition_count)
+        row_cap = self._row_cap
+        rows_in = min(node.est_in, row_cap) / partitions
+        rows_out = min(node.est_out, row_cap) / partitions
+        cost = (
+            io * rows_in * (children[0].row_bytes if children else node.row_bytes)
+            + out * rows_out
+        )
+        if nlogn:
+            cost += cpu * rows_in * math.log2(rows_in + 2.0)
+        else:
+            cost += cpu * rows_in
+        return self._inflation * cost + 1e-4
+
+    # ------------------------------------------------------------------ #
+    # Core recursion (mirrors QueryPlanner._optimize)
+    # ------------------------------------------------------------------ #
+
+    def _optimize(
+        self, index: int, req_part: Partitioning, req_sort: SortOrder
+    ) -> tuple[RNode, float]:
+        # Requirement objects are interned (module constants + per-skeleton
+        # precomputed properties), so identity keys are equivalent to the
+        # reference planner's value keys — and skip frozen-dataclass hashing.
+        # A hypothetical identity miss only recomputes the same pure result.
+        key = (index, id(req_part), id(req_sort))
+        cached = self._memo.get(key)
+        if cached is not None:
+            # The reference planner clones memoized subplans so physical
+            # plans stay trees; the replay shares winners during the search
+            # and duplicates shared subtrees at materialization instead.
+            return cached
+        candidates = self._implementations(index, req_part, req_sort)
+        if not candidates:
+            raise OptimizationError(
+                f"no implementation for {self._bound[index].op_type.value} under "
+                f"{req_part.describe()}/{req_sort.describe()}"
+            )
+        if req_part is _ANY and req_sort is _NO_SORT:
+            # Enforcement is a no-op under (ANY, unsorted): every delivered
+            # partitioning satisfies ANY and every sort satisfies "none".
+            best = candidates[0]
+            best_ordinal = 0
+            for ordinal in range(1, len(candidates)):
+                if candidates[ordinal][1] < best[1]:
+                    best = candidates[ordinal]
+                    best_ordinal = ordinal
+        else:
+            best = self._enforce(candidates[0], req_part, req_sort)
+            best_ordinal = 0
+            for ordinal in range(1, len(candidates)):
+                enforced = self._enforce(candidates[ordinal], req_part, req_sort)
+                if enforced[1] < best[1]:
+                    best = enforced
+                    best_ordinal = ordinal
+        # Candidate *existence* can vary per job (alignment failures), so the
+        # choice key records how many candidates were in play as well
+        # (packed with the winner ordinal; counts are single-digit).
+        self._choices.append(best_ordinal * 16 + len(candidates))
+        self._memo[key] = best
+        return best
+
+    def _implementations(
+        self, index: int, req_part: Partitioning, req_sort: SortOrder
+    ) -> list[tuple[RNode, float]]:
+        kind = self._skel.nodes[index].op_type
+        if kind is LogicalOpType.GET:
+            return self._impl_get(index)
+        if kind in (LogicalOpType.FILTER, LogicalOpType.PROJECT):
+            return self._impl_passthrough(index, req_part, req_sort)
+        if kind is LogicalOpType.PROCESS:
+            return self._impl_process(index)
+        if kind is LogicalOpType.JOIN:
+            return self._impl_join(index)
+        if kind is LogicalOpType.AGGREGATE:
+            return self._impl_aggregate(index)
+        if kind is LogicalOpType.SORT:
+            return self._impl_sort(index)
+        if kind is LogicalOpType.TOP_K:
+            return self._impl_topk(index)
+        if kind is LogicalOpType.UNION:
+            return self._impl_union(index)
+        if kind is LogicalOpType.OUTPUT:
+            return self._impl_output(index)
+        raise OptimizationError(f"unsupported logical operator {kind}")
+
+    # ------------------------------------------------------------------ #
+    # Per-operator implementations (mirroring QueryPlanner's)
+    # ------------------------------------------------------------------ #
+
+    def _impl_get(self, index: int) -> list[tuple[RNode, float]]:
+        logical = self._bound[index]
+        partitions = self._heuristic_partitions_for_volume(
+            logical.true_card, logical.row_bytes, logical.template_tag
+        )
+        op = self._mk(
+            PhysOpType.EXTRACT, (), logical, partitions, _RANDOM, index=index
+        )
+        return [(op, self._cost(op))]
+
+    def _impl_passthrough(
+        self, index: int, req_part: Partitioning, req_sort: SortOrder
+    ) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        phys_type = (
+            PhysOpType.FILTER
+            if sn.op_type is LogicalOpType.FILTER
+            else PhysOpType.COMPUTE
+        )
+        child_index = sn.children[0]
+        requirement_pairs = [(req_part, req_sort)]
+        if (req_part, req_sort) != (_ANY, _NO_SORT):
+            requirement_pairs.append((_ANY, _NO_SORT))
+        out: list[tuple[RNode, float]] = []
+        for child_part, child_sort in requirement_pairs:
+            child_node, child_cost = self._optimize(child_index, child_part, child_sort)
+            op = self._mk(
+                phys_type,
+                (child_node,),
+                logical,
+                child_node.partition_count,
+                child_node.partitioning,
+                child_node.sorting,
+                index=index,
+            )
+            out.append((op, child_cost + self._cost(op)))
+        return out
+
+    def _impl_process(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        child_node, child_cost = self._optimize(sn.children[0], _ANY, _NO_SORT)
+        op = self._mk(
+            PhysOpType.PROCESS,
+            (child_node,),
+            self._bound[index],
+            child_node.partition_count,
+            _RANDOM,
+            index=index,
+        )
+        return [(op, child_cost + self._cost(op))]
+
+    def _impl_join(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        left, right = sn.children
+        sides = [(left, right, sn.hash_left, sn.hash_right)]
+        if self.config.enable_join_commute:
+            sides.append((right, left, sn.hash_right, sn.hash_left))
+
+        # Candidate existence here is *numeric* (partition alignment can fail
+        # on one side only), so the join contributes an existence mask to the
+        # choice key — winner ordinals alone would be ambiguous.
+        mask = 0
+        out: list[tuple[RNode, float]] = []
+        for side, (probe, build, probe_req, build_req) in enumerate(sides):
+            probe_cand = self._optimize(probe, probe_req, _NO_SORT)
+            build_cand = self._optimize(build, build_req, _NO_SORT)
+            aligned = self._align_partitions([probe_cand, build_cand])
+            if aligned is not None:
+                mask |= 1 << side
+                (probe_node, probe_cost), (build_node, build_cost) = aligned
+                op = self._mk(
+                    PhysOpType.HASH_JOIN,
+                    (probe_node, build_node),
+                    logical,
+                    probe_node.partition_count,
+                    probe_req,
+                    index=index,
+                )
+                out.append((op, probe_cost + build_cost + self._cost(op)))
+
+        if self.config.enable_merge_join:
+            left_cand = self._optimize(left, sn.hash_left, sn.sort_left)
+            right_cand = self._optimize(right, sn.hash_right, sn.sort_right)
+            aligned = self._align_partitions([left_cand, right_cand])
+            if aligned is not None:
+                mask |= 4
+                (left_node, left_cost), (right_node, right_cost) = aligned
+                op = self._mk(
+                    PhysOpType.MERGE_JOIN,
+                    (left_node, right_node),
+                    logical,
+                    left_node.partition_count,
+                    sn.hash_left,
+                    sn.sort_left,
+                    index=index,
+                )
+                out.append((op, left_cost + right_cost + self._cost(op)))
+        self._choices.append(mask)
+        return out
+
+    def _impl_aggregate(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        keys = logical.keys
+        child_index = sn.children[0]
+        final_req = sn.final_req
+        delivered = final_req if keys else _SINGLETON
+        out: list[tuple[RNode, float]] = []
+
+        # (a) Hash aggregate directly on repartitioned input.
+        child_node, child_cost = self._optimize(child_index, final_req, _NO_SORT)
+        hash_agg = self._mk(
+            PhysOpType.HASH_AGGREGATE,
+            (child_node,),
+            logical,
+            child_node.partition_count,
+            delivered,
+            index=index,
+        )
+        out.append((hash_agg, child_cost + self._cost(hash_agg)))
+
+        # (b) Stream aggregate over sorted, repartitioned input.
+        if keys and self.config.enable_stream_aggregate:
+            sorted_node, sorted_cost = self._optimize(child_index, final_req, sn.sort_req)
+            stream_agg = self._mk(
+                PhysOpType.STREAM_AGGREGATE,
+                (sorted_node,),
+                logical,
+                sorted_node.partition_count,
+                delivered,
+                sn.sort_req,
+                index=index,
+            )
+            out.append((stream_agg, sorted_cost + self._cost(stream_agg)))
+
+        # (c) Local pre-aggregation before the shuffle (the Q17 plan shape).
+        if self.config.enable_local_aggregate:
+            any_node, any_cost = self._optimize(child_index, _ANY, _NO_SORT)
+            local_logical = self._local_aggregate_logical(
+                logical, sn.local_tag, any_node.partition_count
+            )
+            local = self._mk(
+                PhysOpType.LOCAL_AGGREGATE,
+                (any_node,),
+                local_logical,
+                any_node.partition_count,
+                any_node.partitioning,
+            )
+            exchange = self._exchange_for(local, final_req)
+            final = self._mk(
+                PhysOpType.HASH_AGGREGATE,
+                (exchange,),
+                logical,
+                exchange.partition_count,
+                delivered,
+                index=index,
+            )
+            cost = (
+                any_cost + self._cost(local) + self._cost(exchange) + self._cost(final)
+            )
+            out.append((final, cost))
+        return out
+
+    def _impl_sort(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        child_node, child_cost = self._optimize(sn.children[0], _SINGLETON, _NO_SORT)
+        op = self._mk(
+            PhysOpType.SORT,
+            (child_node,),
+            logical,
+            1,
+            _SINGLETON,
+            sn.sort_order,
+            sort_keys=logical.keys,
+            index=index,
+        )
+        return [(op, child_cost + self._cost(op))]
+
+    def _impl_topk(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        child_node, child_cost = self._optimize(sn.children[0], _SINGLETON, _NO_SORT)
+        op = self._mk(
+            PhysOpType.TOP_K,
+            (child_node,),
+            logical,
+            1,
+            _SINGLETON,
+            sn.sort_order,
+            sort_keys=logical.keys,
+            index=index,
+        )
+        return [(op, child_cost + self._cost(op))]
+
+    def _impl_union(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        logical = self._bound[index]
+        child_cands = [
+            self._optimize(child, _ANY, _NO_SORT) for child in sn.children
+        ]
+        target = max(
+            self._heuristic_partitions_for_volume(
+                child.true_card, child.row_bytes, logical.template_tag
+            )
+            for child in logical.children
+        )
+        exchanged = []
+        cost = 0.0
+        for child_node, child_cost in child_cands:
+            exchange = self._mk(
+                PhysOpType.EXCHANGE,
+                (child_node,),
+                None,
+                target,
+                _RANDOM,
+                exchange_mode=ExchangeMode.RANDOM,
+            )
+            exchanged.append(exchange)
+            cost += child_cost + self._cost(exchange)
+        op = self._mk(
+            PhysOpType.UNION_ALL, tuple(exchanged), logical, target, _RANDOM,
+            index=index,
+        )
+        return [(op, cost + self._cost(op))]
+
+    def _impl_output(self, index: int) -> list[tuple[RNode, float]]:
+        sn = self._skel.nodes[index]
+        child_node, child_cost = self._optimize(sn.children[0], _ANY, _NO_SORT)
+        op = self._mk(
+            PhysOpType.OUTPUT,
+            (child_node,),
+            self._bound[index],
+            child_node.partition_count,
+            child_node.partitioning,
+            child_node.sorting,
+            index=index,
+        )
+        return [(op, child_cost + self._cost(op))]
+
+    # ------------------------------------------------------------------ #
+    # Enforcers and alignment (mirroring QueryPlanner's)
+    # ------------------------------------------------------------------ #
+
+    def _enforce(
+        self,
+        candidate: tuple[RNode, float],
+        req_part: Partitioning,
+        req_sort: SortOrder,
+    ) -> tuple[RNode, float]:
+        op, cost = candidate
+        if not op.partitioning.satisfies(req_part):
+            op = self._exchange_for(op, req_part)
+            cost += self._cost(op)
+        if not op.sorting.satisfies(req_sort):
+            op = self._mk(
+                PhysOpType.SORT,
+                (op,),
+                None,
+                op.partition_count,
+                op.partitioning,
+                SortOrder(req_sort.columns),
+                sort_keys=req_sort.columns,
+            )
+            cost += self._cost(op)
+        return (op, cost)
+
+    def _exchange_for(self, child: RNode, req_part: Partitioning) -> RNode:
+        if req_part.scheme is PartitionScheme.SINGLETON:
+            mode, partitions, delivered = ExchangeMode.GATHER, 1, _SINGLETON
+        elif req_part.scheme is PartitionScheme.HASH:
+            mode = ExchangeMode.HASH
+            partitions = self._heuristic_partitions(child)
+            delivered = req_part
+        else:
+            mode = ExchangeMode.RANDOM
+            partitions = self._heuristic_partitions(child)
+            delivered = _RANDOM
+        return self._mk(
+            PhysOpType.EXCHANGE,
+            (child,),
+            None,
+            partitions,
+            delivered,
+            exchange_mode=mode,
+        )
+
+    def _align_partitions(
+        self, candidates: list[tuple[RNode, float]]
+    ) -> list[tuple[RNode, float]] | None:
+        counts = [node.partition_count for node, _ in candidates]
+        target = max(counts)
+        out: list[tuple[RNode, float]] = []
+        for candidate in candidates:
+            if candidate[0].partition_count == target:
+                out.append(candidate)
+                continue
+            adjusted = self._with_root_stage_partitions(candidate, target)
+            if adjusted is None:
+                return None
+            out.append(adjusted)
+        return out
+
+    def _with_root_stage_partitions(
+        self, candidate: tuple[RNode, float], new_count: int
+    ) -> tuple[RNode, float] | None:
+        root, cost = candidate
+        stage_ops: list[RNode] = []
+
+        def collect(op: RNode) -> None:
+            stage_ops.append(op)
+            if op.op_type in PARTITIONING_OPS:
+                return
+            for child in op.children:
+                collect(child)
+
+        collect(root)
+        for op in stage_ops:
+            if (
+                op.op_type is PhysOpType.EXCHANGE
+                and op.exchange_mode is ExchangeMode.GATHER
+            ):
+                return None
+            if op.partitioning.scheme is PartitionScheme.SINGLETON:
+                return None
+        in_stage = {id(op) for op in stage_ops}
+        cost_delta = 0.0
+
+        def rebuild(op: RNode) -> RNode:
+            nonlocal cost_delta
+            if id(op) not in in_stage:
+                return op
+            new_children = tuple(rebuild(child) for child in op.children)
+            replaced = self._with_partitions(op, new_count)
+            replaced.children = new_children
+            cost_delta += self._cost(replaced) - self._cost(op)
+            return replaced
+
+        new_root = rebuild(root)
+        return (new_root, cost + cost_delta)
+
+    # ------------------------------------------------------------------ #
+    # Partition heuristics and jitter (mirroring QueryPlanner's)
+    # ------------------------------------------------------------------ #
+
+    def _heuristic_partitions(self, op: RNode) -> int:
+        # default_partition_heuristic on the replay node's cached estimates.
+        rows = op.est_in if op.children else op.est_out
+        width = op.children[0].row_bytes if op.children else op.row_bytes
+        partitions = int(math.ceil(rows * width / self._mb_bytes))
+        base = max(1, min(partitions, self.config.default_partition_cap))
+        return min(self._jittered(base, op.template_tag), self.config.max_partitions)
+
+    def _heuristic_partitions_for_volume(
+        self, rows: float, row_bytes: float, jitter_key: str
+    ) -> int:
+        partitions = int(max(1, rows * row_bytes // self._mb_bytes + 1))
+        partitions = min(partitions, self.config.default_partition_cap)
+        return min(self._jittered(partitions, jitter_key), self.config.max_partitions)
+
+    def _jittered(self, partitions: int, key: str) -> int:
+        sigma = self.config.partition_jitter
+        if sigma <= 0.0:
+            return partitions
+        factor = self._jitter_cache.get(key)
+        if factor is None:
+            factor = jitter_factor(self._salt, key, sigma)
+            self._jitter_cache[key] = factor
+        return max(1, int(round(partitions * factor)))
+
+    # ------------------------------------------------------------------ #
+    # Synthesized logical nodes
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _local_aggregate_logical(
+        node: LogicalOp, local_tag: str, partitions: int
+    ) -> LogicalOp:
+        child = node.children[0]
+        groups = node.group_count if node.group_count is not None else node.true_card
+        local_card = max(1.0, min(child.true_card, groups * partitions))
+        return LogicalOp(
+            op_type=LogicalOpType.AGGREGATE,
+            children=(child,),
+            template_tag=local_tag,
+            true_card=local_card,
+            row_bytes=node.row_bytes,
+            normalized_inputs=node.normalized_inputs,
+            sel_true=(local_card / child.true_card) if child.true_card > 0 else 1.0,
+            keys=node.keys,
+            group_count=local_card,
+        )
+
+
+def materialize(node: RNode) -> PhysicalOp:
+    """Convert a winning replay tree into a real :class:`PhysicalOp` plan.
+
+    Shared winner subtrees are duplicated into fresh nodes, matching the
+    reference planner's memo-hit cloning (physical plans must stay trees).
+    """
+    children = tuple(materialize(child) for child in node.children)
+    return PhysicalOp(
+        op_type=node.op_type,
+        children=children,
+        logical=node.logical,
+        partition_count=node.partition_count,
+        partitioning=node.partitioning,
+        sorting=node.sorting,
+        exchange_mode=node.exchange_mode,
+        sort_keys=node.sort_keys,
+    )
+
+
+__all__ = [
+    "RNode",
+    "SkeletonPlanner",
+    "TemplateSkeleton",
+    "materialize",
+    "supports_fast_path",
+]

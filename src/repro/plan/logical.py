@@ -51,7 +51,7 @@ def normalize_input_name(name: str) -> str:
     return _DATE_NUM_RE.sub("#", name).lower()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogicalOp:
     """One node of a logical plan.
 

@@ -62,7 +62,7 @@ BLOCKING_OPS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysicalOp:
     """One node of a physical plan.
 

@@ -23,7 +23,7 @@ class PartitionScheme(enum.Enum):
     RANDOM = "random"  # round-robin / initial extract placement
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Partitioning:
     """A partitioning property (required or delivered).
 
@@ -85,7 +85,7 @@ class Partitioning:
         return self.scheme.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SortOrder:
     """Intra-partition sort order over a column list (all ascending).
 

@@ -25,11 +25,63 @@ from dataclasses import dataclass
 from repro.common.hashing import combine_hashes, combine_hashes_unordered, stable_hash
 from repro.plan.physical import PhysicalOp
 
+# Per-component hash caches.  Signatures hash the same small set of template
+# tags, input sets, and operator names over and over across a workload's
+# thousands of operator instances; memoizing the blake2b digests turns the
+# per-operator cost into dict lookups.  Values are unchanged — the caches
+# only skip recomputing identical hashes.  Ad-hoc templates mint fresh tags
+# forever, so each cache clears when it reaches _CACHE_LIMIT entries
+# (values are pure recomputations; a clear is always safe) to keep
+# long-running processes bounded.
+_CACHE_LIMIT = 1 << 18
+_OWN_HASH_CACHE: dict[tuple[str, str], int] = {}
+_INPUT_SIG_CACHE: dict[tuple[str, frozenset[str]], int] = {}
+_OPERATOR_SIG_CACHE: dict[str, int] = {}
+_FREQ_HASH_CACHE: dict[frozenset[tuple[str, int]], int] = {}
+_APPROX_SIG_CACHE: dict[tuple[str, int, frozenset[str]], int] = {}
+
+
+def _approx_hash(op_type_value: str, freq_hash: int, inputs: frozenset[str]) -> int:
+    key = (op_type_value, freq_hash, inputs)
+    cached = _APPROX_SIG_CACHE.get(key)
+    if cached is None:
+        if len(_APPROX_SIG_CACHE) >= _CACHE_LIMIT:
+            _APPROX_SIG_CACHE.clear()
+        cached = stable_hash("approx", op_type_value, freq_hash, inputs)
+        _APPROX_SIG_CACHE[key] = cached
+    return cached
+
+
+def _own_hash(op_type_value: str, template_tag: str) -> int:
+    key = (op_type_value, template_tag)
+    cached = _OWN_HASH_CACHE.get(key)
+    if cached is None:
+        if len(_OWN_HASH_CACHE) >= _CACHE_LIMIT:
+            _OWN_HASH_CACHE.clear()
+        cached = stable_hash("strict", op_type_value, template_tag)
+        _OWN_HASH_CACHE[key] = cached
+    return cached
+
+
+def _freq_hash(freq: dict[str, int]) -> int:
+    key = frozenset(freq.items())
+    cached = _FREQ_HASH_CACHE.get(key)
+    if cached is None:
+        if len(_FREQ_HASH_CACHE) >= _CACHE_LIMIT:
+            _FREQ_HASH_CACHE.clear()
+        # combine_hashes_unordered is order-independent by construction, so
+        # the frozenset key loses nothing.
+        cached = combine_hashes_unordered(
+            stable_hash("freq", name, count) for name, count in freq.items()
+        )
+        _FREQ_HASH_CACHE[key] = cached
+    return cached
+
 
 def strict_signature(op: PhysicalOp) -> int:
     """Exact operator-subgraph signature (root operator + all descendants)."""
     child_sigs = [strict_signature(child) for child in op.children]
-    own = stable_hash("strict", op.op_type.value, op.template_tag)
+    own = _own_hash(op.op_type.value, op.template_tag)
     return combine_hashes(child_sigs + [own])
 
 
@@ -47,25 +99,39 @@ def approx_signature(op: PhysicalOp) -> int:
         if node.logical is not None:
             key = node.logical.op_type.value
             freq[key] = freq.get(key, 0) + 1
-    freq_hash = combine_hashes_unordered(
-        stable_hash("freq", name, count) for name, count in freq.items()
-    )
-    return stable_hash(
-        "approx",
-        op.op_type.value,
-        freq_hash,
-        frozenset(op.normalized_inputs),
-    )
+    freq_hash = _freq_hash(freq)
+    return _approx_hash(op.op_type.value, freq_hash, frozenset(op.normalized_inputs))
 
 
 def input_signature(op: PhysicalOp) -> int:
     """Operator-input signature: physical operator + normalized inputs."""
-    return stable_hash("input", op.op_type.value, frozenset(op.normalized_inputs))
+    return input_signature_for(op.op_type.value, frozenset(op.normalized_inputs))
+
+
+def input_signature_for(op_type_value: str, normalized_inputs: frozenset[str]) -> int:
+    """Cached :func:`input_signature` from the raw key components."""
+    key = (op_type_value, normalized_inputs)
+    cached = _INPUT_SIG_CACHE.get(key)
+    if cached is None:
+        if len(_INPUT_SIG_CACHE) >= _CACHE_LIMIT:
+            _INPUT_SIG_CACHE.clear()
+        cached = stable_hash("input", op_type_value, normalized_inputs)
+        _INPUT_SIG_CACHE[key] = cached
+    return cached
 
 
 def operator_signature(op: PhysicalOp) -> int:
     """Operator signature: the physical operator type alone (full coverage)."""
-    return stable_hash("operator", op.op_type.value)
+    return operator_signature_for(op.op_type.value)
+
+
+def operator_signature_for(op_type_value: str) -> int:
+    """Cached :func:`operator_signature` from the operator name."""
+    cached = _OPERATOR_SIG_CACHE.get(op_type_value)
+    if cached is None:
+        cached = stable_hash("operator", op_type_value)
+        _OPERATOR_SIG_CACHE[op_type_value] = cached
+    return cached
 
 
 def subgraph_logical_count(op: PhysicalOp) -> int:
@@ -78,7 +144,7 @@ def subgraph_depth(op: PhysicalOp) -> int:
     return op.depth
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignatureBundle:
     """All four model keys for one operator, computed in one recursion."""
 
@@ -116,17 +182,15 @@ def compute_signature_bundles(root: PhysicalOp) -> dict[int, SignatureBundle]:
             child_sigs.append(sig)
             for name, count in child_freq.items():
                 freq[name] = freq.get(name, 0) + count
-        own = stable_hash("strict", op.op_type.value, op.template_tag)
+        own = _own_hash(op.op_type.value, op.template_tag)
         strict = combine_hashes(child_sigs + [own])
         strict_memo[id(op)] = strict
 
         # The approx signature counts logical operators *beneath* the root,
         # i.e. the subtree frequencies before adding this node's own type.
-        freq_hash = combine_hashes_unordered(
-            stable_hash("freq", name, count) for name, count in freq.items()
-        )
-        approx = stable_hash(
-            "approx", op.op_type.value, freq_hash, frozenset(op.normalized_inputs)
+        freq_hash = _freq_hash(freq)
+        approx = _approx_hash(
+            op.op_type.value, freq_hash, frozenset(op.normalized_inputs)
         )
         bundles[id(op)] = SignatureBundle(
             strict=strict,

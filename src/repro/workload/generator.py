@@ -90,6 +90,7 @@ class WorkloadGenerator:
         self.config = config
         self._rngs = RngFactory(config.seed).spawn("workload", config.cluster_name)
         self._template_cache: dict[tuple[int, int], TemplateSpec] = {}
+        self._catalog_cache: dict[int, Catalog] = {}
         self.base_tables = self._make_base_tables()
         self.fragments = self._make_fragments()
         self.templates = self._make_templates()
@@ -129,7 +130,14 @@ class WorkloadGenerator:
         return trend * wobble
 
     def catalog_for_day(self, day: int) -> Catalog:
-        """The cluster's inputs as of ``day`` (dated names, drifted sizes)."""
+        """The cluster's inputs as of ``day`` (dated names, drifted sizes).
+
+        Memoized per day: every ``run_job`` call of a day shares one catalog
+        instead of rebuilding identical table definitions and statistics.
+        """
+        cached = self._catalog_cache.get(day)
+        if cached is not None:
+            return cached
         catalog = Catalog(name=f"{self.config.cluster_name}-day{day}")
         for base, rows, width in self.base_tables:
             dated = table_name_for_day(base, day)
@@ -146,6 +154,7 @@ class WorkloadGenerator:
                     partition_count=min(partitions, 500),
                 ),
             )
+        self._catalog_cache[day] = catalog
         return catalog
 
     # ------------------------------------------------------------------ #

@@ -24,7 +24,9 @@ SRC = str(Path(__file__).resolve().parents[2] / "src")
 
 #: Runs one small day-1 workload (the historical tie case lives in its
 #: template pool) and fingerprints every record field that a plan-shape
-#: change would perturb.
+#: change would perturb.  ``{method}`` selects the execution path: the
+#: batched engine (``run_days``) or the retained scalar reference
+#: (``run_days_reference``).
 _SCRIPT = """
 import hashlib
 from repro.experiments.shared import cluster_spec, workload_config
@@ -33,7 +35,7 @@ from repro.workload.runner import WorkloadRunner
 
 generator = WorkloadGenerator(workload_config("cluster1", "small", 0))
 runner = WorkloadRunner(cluster=cluster_spec("cluster1"), seed=0)
-log = runner.run_days(generator, days=[1])
+log = runner.{method}(generator, days=[1])
 payload = repr(
     [
         (r.job_id, r.actual_latency, r.features, r.signatures)
@@ -44,12 +46,12 @@ print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
 
-def _run_with_hash_seed(hash_seed: str) -> str:
+def _run_with_hash_seed(hash_seed: str, method: str = "run_days") -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
-        [sys.executable, "-c", _SCRIPT],
+        [sys.executable, "-c", _SCRIPT.format(method=method)],
         env=env,
         capture_output=True,
         text=True,
@@ -61,11 +63,23 @@ def _run_with_hash_seed(hash_seed: str) -> str:
 
 def test_run_log_identical_across_hash_seeds():
     # 42 is the seed that historically produced a different plan shape for
-    # template t0004 than seed 0 did.
+    # template t0004 than seed 0 did.  run_days is the batched engine, so
+    # this also pins the skeleton planner + vectorized ground truth against
+    # salted-hash iteration-order leaks.
     digest_a = _run_with_hash_seed("0")
     digest_b = _run_with_hash_seed("42")
     assert digest_a == digest_b, (
         "run_days produced different operator records under different "
         "PYTHONHASHSEED values - some set/dict iteration order is leaking "
         "into plan or latency decisions"
+    )
+
+
+def test_batched_and_reference_agree_across_hash_seeds():
+    """The two paths agree with *each other* regardless of hash seed."""
+    batched = _run_with_hash_seed("17", method="run_days")
+    reference = _run_with_hash_seed("99", method="run_days_reference")
+    assert batched == reference, (
+        "batched engine and scalar reference diverged across processes "
+        "with different PYTHONHASHSEED values"
     )
