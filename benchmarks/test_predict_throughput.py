@@ -1,0 +1,31 @@
+"""Benchmark: prediction throughput (pre-packed serving path vs packed).
+
+Unlike the figure/table benchmarks this one has no paper counterpart — it
+tracks the reproduction's own perf trajectory (ROADMAP: "fast as the
+hardware allows").  It serves the canonical workload through the retained
+request-materializing grouped path and the packed table-native path,
+asserts bitwise-identical predictions, and drops ``BENCH_predict.json``
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.predict_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_predict_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_predict.json")
+    assert result["predictions_bitwise_identical"]
+    assert result["speedup"] > 1.0

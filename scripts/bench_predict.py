@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run the prediction-throughput benchmark and write ``BENCH_predict.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_predict.py [--scale tiny|small|full]
+        [--days 1 2 3] [--seed 0] [--repeats 5] [--out BENCH_predict.json]
+
+Times serving the generated workload's operator batch through the retained
+pre-packed pipeline (request materialization + grouped object-graph model
+calls) and through the packed table-native fast path, verifies the two
+produce bitwise-identical predictions, and records both timings — the
+serving-side perf trajectory the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.predict_throughput import (  # noqa: E402
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    parser.add_argument("--days", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_predict.json")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        scale=args.scale, days=tuple(args.days), seed=args.seed, repeats=args.repeats
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["predictions_bitwise_identical"]:
+        print("ERROR: packed predictions diverged from the grouped reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

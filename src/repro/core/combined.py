@@ -67,17 +67,63 @@ def predict_covered(
 ) -> tuple[np.ndarray, np.ndarray]:
     """One kind's vectorized predictions over a table's covered rows.
 
-    Groups rows by the kind's signature column and prices each covered
-    ``(kind, signature)`` group with a single ``predict_matrix`` call.
-    Returns ``(mask, predictions)`` in row order; ``predictions[i]`` is 0.0
-    (and meaningless) where ``mask[i]`` is False.  This is the one grouped
-    prediction loop shared by meta-row construction, the robustness
-    evaluators, and the serving layer — keep it that way.
+    Served by the store's **packed inference bank** (:mod:`repro.core.
+    packed`): signatures resolve against one sorted array with
+    ``np.searchsorted`` and every covered row is priced in a single gather +
+    row multiply-sum pass — bitwise identical to the retained
+    :func:`predict_covered_reference` grouped object-graph loop, which
+    transparently takes over for kinds the bank could not pack (an unfitted
+    model).  Returns ``(mask, predictions)`` in row order;
+    ``predictions[i]`` is 0.0 (and meaningless) where ``mask[i]`` is False.
+    This is the one covered-prediction primitive shared by meta-row
+    construction, the robustness evaluators, and the serving layer — keep
+    it that way.
 
     ``full_matrix`` may pass a precomputed ``table.feature_matrix(
     include_context=True)`` to avoid a second expansion; ``on_model_call``
-    is invoked once per vectorized model call (the serving layer counts
-    these).
+    is invoked once per answering ``(kind, signature)`` model (the serving
+    layer's vectorized-call accounting, preserved by the packed path).
+    """
+    packed = store.packed_bank().kinds[kind]
+    if packed is None:
+        return predict_covered_reference(store, table, kind, full_matrix, on_model_call)
+    if full_matrix is None:
+        full_matrix = table.feature_matrix(include_context=True)
+    column = table.signature_column(SIGNATURE_FIELDS[kind])
+    mask, position = packed.match(column)
+    if mask.all() and len(table):
+        # Fully covered (the operator kind, usually): price in place with no
+        # row gather or scatter at all.
+        values = packed.predict_rows(full_matrix[:, : packed.width], position)
+        model_idx = position
+    elif mask.any():
+        indices = np.flatnonzero(mask)
+        model_idx = position[indices]
+        values = np.zeros(len(table), dtype=float)
+        values[indices] = packed.predict_rows(
+            full_matrix[indices, : packed.width], model_idx
+        )
+    else:
+        return mask, np.zeros(len(table), dtype=float)
+    if on_model_call is not None:
+        for _ in range(packed.group_count(model_idx)):
+            on_model_call()
+    return mask, values
+
+
+def predict_covered_reference(
+    store: ModelStore,
+    table: FeatureTable,
+    kind: ModelKind,
+    full_matrix: np.ndarray | None = None,
+    on_model_call: Callable[[], None] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The retained object-graph path: one ``predict_matrix`` per group.
+
+    Groups rows by the kind's signature column and prices each covered
+    ``(kind, signature)`` group with a single model call.  The packed
+    :func:`predict_covered` must match this bit for bit — it is the
+    benchmark baseline and the parity-test reference.
     """
     if full_matrix is None:
         full_matrix = table.feature_matrix(include_context=True)
@@ -114,17 +160,53 @@ def build_meta_matrix(
     available prediction; the coverage flags let the trees learn where each
     model's prediction is real versus imputed.
     """
+    return _meta_matrix_via(predict_covered, store, table, full_matrix, on_model_call)
+
+
+def build_meta_matrix_reference(
+    store: ModelStore,
+    table: FeatureTable,
+    full_matrix: np.ndarray | None = None,
+    on_model_call: Callable[[], None] | None = None,
+) -> np.ndarray:
+    """:func:`build_meta_matrix` through the retained object-graph path
+    (one model call per covering group) — the benchmark/parity baseline.
+
+    Faithful to the pre-packed pipeline including its per-batch feature
+    expansion: when no ``full_matrix`` is supplied the derived matrix is
+    recomputed here rather than read from the table's memo.
+    """
+    if full_matrix is None:
+        from repro.features.featurizer import expand_columns
+
+        full_matrix = expand_columns(table, include_context=True)
+    return _meta_matrix_via(
+        predict_covered_reference, store, table, full_matrix, on_model_call
+    )
+
+
+def _meta_matrix_via(
+    covered_fn: Callable[..., tuple[np.ndarray, np.ndarray]],
+    store: ModelStore,
+    table: FeatureTable,
+    full_matrix: np.ndarray | None,
+    on_model_call: Callable[[], None] | None,
+) -> np.ndarray:
+    """Shared meta-row assembly over either covered-prediction primitive.
+
+    Columns are written straight into one preallocated ``(n, 15)`` output —
+    the copies move exact values, so assembly order cannot affect bits.
+    """
     n = len(table)
     if full_matrix is None:
         full_matrix = table.feature_matrix(include_context=True)
     kinds = len(_KIND_ORDER)
-    predictions = np.zeros((n, kinds), dtype=float)
-    flags = np.zeros((n, kinds), dtype=float)
+    out = np.empty((n, len(META_FEATURE_NAMES)), dtype=float)
+    predictions = out[:, :kinds]
+    flags = out[:, kinds : 2 * kinds]
 
     for k, kind in enumerate(_KIND_ORDER):
-        mask, values = predict_covered(
-            store, table, kind, full_matrix, on_model_call
-        )
+        mask, values = covered_fn(store, table, kind, full_matrix, on_model_call)
         predictions[:, k] = values
         flags[:, k] = mask
 
@@ -133,20 +215,19 @@ def build_meta_matrix(
     impute = np.zeros(n, dtype=float)
     for k in range(kinds):
         impute = np.where(flags[:, k] == 1.0, predictions[:, k], impute)
-    filled = np.where(flags == 1.0, predictions, impute[:, None])
+    uncovered = flags != 1.0
+    if uncovered.any():
+        np.copyto(predictions, impute[:, None], where=uncovered)
 
-    extras = np.column_stack(
-        [
-            table.input_card,
-            table.base_card,
-            table.output_card,
-            table.input_card / table.partition_count,
-            table.base_card / table.partition_count,
-            table.output_card / table.partition_count,
-            table.partition_count,
-        ]
-    )
-    return np.concatenate([filled, flags, extras], axis=1)
+    extras = out[:, 2 * kinds :]
+    extras[:, 0] = table.input_card
+    extras[:, 1] = table.base_card
+    extras[:, 2] = table.output_card
+    np.divide(table.input_card, table.partition_count, out=extras[:, 3])
+    np.divide(table.base_card, table.partition_count, out=extras[:, 4])
+    np.divide(table.output_card, table.partition_count, out=extras[:, 5])
+    extras[:, 6] = table.partition_count
+    return out
 
 
 def build_meta_row(
@@ -191,6 +272,14 @@ class CombinedModel:
         if not self._fitted:
             raise RuntimeError("combined model used before fit")
         return np.clip(np.asarray(self.regressor.predict(rows), dtype=float), 0.0, None)
+
+    def predict_rows_reference(self, rows: np.ndarray) -> np.ndarray:
+        """:meth:`predict_rows` through the regressor's retained reference
+        path (tree-at-a-time for FastTree) — the benchmark baseline."""
+        if not self._fitted:
+            raise RuntimeError("combined model used before fit")
+        predict = getattr(self.regressor, "predict_reference", self.regressor.predict)
+        return np.clip(np.asarray(predict(rows), dtype=float), 0.0, None)
 
     @property
     def is_fitted(self) -> bool:

@@ -148,6 +148,19 @@ class LearnedCostModel:
         self._check_width(matrix)
         return np.minimum(self._net.predict(matrix), _MAX_PREDICT_SECONDS)
 
+    def packed_parameters(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+        """The fitted net's parameters for the packed inference bank.
+
+        ``(scaler mean, scaler scale, standardized coef, intercept,
+        y_scale)`` — see :meth:`~repro.ml.proximal.ElasticNetMSLE.
+        packed_parameters`.
+        """
+        if not self._fitted:
+            raise RuntimeError("packed_parameters() before fit()")
+        return self._net.packed_parameters()
+
     # ------------------------------------------------------------------ #
     # Resource profile (Section 5.3)
     # ------------------------------------------------------------------ #

@@ -8,10 +8,14 @@ during optimization" (Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import SPECIFICITY_ORDER, ModelKind
 from repro.core.learned_model import LearnedCostModel
 from repro.plan.signatures import SignatureBundle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.core.packed import PackedModelBank
 
 
 #: The SignatureBundle / FeatureTable signature column that keys each kind.
@@ -30,14 +34,50 @@ def signature_for(kind: ModelKind, bundle: SignatureBundle) -> int:
 
 @dataclass
 class ModelStore:
-    """All trained individual models for one cluster."""
+    """All trained individual models for one cluster.
+
+    The store tracks a mutation ``version`` so derived artifacts — the
+    packed inference bank and the memory-footprint total — can be cached
+    lazily and recompiled only when :meth:`add`/:meth:`remove` actually
+    changed the model set.
+    """
 
     models: dict[ModelKind, dict[int, LearnedCostModel]] = field(
         default_factory=lambda: {kind: {} for kind in ModelKind}
     )
+    #: Bumped on every add/remove; consumers key caches on it.  Excluded
+    #: from equality: stores with the same models are the same store.
+    version: int = field(default=0, repr=False, compare=False)
+    _packed: "PackedModelBank | None" = field(default=None, repr=False, compare=False)
+    _packed_version: int = field(default=-1, repr=False, compare=False)
+    _memory_bytes: int | None = field(default=None, repr=False, compare=False)
 
     def add(self, kind: ModelKind, signature: int, model: LearnedCostModel) -> None:
         self.models[kind][signature] = model
+        self._invalidate()
+
+    def remove(self, kind: ModelKind, signature: int) -> None:
+        """Drop one model (quarantine path); derived caches recompile."""
+        del self.models[kind][signature]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self._memory_bytes = None
+
+    def packed_bank(self) -> "PackedModelBank":
+        """The packed inference bank, compiled lazily and version-checked.
+
+        Recompiles automatically after any :meth:`add`/:meth:`remove`, so a
+        feedback-loop retrain or a quarantine sweep can never serve stale
+        coefficients.
+        """
+        if self._packed is None or self._packed_version != self.version:
+            from repro.core.packed import PackedModelBank  # deferred: cycle
+
+            self._packed = PackedModelBank.compile(self)
+            self._packed_version = self.version
+        return self._packed
 
     def get(self, kind: ModelKind, signature: int) -> LearnedCostModel | None:
         return self.models[kind].get(signature)
@@ -65,10 +105,18 @@ class ModelStore:
 
     @property
     def memory_bytes(self) -> int:
-        """Approximate in-memory footprint of all loaded models."""
-        return sum(
-            model.memory_bytes for by_sig in self.models.values() for model in by_sig.values()
-        )
+        """Approximate in-memory footprint of all loaded models.
+
+        Cached (the serving layer's ``describe``/stats hit this per call)
+        and recomputed only after :meth:`add`/:meth:`remove`.
+        """
+        if self._memory_bytes is None:
+            self._memory_bytes = sum(
+                model.memory_bytes
+                for by_sig in self.models.values()
+                for model in by_sig.values()
+            )
+        return self._memory_bytes
 
     def describe(self) -> str:
         parts = [f"{kind.value}: {len(by_sig)}" for kind, by_sig in self.models.items()]

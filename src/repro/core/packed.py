@@ -1,0 +1,236 @@
+"""Packed inference runtime: the model bank compiled into contiguous arrays.
+
+The paper's serving story is that "all models relevant for a cluster are
+loaded upfront by the optimizer, into a hash map" and consulted millions of
+times per optimization pass (Section 5.1), five learned lookups per costed
+operator (Section 6.5).  The object graph behind that hash map —
+one :class:`~repro.core.learned_model.LearnedCostModel` per ``(kind,
+signature)``, each wrapping its own scaler and elastic net — prices a batch
+with one tiny vectorized call *per covering group*, which leaves the hot
+path dominated by Python/numpy dispatch (hundreds of micro-calls per batch).
+
+This module compiles that object graph **once** into flat arrays so a whole
+batch is priced in a constant number of numpy passes:
+
+* per model kind, the signatures of every trained model in one **sorted
+  array** and their elastic-net parameters (scaler mean/scale, standardized
+  coefficients, intercept, target scale) stacked into **contiguous
+  matrices**;
+* signature resolution becomes one ``np.searchsorted`` over the sorted
+  array instead of one dict lookup per row;
+* pricing becomes one gather of each covered row's model parameters plus a
+  batch-invariant row multiply-sum — bitwise identical to routing every row
+  through its model's ``predict_matrix``, because the per-row reduction
+  depends only on the row's own feature width.
+
+Compilation is **lazy** and owned by :meth:`~repro.core.model_store.
+ModelStore.packed_bank`: the store bumps a version counter on every
+``add``/``remove`` and the bank recompiles on next use, so serving never
+reads stale coefficients.  Kinds containing an unfitted model are left
+unpacked and transparently served by the retained object-graph reference
+path (which raises on actual use of the unfitted model, exactly like the
+scalar chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import SPECIFICITY_ORDER, ModelKind
+from repro.core.learned_model import _MAX_PREDICT_SECONDS
+from repro.core.model_store import SIGNATURE_FIELDS, ModelStore
+from repro.features.featurizer import feature_names
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.features.table import FeatureTable
+
+
+def match_sorted(
+    signatures: np.ndarray, column: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve a signature column against one sorted signature array.
+
+    Returns ``(mask, position)``: ``mask[i]`` is True where some signature
+    equals ``column[i]`` and ``position[i]`` is its index in ``signatures``
+    (clamped, meaningless where ``mask`` is False).  The single resolution
+    primitive shared by model matching and coverage checks.
+    """
+    if signatures.size == 0:
+        zeros = np.zeros(len(column), dtype=np.int64)
+        return np.zeros(len(column), dtype=bool), zeros
+    position = np.searchsorted(signatures, column)
+    position = np.minimum(position, signatures.size - 1)
+    return signatures[position] == column, position
+
+
+@dataclass(frozen=True)
+class PackedKindModels:
+    """One kind's trained elastic nets as contiguous parameter arrays.
+
+    Model ``g`` (the ``g``-th smallest signature) owns row ``g`` of every
+    array.  ``predict_rows`` replays :meth:`~repro.ml.proximal.
+    ElasticNetMSLE.predict` exactly — standardize, row multiply-sum, target
+    rescale, clamp — with the parameters gathered per row, so mixed-model
+    batches price bitwise identically to per-model calls.
+    """
+
+    kind: ModelKind
+    signatures: np.ndarray  # (m,) uint64, sorted ascending
+    #: (m, 3, d) stack of (scaler mean, scaler scale, standardized coef) so
+    #: the hot path gathers each row's parameters with ONE fancy index.
+    fused: np.ndarray
+    intercept: np.ndarray  # (m,)
+    y_scale: np.ndarray  # (m,) target scales
+    width: int  # d: the kind's feature width
+
+    def __len__(self) -> int:
+        return int(self.signatures.size)
+
+    def match(self, column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(mask, parameter row)`` for each entry of a signature column."""
+        return match_sorted(self.signatures, column)
+
+    def predict_rows(self, rows: np.ndarray, model_idx: np.ndarray) -> np.ndarray:
+        """Price feature rows, row ``i`` through model ``model_idx[i]``.
+
+        ``rows`` must already be sliced to this kind's feature width.  The
+        op sequence replays :meth:`~repro.ml.proximal.ElasticNetMSLE.
+        predict` exactly — standardize, multiply by the coefficients, row
+        pairwise-sum (length ``d``, so batch-size invariant), intercept,
+        target rescale, clamp — for bitwise parity with per-model calls.
+        """
+        params = self.fused[model_idx]  # (k, 3, d): one gather for all three
+        buf = rows - params[:, 0, :]
+        buf /= params[:, 1, :]
+        buf *= params[:, 2, :]
+        raw = (buf.sum(axis=1) + self.intercept[model_idx]) * self.y_scale[model_idx]
+        return np.minimum(np.maximum(raw, 0.0), _MAX_PREDICT_SECONDS)
+
+    def group_count(self, model_idx: np.ndarray) -> int:
+        """Distinct models among ``model_idx`` (vectorized-call accounting)."""
+        hit = np.zeros(len(self), dtype=bool)
+        hit[model_idx] = True
+        return int(hit.sum())
+
+
+@dataclass(frozen=True)
+class PackedModelBank:
+    """Every kind's packed parameters plus signature coverage arrays.
+
+    ``coverage[kind]`` always holds the sorted signatures of *all* models of
+    the kind (the store's covering set); ``kinds[kind]`` is the packed
+    parameter block, or ``None`` when the kind could not be packed (an
+    unfitted or mis-shaped model) and must be served by the reference path.
+    """
+
+    coverage: dict[ModelKind, np.ndarray]
+    kinds: dict[ModelKind, "PackedKindModels | None"]
+
+    @classmethod
+    def compile(cls, store: ModelStore) -> "PackedModelBank":
+        """Extract every model's parameters into contiguous arrays."""
+        coverage: dict[ModelKind, np.ndarray] = {}
+        kinds: dict[ModelKind, PackedKindModels | None] = {}
+        for kind in ModelKind:
+            by_sig = store.models[kind]
+            signatures = np.sort(
+                np.fromiter(by_sig.keys(), dtype=np.uint64, count=len(by_sig))
+            )
+            coverage[kind] = signatures
+            width = len(feature_names(kind.uses_context_features))
+            models = [by_sig[int(s)] for s in signatures]
+            if any(
+                not m.is_fitted or m.include_context != kind.uses_context_features
+                for m in models
+            ):
+                kinds[kind] = None  # served by the object-graph reference path
+                continue
+            params = [m.packed_parameters() for m in models]
+            m = len(models)
+            fused = np.empty((m, 3, width), dtype=float)
+            for g, (mean, scale, coef, _, _) in enumerate(params):
+                fused[g, 0] = mean
+                fused[g, 1] = scale
+                fused[g, 2] = coef
+            kinds[kind] = PackedKindModels(
+                kind=kind,
+                signatures=signatures,
+                fused=fused,
+                intercept=np.array([p[3] for p in params], dtype=float),
+                y_scale=np.array([p[4] for p in params], dtype=float),
+                width=width,
+            )
+        return cls(coverage=coverage, kinds=kinds)
+
+    def covered(self, kind: ModelKind, column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Coverage ``(mask, position)`` for a signature column of ``kind``.
+
+        Works for unpacked kinds too — coverage only needs the signature
+        array, not the parameters.
+        """
+        return match_sorted(self.coverage[kind], column)
+
+
+def predict_most_specific(
+    store: ModelStore,
+    table: "FeatureTable",
+    fallback_cost: float,
+    full_matrix: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """Fallback-chain predictions for every table row, via the packed bank.
+
+    Each row is priced by its most specific covering individual model
+    (:data:`~repro.core.config.SPECIFICITY_ORDER`), or ``fallback_cost``
+    when nothing covers it — bitwise identical to the scalar
+    ``store.most_specific(bundle) -> predict_one(features)`` chain, but each
+    row is priced exactly once with gathered packed parameters.
+
+    Returns ``(values, n_model_groups, n_fallbacks)`` where
+    ``n_model_groups`` counts the distinct ``(kind, signature)`` models that
+    answered (the serving layer's ``individual_model_calls`` accounting) and
+    ``n_fallbacks`` the rows served the global fallback.
+    """
+    bank = store.packed_bank()
+    n = len(table)
+    if full_matrix is None:
+        full_matrix = table.feature_matrix(include_context=True)
+    values = np.full(n, float(fallback_cost), dtype=float)
+    remaining = np.ones(n, dtype=bool)
+    n_groups = 0
+    for kind in SPECIFICITY_ORDER:
+        if not remaining.any():
+            break
+        if bank.coverage[kind].size == 0:
+            continue
+        column = table.signature_column(SIGNATURE_FIELDS[kind])
+        mask, position = bank.covered(kind, column)
+        mask &= remaining
+        if not mask.any():
+            continue
+        idx = np.flatnonzero(mask)
+        packed = bank.kinds[kind]
+        if packed is not None:
+            model_idx = position[idx]
+            values[idx] = packed.predict_rows(full_matrix[idx, : packed.width], model_idx)
+            n_groups += packed.group_count(model_idx)
+        else:
+            # Reference pricing for an unpackable kind: grouped object-graph
+            # calls (an unfitted model raises here, as the scalar path would).
+            width = len(feature_names(kind.uses_context_features))
+            sigs = column[idx]
+            order = np.argsort(sigs, kind="stable")
+            ordered = idx[order]
+            uniques, starts, counts = np.unique(
+                sigs[order], return_index=True, return_counts=True
+            )
+            for signature, start, count in zip(uniques, starts, counts):
+                rows = ordered[start : start + count]
+                model = store.get(kind, int(signature))
+                assert model is not None
+                values[rows] = model.predict_matrix(full_matrix[rows, :width])
+                n_groups += 1
+        remaining[idx] = False
+    return values, n_groups, int(remaining.sum())

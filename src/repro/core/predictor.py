@@ -13,10 +13,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.combined import CombinedModel, build_meta_matrix
+from repro.core.combined import (
+    CombinedModel,
+    build_meta_matrix,
+    build_meta_matrix_reference,
+)
 from repro.core.config import ModelKind
 from repro.core.learned_model import ResourceProfile
 from repro.core.model_store import ModelStore
+from repro.core.packed import predict_most_specific
 from repro.execution.runtime_log import OperatorRecord
 from repro.features.featurizer import FeatureInput
 from repro.features.table import FeatureTable
@@ -104,11 +109,36 @@ class CleoPredictor:
     ) -> np.ndarray:
         """Batched predictions for logged operators, in record order.
 
-        Routes through the columnar meta-row builder (one vectorized model
-        call per covering group) — bitwise identical to per-record
-        :meth:`predict_record`, with the same lookup accounting.  Callers
-        that already materialized the records' columns (``log.to_table()``)
-        can pass ``table`` to skip re-packing them.
+        Both branches run on the packed inference bank: the combined path
+        through the packed meta-row builder + flat tree ensemble, the
+        store-only path through the packed fallback chain
+        (:func:`~repro.core.packed.predict_most_specific`) — each bitwise
+        identical to per-record :meth:`predict_record`, with the same
+        lookup accounting.  Callers that already materialized the records'
+        columns (``log.to_table()``) can pass ``table`` to skip re-packing
+        them.
+        """
+        records = list(records)
+        if not records:
+            return np.empty(0, dtype=float)
+        if table is None:
+            table = FeatureTable.from_records(records)
+        elif len(table) != len(records):
+            raise ValueError("table and records must align")
+        self.lookup_count += len(records) * self.LOOKUPS_PER_PREDICTION
+        if self.combined is not None and self.combined.is_fitted:
+            return self.combined.predict_rows(build_meta_matrix(self.store, table))
+        values, _, _ = predict_most_specific(self.store, table, self.fallback_cost)
+        return values
+
+    def predict_records_reference(
+        self, records: list[OperatorRecord], table: FeatureTable | None = None
+    ) -> np.ndarray:
+        """The retained pre-packed serving path (benchmark/parity baseline).
+
+        Combined: grouped object-graph meta rows + tree-at-a-time ensemble
+        traversal.  Store-only: the per-record scalar fallback chain.  The
+        packed :meth:`predict_records` must match this bit for bit.
         """
         records = list(records)
         if not records:
@@ -119,5 +149,7 @@ class CleoPredictor:
                 table = FeatureTable.from_records(records)
             elif len(table) != len(records):
                 raise ValueError("table and records must align")
-            return self.combined.predict_rows(build_meta_matrix(self.store, table))
+            return self.combined.predict_rows_reference(
+                build_meta_matrix_reference(self.store, table)
+            )
         return np.array([self.predict_record(r) for r in records], dtype=float)

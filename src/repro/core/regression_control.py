@@ -128,7 +128,7 @@ class ModelQuarantine:
             if len(values) < self.min_observations:
                 continue
             if float(np.median(values)) > threshold:
-                del store.models[kind][signature]
+                store.remove(kind, signature)
                 report.removed[kind] = report.removed.get(kind, 0) + 1
         return report
 

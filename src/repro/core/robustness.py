@@ -102,13 +102,15 @@ def evaluate_predictor_on_log(
     predictor: CleoPredictor, log: RunLog, name: str = "combined"
 ) -> ModelQuality:
     """Combined-model accuracy over every record (always 100% coverage)."""
-    records = list(log.operator_records())
     table = log.to_table()
-    if isinstance(predictor, CleoPredictor):
-        predicted = predictor.predict_records(records, table=table)
-    else:  # duck-typed: e.g. a CleoService (cached/batched serving path)
-        predicted = predictor.predict_records(records)
-    return _quality(name, predicted, table.latency, len(records))
+    predict_table = getattr(predictor, "predict_table", None)
+    if predict_table is not None:  # a CleoService: table-native packed path
+        predicted = predict_table(table)
+    elif isinstance(predictor, CleoPredictor):
+        predicted = predictor.predict_records(list(log.operator_records()), table=table)
+    else:  # duck-typed record-level predictors
+        predicted = predictor.predict_records(list(log.operator_records()))
+    return _quality(name, predicted, table.latency, len(table))
 
 
 def evaluate_baseline_on_records(

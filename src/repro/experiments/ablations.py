@@ -406,7 +406,9 @@ def run_specialization_ablation(scale: str = "tiny", seed: int = 0) -> Experimen
             "n_models": predictor.store.count(ModelKind.OPERATOR),
         }
     )
-    combined_predicted = predictor.predict_records(test_records)
+    combined_predicted = predictor.predict_records(
+        test_records, table=bundle.test_table()
+    )
     rows.append(
         {
             "model": "full collection + combined",

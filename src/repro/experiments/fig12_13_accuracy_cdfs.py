@@ -59,7 +59,7 @@ def run(scale: str = "small", seed: int = 0, adhoc_only: bool = False) -> Experi
                     }
                 )
 
-        combined = predictor.predict_records(records)
+        combined = predictor.predict_records(records, table=table)
         ratios = error_ratio(combined, actuals)
         series[f"cdf_{name}_combined"] = list(Cdf.of(ratios).fractions)
         rows.append(

@@ -58,7 +58,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     evaluate("default+cardlearner", costs_cl, actuals)
 
     records = list(test.operator_records())
-    cleo_costs = predictor.predict_records(records)
+    cleo_costs = predictor.predict_records(records, table=test.to_table())
     evaluate("cleo", cleo_costs, actuals)
 
     # Cleo consuming CardLearner's cardinalities: re-featurize test operators

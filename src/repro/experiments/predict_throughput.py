@@ -1,0 +1,144 @@
+"""Prediction-throughput benchmark: packed serving runtime vs grouped path.
+
+The paper's steady-state cost is *serving*: "all models relevant for a
+cluster are loaded upfront by the optimizer" and consulted millions of
+times per optimization pass, five learned lookups per costed operator
+(Sections 5.1, 6.5).  This benchmark times pricing the canonical generated
+workload through both serving paths over a trained Cleo:
+
+* **reference** — the retained pre-packed pipeline
+  (:meth:`~repro.serving.service.CleoService.predict_records_reference`):
+  per-record ``PredictionRequest`` materialization, per-request cache-key
+  hashing and in-batch dedup, a fresh feature-table build, per-batch
+  derived-feature expansion, one object-graph model call per covering
+  ``(kind, signature)`` group, tree-at-a-time ensemble traversal;
+* **packed** — the table-native fast path
+  (:meth:`~repro.serving.service.CleoService.predict_table`): the run log's
+  cached columnar table priced in a constant number of numpy passes over
+  the compiled :class:`~repro.core.packed.PackedModelBank` and the flat
+  tree ensemble.
+
+Both services run with the prediction LRU *disabled* so the benchmark
+measures steady-state compute, not cache hits, and the two paths' outputs
+are verified bitwise identical before the speedup is reported.  The first
+packed repeat pays one-time bank compilation (recorded as
+``seconds_first``); best-of-``repeats`` measures the steady state.
+
+Run it from the CLI (``python scripts/bench_predict.py``) to emit
+``BENCH_predict.json``, or through ``benchmarks/test_predict_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.trainer import CleoTrainer
+from repro.experiments.train_throughput import build_workload
+from repro.serving.service import CleoService
+
+
+def _time_path(fn, repeats: int) -> tuple[list[float], np.ndarray]:
+    times: list[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    assert result is not None
+    return times, result
+
+
+def run_benchmark(
+    scale: str = "small",
+    days: tuple[int, ...] = (1, 2, 3),
+    seed: int = 0,
+    repeats: int = 5,
+    cluster: str = "cluster1",
+) -> dict:
+    """Time both serving paths over one workload and check bitwise parity.
+
+    Returns a JSON-ready dict; ``speedup`` is best-of-``repeats`` reference
+    time over best packed time.
+    """
+    log = build_workload(scale=scale, days=days, seed=seed, cluster=cluster)
+    predictor = CleoTrainer().train(log)
+    records = list(log.operator_records())
+    table = log.to_table()
+
+    reference_service = CleoService(predictor, prediction_cache_size=0)
+    packed_service = CleoService(predictor, prediction_cache_size=0)
+
+    reference_times, reference = _time_path(
+        lambda: reference_service.predict_records_reference(records), repeats
+    )
+    packed_times, packed = _time_path(
+        lambda: packed_service.predict_table(table), repeats
+    )
+
+    identical = bool(np.array_equal(reference, packed))
+    reference_best = min(reference_times)
+    packed_best = min(packed_times)
+    n = len(records)
+    return {
+        "benchmark": "predict_throughput",
+        "workload": {
+            "cluster": cluster,
+            "scale": scale,
+            "days": list(days),
+            "seed": seed,
+            "operator_count": n,
+            "job_count": len(log),
+        },
+        "models_served": predictor.store.count(),
+        "prediction_cache": "disabled (steady-state compute, not cache hits)",
+        "reference": {
+            "path": "predict_records_reference (request materialization + "
+            "grouped object-graph calls + tree-at-a-time ensemble)",
+            "seconds": [round(t, 4) for t in reference_times],
+            "seconds_best": round(reference_best, 4),
+            "seconds_first": round(reference_times[0], 4),
+            "predictions_per_second": round(n / reference_best, 1),
+        },
+        "packed": {
+            "path": "predict_table (packed model bank + flat tree ensemble)",
+            "seconds": [round(t, 4) for t in packed_times],
+            "seconds_best": round(packed_best, 4),
+            "seconds_first": round(packed_times[0], 4),
+            "predictions_per_second": round(n / packed_best, 1),
+        },
+        "speedup": round(reference_best / packed_best, 2),
+        "speedup_first_run": round(reference_times[0] / packed_times[0], 2),
+        "predictions_bitwise_identical": identical,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+def write_result(result: dict, path: str | Path) -> Path:
+    """Write the benchmark result as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def format_result(result: dict) -> str:
+    """One-paragraph human summary of a benchmark result."""
+    workload = result["workload"]
+    return (
+        f"predict_throughput [{workload['cluster']} scale={workload['scale']} "
+        f"days={workload['days']} seed={workload['seed']}]: "
+        f"{workload['operator_count']} operators, "
+        f"{result['models_served']} models served; "
+        f"reference {result['reference']['seconds_best']}s -> "
+        f"packed {result['packed']['seconds_best']}s "
+        f"({result['speedup']}x, "
+        f"{result['packed']['predictions_per_second']:.0f} predictions/s, "
+        f"bitwise identical={result['predictions_bitwise_identical']})"
+    )

@@ -149,8 +149,18 @@ class FeatureTable:
     # ------------------------------------------------------------------ #
 
     def feature_matrix(self, include_context: bool = False) -> np.ndarray:
-        """The (n, d) derived feature matrix for this table's rows."""
-        return expand_columns(self, include_context)
+        """The (n, d) derived feature matrix for this table's rows.
+
+        Memoized per table (tables are immutable by convention, and the
+        serving hot path expands the same table once per batch otherwise);
+        treat the returned array as read-only.
+        """
+        key = "_matrix_context" if include_context else "_matrix_basic"
+        cached = self.__dict__.get(key)
+        if cached is None:
+            cached = expand_columns(self, include_context)
+            self.__dict__[key] = cached
+        return cached
 
     def signature_column(self, name: str) -> np.ndarray:
         """One signature column ("strict"/"approx"/"input"/"operator")."""

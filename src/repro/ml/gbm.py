@@ -16,7 +16,78 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import check_fit_inputs, check_predict_input
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import _NO_FEATURE, DecisionTreeRegressor
+
+
+class _FlatForest:
+    """All trees' node arrays concatenated, traversed simultaneously.
+
+    Child indices are rebased onto the concatenated layout and **leaves
+    point at themselves**, so stepping needs no leaf mask: every (tree, row)
+    pair advances every level, with finished pairs orbiting in place.  The
+    walk runs over an ``(n_trees, n)`` node-index matrix for
+    ``max(actual tree depth) - 1`` levels — exactly the steps after which
+    every per-tree walk has reached its leaf.  Routing decisions and leaf
+    values are the exact scalars the per-tree walk computes, so prediction
+    through the flat layout is bitwise identical to looping over the trees —
+    only the Python/numpy dispatch count changes (one pass per *depth
+    level* instead of per tree per level).
+    """
+
+    __slots__ = ("children", "safe_feature", "threshold", "value", "roots", "steps")
+
+    def __init__(self, trees: list[DecisionTreeRegressor]) -> None:
+        safe_features, thresholds, values, children = [], [], [], []
+        roots: list[int] = []
+        offset = 0
+        steps = 0
+        for tree in trees:
+            feature, threshold, left, right, value = tree.node_arrays()
+            count = feature.size
+            roots.append(offset)
+            is_leaf = feature == _NO_FEATURE
+            # Leaves compare feature 0 against threshold 0.0 and then step
+            # to themselves either way, so no masking is needed.
+            safe_features.append(np.maximum(feature, 0))
+            thresholds.append(threshold)
+            values.append(value)
+            own = np.arange(offset, offset + count, dtype=np.int64)
+            rebased_left = np.where(is_leaf, own, left + offset)
+            rebased_right = np.where(is_leaf, own, right + offset)
+            # Interleaved (right, left) pairs: child = pairs[2*node + go_left],
+            # so the routing bool indexes the pair directly (no inversion).
+            children.append(
+                np.stack([rebased_right, rebased_left], axis=1).reshape(-1)
+            )
+            offset += count
+            steps = max(steps, tree.tree_depth - 1)
+        # All index arrays stay intp-sized: numpy silently converts narrower
+        # index dtypes on every fancy index, which would dominate the walk.
+        self.safe_feature = np.concatenate(safe_features).astype(np.int64)
+        self.threshold = np.concatenate(thresholds)
+        self.value = np.concatenate(values)
+        self.children = np.concatenate(children).astype(np.int64)
+        self.roots = np.asarray(roots, dtype=np.int64)
+        self.steps = steps
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.roots.size)
+
+    def leaf_values(self, features: np.ndarray) -> np.ndarray:
+        """Each row's leaf value in each tree, as an ``(n_trees, n)`` matrix."""
+        n, width = features.shape
+        flat = np.ascontiguousarray(features).ravel()
+        column_base = np.arange(n, dtype=np.int64) * width
+        nodes = np.repeat(self.roots[:, None], n, axis=1)  # (n_trees, n)
+        for _ in range(self.steps):
+            # Same per-node comparison as DecisionTreeRegressor.predict:
+            # raw value strictly below the bin edge routes left.
+            go_left = (
+                flat[self.safe_feature[nodes] + column_base] < self.threshold[nodes]
+            )
+            nodes = self.children[2 * nodes + go_left]
+        return self.value[nodes]
 
 
 class FastTreeRegressor:
@@ -57,10 +128,12 @@ class FastTreeRegressor:
         self.seed = seed
         self.base_prediction_: float = 0.0
         self.trees_: list[DecisionTreeRegressor] = []
+        self._flat: _FlatForest | None = None
 
     def reset(self) -> None:
         self.trees_ = []
         self.base_prediction_ = 0.0
+        self._flat = None
 
     def _transform(self, targets: np.ndarray) -> np.ndarray:
         if not self.log_target:
@@ -99,9 +172,31 @@ class FastTreeRegressor:
             update = tree.predict(features)
             current = current + self.learning_rate * update
             self.trees_.append(tree)
+        self._flat = None  # ensemble changed: flat layout recompiles lazily
         return self
 
+    def _flat_forest(self) -> _FlatForest:
+        """The packed node layout, compiled lazily after each (re)fit."""
+        if self._flat is None or self._flat.n_trees != len(self.trees_):
+            self._flat = _FlatForest(self.trees_)
+        return self._flat
+
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predictions via the flat ensemble: all trees walked at once.
+
+        Bitwise identical to :meth:`predict_reference` — leaf routing and
+        values are the same scalars, and the per-tree contributions are
+        accumulated in stage order, exactly like the sequential loop.
+        """
+        features = check_predict_input(features, bool(self.trees_))
+        leaves = self._flat_forest().leaf_values(features)
+        out = np.full(features.shape[0], self.base_prediction_)
+        for stage in range(leaves.shape[0]):
+            out += self.learning_rate * leaves[stage]
+        return self._inverse(out)
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """The retained tree-at-a-time path (benchmark/parity reference)."""
         features = check_predict_input(features, bool(self.trees_))
         out = np.full(features.shape[0], self.base_prediction_)
         for tree in self.trees_:

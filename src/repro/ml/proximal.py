@@ -262,6 +262,24 @@ class ElasticNetMSLE:
         raw = ((x * self.coef_).sum(axis=1) + self.intercept_) * self._y_scale
         return np.maximum(raw, 0.0)
 
+    def packed_parameters(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+        """``(scaler mean, scaler scale, coef, intercept, y_scale)``.
+
+        Everything the packed inference bank needs to replay
+        :meth:`predict` on pre-built feature rows without touching this
+        object: standardize with mean/scale, row multiply-sum against the
+        standardized coefficients, add the intercept, rescale by the target
+        scale, clamp at zero.
+        """
+        if self.coef_ is None:
+            raise RuntimeError("packed_parameters() before fit()")
+        mean = self._scaler.mean_
+        scale = self._scaler.scale_
+        assert mean is not None and scale is not None
+        return mean, scale, self.coef_, self.intercept_, self._y_scale
+
     def coefficients_raw(self) -> tuple[np.ndarray, float]:
         """(weights, intercept) over raw features and the raw target scale.
 

@@ -228,6 +228,16 @@ class DecisionTreeRegressor:
             node[active] = np.where(go_left, left[current], right[current])
         return value[node]
 
+    def node_arrays(self) -> tuple[np.ndarray, ...]:
+        """The fitted ``(feature, threshold, left, right, value)`` arrays.
+
+        The flat node representation consumed by the packed ensemble —
+        leaves carry ``feature == -1`` and child index ``-1``.
+        """
+        if self._arrays is None:
+            raise RuntimeError("node_arrays() before fit()")
+        return self._arrays
+
     @property
     def node_count(self) -> int:
         if self._arrays is None:

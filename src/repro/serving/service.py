@@ -10,11 +10,15 @@ prediction path, so no consumer ever assembles ``ModelStore`` +
 
 Serving-grade mechanics:
 
-* **Batched prediction** — :meth:`CleoService.predict_batch` groups the
-  requests of a workload by covering ``(model kind, signature)`` and prices
-  each group with a single vectorized model call (one ``feature_matrix``
-  build + one matrix predict) instead of N scalar calls.  The batched path
-  is *bitwise identical* to one-at-a-time prediction: every underlying
+* **Packed inference** — prediction runs on the store's compiled
+  :class:`~repro.core.packed.PackedModelBank`: signatures resolve with one
+  ``np.searchsorted`` over sorted arrays and all rows of a model kind are
+  priced in one gather + row multiply-sum pass (the combined model's trees
+  traverse as one flat ensemble).  :meth:`CleoService.predict_table` is the
+  table-native entry — no per-request objects, no cache-key hashing — and
+  :meth:`CleoService.predict_batch` groups request objects by covering
+  ``(model kind, signature)`` over the same runtime.  Both paths are
+  *bitwise identical* to one-at-a-time prediction: every underlying
   regressor computes per-row, batch-size-invariant reductions.
 * **Prediction cache** — a bounded, signature-keyed LRU in front of the
   models turns the recurring-job workload's repeated (features, signatures)
@@ -36,8 +40,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.cardinality.estimator import CardinalityEstimator
-from repro.core.combined import build_meta_matrix
+from repro.core.combined import build_meta_matrix, build_meta_matrix_reference
 from repro.core.config import CleoConfig, ModelKind
+from repro.core.packed import predict_most_specific
 from repro.core.learned_model import ResourceProfile
 from repro.core.lifecycle import ModelRegistry, ModelVersion
 from repro.core.model_store import ModelStore, signature_for
@@ -275,10 +280,31 @@ class CleoService:
         """Price a batch of operators with grouped, vectorized model calls.
 
         Cache hits are answered immediately; the remaining unique requests
-        are grouped by covering model and each group is priced with one
-        vectorized call.  Results are bitwise identical to calling
-        :meth:`predict` per request.
+        are grouped by covering model and each group is priced through the
+        packed runtime.  Results are bitwise identical to calling
+        :meth:`predict` per request.  (For whole-table workloads prefer
+        :meth:`predict_table`, which skips the per-request layer entirely.)
         """
+        return self._predict_batch(requests, reference=False)
+
+    def predict_records_reference(self, records: Iterable[OperatorRecord]) -> np.ndarray:
+        """The retained pre-packed serving pipeline (benchmark baseline).
+
+        Replays what serving a record batch cost before the packed runtime:
+        per-record :class:`PredictionRequest` materialization, per-request
+        cache-key hashing and in-batch dedup, a fresh feature-table build
+        from the unique requests' inputs, per-batch derived-feature
+        expansion, one object-graph model call per covering ``(kind,
+        signature)`` group, and tree-at-a-time ensemble traversal.  The
+        packed :meth:`predict_table`/:meth:`predict_records` must match it
+        bit for bit.
+        """
+        requests = [PredictionRequest.for_record(r) for r in records]
+        return self._predict_batch(requests, reference=True)
+
+    def _predict_batch(
+        self, requests: Sequence[PredictionRequest], reference: bool
+    ) -> np.ndarray:
         out = np.empty(len(requests), dtype=float)
         self._batches += 1
         self._batched_predictions += len(requests)
@@ -312,7 +338,9 @@ class CleoService:
 
         if pending:
             keys = list(pending)
-            values = self._compute_batch(keys, [len(pending[k]) for k in keys])
+            values = self._compute_batch(
+                keys, [len(pending[k]) for k in keys], reference
+            )
             for key, value in zip(keys, values):
                 scalar = float(value)
                 self._prediction_cache.put(key, scalar)
@@ -320,19 +348,71 @@ class CleoService:
                     out[i] = scalar
         return out
 
-    def predict_records(self, records: Iterable[OperatorRecord]) -> np.ndarray:
-        """Batched predictions for logged operators, in record order."""
-        return self.predict_batch([PredictionRequest.for_record(r) for r in records])
+    def predict_records(
+        self, records: Iterable[OperatorRecord], table: FeatureTable | None = None
+    ) -> np.ndarray:
+        """Batched predictions for logged operators, in record order.
+
+        Routed through the table-native packed fast path (see
+        :meth:`predict_table`); callers that already materialized the
+        records' columns (``log.to_table()``) can pass ``table`` to skip
+        re-packing them.
+        """
+        if table is None:
+            table = FeatureTable.from_records(list(records))
+        return self.predict_table(table)
+
+    def predict_table(self, table: FeatureTable) -> np.ndarray:
+        """Price every row of a signature-bearing table: the packed fast path.
+
+        Skips :class:`PredictionRequest` materialization and per-request
+        ``(FeatureInput, SignatureBundle)`` dict hashing entirely — the
+        whole batch runs as a constant number of numpy passes over the
+        store's compiled :class:`~repro.core.packed.PackedModelBank` (and
+        the combined model's flat tree ensemble), bitwise identical to
+        :meth:`predict_batch` over the same rows.
+
+        The prediction LRU is bypassed (no keys are hashed, nothing is
+        looked up or stored); lookup, model-call, and fallback accounting
+        match a **cache-disabled** :meth:`predict_batch` exactly.
+        """
+        if not table.has_signatures:
+            raise ValueError("predict_table requires a table with signature columns")
+        n = len(table)
+        self._batches += 1
+        self._batched_predictions += n
+        predictor = self._predictor
+        predictor.lookup_count += n * CleoPredictor.LOOKUPS_PER_PREDICTION
+        if n == 0:
+            return np.empty(0, dtype=float)
+        combined = predictor.combined
+        if combined is not None and combined.is_fitted:
+            def count_call() -> None:
+                self._individual_calls += 1
+
+            rows = build_meta_matrix(predictor.store, table, on_model_call=count_call)
+            self._combined_calls += 1
+            return combined.predict_rows(rows)
+        values, n_groups, n_fallbacks = predict_most_specific(
+            predictor.store, table, predictor.fallback_cost
+        )
+        self._individual_calls += n_groups
+        self._fallbacks += n_fallbacks
+        return values
 
     def _compute_batch(
         self,
         keys: list[tuple[FeatureInput, SignatureBundle]],
         request_counts: list[int],
+        reference: bool = False,
     ) -> np.ndarray:
         """Grouped, vectorized predictions for unique uncached requests.
 
         ``request_counts[i]`` is how many batch requests key ``i`` answers,
         so per-request counters (fallbacks) match the scalar path exactly.
+        ``reference`` routes the combined model through the retained
+        object-graph meta builder and tree-at-a-time ensemble (the
+        pre-packed pipeline) instead of the packed runtime.
         """
         n = len(keys)
         features = [key[0] for key in keys]
@@ -342,8 +422,10 @@ class CleoService:
 
         combined = predictor.combined
         if combined is not None and combined.is_fitted:
-            rows = self._meta_rows(store, features, bundles)
+            rows = self._meta_rows(store, features, bundles, reference)
             self._combined_calls += 1
+            if reference:
+                return combined.predict_rows_reference(rows)
             return combined.predict_rows(rows)
 
         values = np.full(n, predictor.fallback_cost, dtype=float)
@@ -367,6 +449,7 @@ class CleoService:
         store: ModelStore,
         features: list[FeatureInput],
         bundles: list[SignatureBundle],
+        reference: bool = False,
     ) -> np.ndarray:
         """Vectorized meta rows for a batch, with model-call accounting.
 
@@ -382,7 +465,8 @@ class CleoService:
             self._individual_calls += 1
 
         table = FeatureTable.from_inputs(features, bundles)
-        return build_meta_matrix(store, table, on_model_call=count_call)
+        builder = build_meta_matrix_reference if reference else build_meta_matrix
+        return builder(store, table, on_model_call=count_call)
 
     # ------------------------------------------------------------------ #
     # Operator / plan entry points (optimizer-facing)
