@@ -1,0 +1,31 @@
+"""Benchmark: learned-cost planning throughput (scalar vs batched).
+
+Unlike the figure/table benchmarks this one has no paper counterpart — it
+tracks the reproduction's own perf trajectory (ROADMAP: "fast as the
+hardware allows").  It re-plans the canonical workload's test day with
+learned cost models through the retained per-candidate scalar loop and the
+batched frontier/sweep pricing path, asserts bitwise-identical plan
+choices, and drops ``BENCH_plan.json`` under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.plan_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_plan_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_plan.json")
+    assert result["plans_bitwise_identical"]
+    assert result["speedup"] > 1.0

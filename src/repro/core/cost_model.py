@@ -10,9 +10,22 @@ planner holds.  Signature bundles are memoized in the service's *bounded*
 LRU (the earlier per-``id()`` dict grew without bound and could alias
 recycled ids across plans), and whole-plan pricing goes through the
 service's batched path.
+
+Beyond the scalar :class:`~repro.cost.interface.CostModel` protocol, this
+adapter advertises **batched planning pricing** (``supports_batched_pricing``
+plus :meth:`CleoCostModel.price_operators` /
+:meth:`CleoCostModel.price_stage_sweep`): the planner prices whole candidate
+frontiers, and partition exploration prices whole per-stage partition
+sweeps, through the packed serving runtime in a constant number of numpy
+passes — bitwise identical values and per-prediction lookup accounting to
+the scalar ``operator_cost`` loop.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.core.learned_model import ResourceProfile
@@ -34,9 +47,13 @@ class CleoCostModel:
     A bare predictor is wrapped in a service with the prediction cache
     *disabled*, so optimizer experiments keep their exact per-prediction
     model-lookup accounting; pass a service to share its caches instead.
+
+    ``batched=False`` retains the scalar pricing path everywhere (one
+    ``predict_operator`` round-trip per costed candidate) — the baseline
+    the plan-throughput benchmark and the parity suite compare against.
     """
 
-    def __init__(self, predictor, service=None) -> None:
+    def __init__(self, predictor, service=None, batched: bool = True) -> None:
         from repro.serving.service import CleoService  # deferred: import cycle
 
         if service is None:
@@ -45,6 +62,12 @@ class CleoCostModel:
             else:
                 service = CleoService(predictor, prediction_cache_size=0)
         self.service = service
+        self.batched = bool(batched)
+
+    @property
+    def supports_batched_pricing(self) -> bool:
+        """Capability flag the planner and partition strategies duck-type on."""
+        return self.batched
 
     @property
     def predictor(self) -> CleoPredictor:
@@ -62,6 +85,55 @@ class CleoCostModel:
     def plan_cost(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
         """Total plan cost through the service's batched path."""
         return self.service.predict_plan(root, estimator)
+
+    def price_operators(
+        self, ops: Sequence[PhysicalOp], estimator: CardinalityEstimator
+    ) -> np.ndarray:
+        """Exclusive costs of several live operators, one batched call.
+
+        The planner's frontier-pricing entry: bitwise identical values to a
+        per-op :meth:`operator_cost` loop, with the same per-prediction
+        lookup and fallback accounting (see
+        :meth:`~repro.serving.service.CleoService.predict_inputs`).
+        """
+        service = self.service
+        inputs = [feature_input_for(op, estimator) for op in ops]
+        bundles = [service.bundle_for(op) for op in ops]
+        return service.predict_inputs(inputs, bundles)
+
+    def price_stage_sweep(
+        self,
+        stage_ops: Sequence[PhysicalOp],
+        estimator: CardinalityEstimator,
+        partitions: Sequence[int],
+    ) -> list[float]:
+        """Stage-total cost at every candidate partition count, one pass.
+
+        Replaces partition exploration's per-candidate
+        ``sum(operator_cost(op, partition_override=p) for op in stage)``
+        loops: all ``len(partitions) * len(stage_ops)`` predictions run as
+        one batched call, then each candidate's stage total is reduced with
+        the exact left-fold order the scalar ``sum`` uses, so totals (and
+        therefore every argmin/guard decision) are bitwise identical.
+        """
+        service = self.service
+        bundles = [service.bundle_for(op) for op in stage_ops]
+        inputs = [
+            feature_input_for(op, estimator, int(p))
+            for p in partitions
+            for op in stage_ops
+        ]
+        values = service.predict_inputs(inputs, bundles * len(partitions))
+        n = len(stage_ops)
+        totals: list[float] = []
+        offset = 0
+        for _ in partitions:
+            total = 0  # int start, exactly like the scalar sum()
+            for value in values[offset : offset + n]:
+                total = total + float(value)
+            totals.append(total)
+            offset += n
+        return totals
 
     def explain(
         self, op: PhysicalOp, estimator: CardinalityEstimator

@@ -228,6 +228,15 @@ class LifecycleManager:
             self._drift_pending = False
             retrained = True
             rolled_back = self._gate_new_version(previous, day_log)
+            if rolled_back:
+                # The fresh version was discarded, so the stale predecessor
+                # keeps serving.  Leave the early-retrain trigger armed:
+                # without this the rollback also cleared the drift flag and
+                # stamped today as the last training day, silencing the
+                # trigger that caused the retrain and letting the stale
+                # model serve for up to frequency_days — the opposite of
+                # the "self-correct on the next cycle" contract.
+                self._drift_pending = True
 
         quality = evaluate_predictor_on_log(
             self.registry.active().predictor, day_log, name=f"day{day}"

@@ -116,6 +116,25 @@ def _stage_cost_at(
     )
 
 
+def _stage_costs_at(
+    stage_ops: list[PhysicalOp],
+    cost_model: CostModel,
+    estimator: CardinalityEstimator,
+    partitions: "list[int] | range",
+) -> list[float]:
+    """Stage totals at several candidate counts — one matrix pass if possible.
+
+    Learned cost models advertising ``supports_batched_pricing`` price the
+    whole ``len(partitions) x len(stage_ops)`` sweep through the packed
+    serving runtime (:meth:`~repro.core.cost_model.CleoCostModel.
+    price_stage_sweep`), bitwise identical to the scalar per-candidate
+    :func:`_stage_cost_at` loop this falls back to.
+    """
+    if getattr(cost_model, "supports_batched_pricing", False):
+        return cost_model.price_stage_sweep(stage_ops, estimator, list(partitions))
+    return [_stage_cost_at(stage_ops, cost_model, estimator, p) for p in partitions]
+
+
 @dataclass
 class DefaultHeuristicStrategy:
     """The baseline: local statistics at the partitioning operator only."""
@@ -153,10 +172,8 @@ class ExhaustiveStrategy:
         max_partitions: int,
     ) -> int:
         candidates = range(1, max_partitions + 1)
-        return min(
-            candidates,
-            key=lambda p: _stage_cost_at(stage_ops, cost_model, estimator, p),
-        )
+        costs = _stage_costs_at(stage_ops, cost_model, estimator, candidates)
+        return candidates[min(range(len(costs)), key=costs.__getitem__)]
 
 
 @dataclass
@@ -196,10 +213,9 @@ class SamplingStrategy:
         estimator: CardinalityEstimator,
         max_partitions: int,
     ) -> int:
-        return min(
-            self.candidates(max_partitions),
-            key=lambda p: _stage_cost_at(stage_ops, cost_model, estimator, p),
-        )
+        candidates = self.candidates(max_partitions)
+        costs = _stage_costs_at(stage_ops, cost_model, estimator, candidates)
+        return candidates[min(range(len(costs)), key=costs.__getitem__)]
 
 
 @dataclass
@@ -301,30 +317,46 @@ def optimize_partitions(
             continue
         candidate = strategy.choose(stage.operators, cost_model, estimator, max_partitions)
         if guard and candidate != stage.partition_count:
-            current_cost = _stage_cost_at(
-                stage.operators, cost_model, estimator, stage.partition_count
+            # Both probes priced in one batched pass for learned models.
+            current_cost, new_cost = _stage_costs_at(
+                stage.operators,
+                cost_model,
+                estimator,
+                [stage.partition_count, candidate],
             )
-            new_cost = _stage_cost_at(stage.operators, cost_model, estimator, candidate)
             if new_cost >= current_cost:
                 candidate = stage.partition_count
         chosen[stage.index] = candidate
 
+    rebuilt: dict[int, PhysicalOp] = {}
+
     def rebuild(op: PhysicalOp) -> PhysicalOp:
+        # Memoized by node id: plans with shared subexpressions (DAG-shaped
+        # caller input) keep each shared subtree as ONE rebuilt object —
+        # un-memoized recursion duplicated it per consumer, splitting the
+        # ``id(op)``-keyed stage identity and going exponential on deep
+        # sharing.
+        done = rebuilt.get(id(op))
+        if done is not None:
+            return done
         new_children = tuple(rebuild(child) for child in op.children)
         stage_idx = graph.stage_of[id(op)]
         new_count = chosen[stage_idx]
         if new_children == op.children and new_count == op.partition_count:
-            return op
-        return PhysicalOp(
-            op_type=op.op_type,
-            children=new_children,
-            logical=op.logical,
-            partition_count=new_count,
-            partitioning=op.partitioning,
-            sorting=op.sorting,
-            exchange_mode=op.exchange_mode,
-            sort_keys=op.sort_keys,
-        )
+            result = op
+        else:
+            result = PhysicalOp(
+                op_type=op.op_type,
+                children=new_children,
+                logical=op.logical,
+                partition_count=new_count,
+                partitioning=op.partitioning,
+                sorting=op.sorting,
+                exchange_mode=op.exchange_mode,
+                sort_keys=op.sort_keys,
+            )
+        rebuilt[id(op)] = result
+        return result
 
     return rebuild(plan)
 

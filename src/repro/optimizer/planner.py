@@ -20,6 +20,21 @@ Alternatives explored per logical operator:
 After the structural search, the optional partition strategy re-optimizes
 every stage's partition count (Section 5.2's partition exploration +
 optimization, run as a dedicated pass over the chosen plan's stage graph).
+
+**Batched learned-cost planning.**  When the cost model advertises
+``supports_batched_pricing`` (Cleo's :class:`~repro.core.cost_model.
+CleoCostModel` does), the planner defers every ``_cost`` call: operators
+are appended to a pending ledger and the call returns a
+:class:`_DeferredCost` expression that records the exact float arithmetic
+the scalar planner would have executed.  Whenever a costing frontier
+actually needs comparing (a multi-candidate ``_optimize`` frame), the
+whole ledger — the frontier's candidates plus every operator accumulated
+through single-candidate frames below it — is priced in one
+``price_operators`` call over the packed serving runtime, and the deferred
+expressions are resolved by replaying their recorded arithmetic.  Plan
+choices, costs, and model-lookup accounting are bitwise identical to the
+scalar path (``tests/optimizer/test_batched_planning.py`` pins this); only
+the number of vectorized model invocations differs.
 """
 
 from __future__ import annotations
@@ -72,7 +87,12 @@ class PlannerConfig:
 
 @dataclass(frozen=True)
 class PlanCandidate:
-    """A physical subplan with its accumulated estimated cost."""
+    """A physical subplan with its accumulated estimated cost.
+
+    During batched costing ``cost`` may transiently hold a
+    :class:`_DeferredCost` expression; it is resolved to a float before any
+    candidate comparison (and before the memo winner escapes the search).
+    """
 
     op: PhysicalOp
     cost: float
@@ -96,6 +116,78 @@ class PlannedJob:
 
 _ANY = Partitioning.any()
 _NO_SORT = SortOrder.none()
+
+
+class _DeferredCost:
+    """A cost expression awaiting batched pricing.
+
+    Leaves index into the planner's priced-value ledger (one entry per
+    deferred operator, in ``_cost`` call order); interior nodes record the
+    ``+``/``-`` arithmetic the scalar planner would have executed, with the
+    operand order preserved by the reflected operators.  Resolving after
+    the batch therefore replays bit-identical floating point: the batched
+    planner can never flip a cost tie the scalar planner would not flip.
+    """
+
+    __slots__ = ("kind", "a", "b")
+
+    LEAF = 0
+    ADD = 1
+    SUB = 2
+
+    def __init__(self, kind: int, a, b=None) -> None:
+        self.kind = kind
+        self.a = a
+        self.b = b
+
+    def __add__(self, other):
+        return _DeferredCost(_DeferredCost.ADD, self, other)
+
+    def __radd__(self, other):
+        return _DeferredCost(_DeferredCost.ADD, other, self)
+
+    def __sub__(self, other):
+        return _DeferredCost(_DeferredCost.SUB, self, other)
+
+    def __rsub__(self, other):
+        return _DeferredCost(_DeferredCost.SUB, other, self)
+
+
+def _resolve_cost(cost, priced: list[float]) -> float:
+    """Evaluate a (possibly deferred) cost against the priced ledger.
+
+    Iterative post-order walk with an explicit stack: wide frontiers (a
+    union of thousands of branches accumulating ``cost += ...``) build
+    expressions deeper than the interpreter recursion limit.  Shared
+    subexpressions (memo-reused deferred costs) are evaluated once per
+    call; the arithmetic per node is identical to a recursive evaluation.
+    """
+    if not isinstance(cost, _DeferredCost):
+        return cost
+    values: dict[int, float] = {}
+    stack: list[tuple[_DeferredCost, bool]] = [(cost, False)]
+    while stack:
+        node, expanded = stack.pop()
+        node_id = id(node)
+        if node_id in values:
+            continue
+        kind = node.kind
+        if kind == _DeferredCost.LEAF:
+            values[node_id] = priced[node.a]
+        elif expanded:
+            a, b = node.a, node.b
+            a_value = values[id(a)] if isinstance(a, _DeferredCost) else a
+            b_value = values[id(b)] if isinstance(b, _DeferredCost) else b
+            values[node_id] = (
+                a_value + b_value if kind == _DeferredCost.ADD else a_value - b_value
+            )
+        else:
+            stack.append((node, True))
+            if isinstance(node.b, _DeferredCost):
+                stack.append((node.b, False))
+            if isinstance(node.a, _DeferredCost):
+                stack.append((node.a, False))
+    return values[id(cost)]
 
 
 def jitter_factor(salt: str, key: str, sigma: float) -> float:
@@ -128,6 +220,11 @@ class QueryPlanner:
         self._memo: dict[tuple[int, Partitioning, SortOrder], PlanCandidate] = {}
         self._keepalive: list[object] = []
         self._candidates_considered = 0
+        # Batched-costing state (active only while `plan` runs with a cost
+        # model that advertises `supports_batched_pricing`).
+        self._batched = False
+        self._pending_ops: list[PhysicalOp] = []
+        self._priced: list[float] = []
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -139,11 +236,22 @@ class QueryPlanner:
         self._memo.clear()
         self._keepalive = [logical_root]
         self._candidates_considered = 0
+        self._batched = bool(
+            getattr(self.cost_model, "supports_batched_pricing", False)
+        )
+        self._pending_ops = []
+        self._priced = []
         # The estimator memoizes by object identity; stale entries from a
         # previous (freed) plan must never leak into this optimization.
         self.estimator.reset()
 
         best = self._optimize(logical_root, _ANY, _NO_SORT)
+        if self._batched:
+            # Operators whose costs never had to decide a comparison
+            # (single-candidate frontiers feeding the final winner) are
+            # still priced exactly once, so per-prediction model-lookup
+            # accounting matches the scalar planner's total.
+            self._flush_pending()
         physical = best.op
         if self.config.partition_strategy is not None:
             physical = optimize_partitions(
@@ -186,6 +294,17 @@ class QueryPlanner:
             )
         enforced = [self._enforce(c, req_part, req_sort) for c in candidates]
         self._candidates_considered += len(enforced)
+        if self._batched and len(enforced) > 1:
+            # This frontier needs comparing: price every operator deferred
+            # so far in one batched pass, then resolve the candidates'
+            # recorded cost arithmetic.  Single-candidate frames skip the
+            # flush entirely — their deferred cost flows into the parent's
+            # expression and is priced with the parent's frontier.
+            self._flush_pending()
+            priced = self._priced
+            enforced = [
+                PlanCandidate(c.op, _resolve_cost(c.cost, priced)) for c in enforced
+            ]
         best = min(enforced, key=lambda c: c.cost)
         self._memo[key] = best
         return best
@@ -570,8 +689,21 @@ class QueryPlanner:
         self._keepalive.append(clone)
         return clone
 
-    def _cost(self, op: PhysicalOp) -> float:
-        return self.cost_model.operator_cost(op, self.estimator)
+    def _cost(self, op: PhysicalOp) -> "float | _DeferredCost":
+        if not self._batched:
+            return self.cost_model.operator_cost(op, self.estimator)
+        index = len(self._priced) + len(self._pending_ops)
+        self._pending_ops.append(op)
+        return _DeferredCost(_DeferredCost.LEAF, index)
+
+    def _flush_pending(self) -> None:
+        """Price every deferred operator through the model's batched path."""
+        ops = self._pending_ops
+        if not ops:
+            return
+        self._pending_ops = []
+        values = self.cost_model.price_operators(ops, self.estimator)
+        self._priced.extend(map(float, values))
 
     def _heuristic_partitions(self, op: PhysicalOp) -> int:
         base = default_partition_heuristic(

@@ -94,6 +94,12 @@ def build_stage_graph(root: PhysicalOp) -> StageGraph:
 
     def visit(op: PhysicalOp) -> int:
         """Return the stage index that ``op`` belongs to."""
+        seen = stage_of.get(id(op))
+        if seen is not None:
+            # Shared subexpression (DAG-shaped caller input): the operator
+            # already has a stage; revisiting must neither duplicate its
+            # membership nor re-walk the subtree (exponential on sharing).
+            return seen
         child_stage_indices = [visit(child) for child in op.children]
 
         if op.is_partitioning:

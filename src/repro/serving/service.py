@@ -400,6 +400,32 @@ class CleoService:
         self._fallbacks += n_fallbacks
         return values
 
+    def predict_inputs(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> np.ndarray:
+        """Batched predictions for parallel (features, signatures) sequences.
+
+        The optimizer's frontier/sweep pricing entry.  With the prediction
+        LRU enabled it routes through :meth:`predict_batch` (cache hits and
+        in-batch dedup still pay off for recurring operators); with caching
+        disabled it skips request materialization and per-request key
+        hashing entirely and runs the packed table-native path, whose
+        lookup and fallback accounting matches a cache-disabled
+        :meth:`predict_batch` — and the scalar :meth:`predict` loop —
+        exactly.  Values are bitwise identical either way.
+        """
+        if len(inputs) != len(bundles):
+            raise ValueError("inputs and bundles must align")
+        if self.prediction_cache_enabled:
+            requests = [
+                PredictionRequest(features, bundle)
+                for features, bundle in zip(inputs, bundles)
+            ]
+            return self.predict_batch(requests)
+        return self.predict_table(FeatureTable.from_inputs(inputs, bundles))
+
     def _compute_batch(
         self,
         keys: list[tuple[FeatureInput, SignatureBundle]],
@@ -586,6 +612,11 @@ class CleoService:
         if predictor.combined is not None and predictor.combined.is_fitted:
             return False
         return predictor.store.most_specific(signatures) is None
+
+    @property
+    def prediction_cache_enabled(self) -> bool:
+        """Whether the (features, signatures) prediction LRU is active."""
+        return self._prediction_cache.capacity > 0
 
     @property
     def store(self) -> ModelStore:

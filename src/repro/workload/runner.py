@@ -23,6 +23,7 @@ Two execution paths produce bit-identical logs:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.cardinality.estimator import CardinalityEstimator, EstimatorConfig
@@ -52,6 +53,12 @@ class WorkloadRunner:
     cost_model: CostModel | None = None
     keep_plans: bool = False
     plans: dict[str, PhysicalOp] = field(default_factory=dict)
+
+    #: Which path the most recent ``run_days`` call took: ``True`` for the
+    #: batched engine, ``False`` for the scalar fallback, ``None`` before
+    #: any call.  Surfaced so a config tweak that silently costs the
+    #: batched speedup is observable (a ``RuntimeWarning`` also fires).
+    last_run_used_batched: bool | None = field(default=None, init=False)
 
     #: Natural allocation wobble recorded in production logs; this is what
     #: gives the learned models within-template partition-count signal.
@@ -99,10 +106,22 @@ class WorkloadRunner:
 
         Uses the batched engine when the configuration is stock (the common
         case); otherwise falls back to the scalar reference path.  Both
-        produce bit-identical logs.
+        produce bit-identical logs.  The path taken is recorded on
+        :attr:`last_run_used_batched`, and the fallback additionally emits
+        a ``RuntimeWarning`` — a config tweak that silently costs the
+        batched engine's speedup should never go unnoticed.
         """
         if self.batched_supported:
+            self.last_run_used_batched = True
             return self._run_days_batched(generator, days)
+        self.last_run_used_batched = False
+        warnings.warn(
+            "WorkloadRunner.run_days: configuration is not supported by the "
+            "batched engine (custom cost model, estimator subclass, or "
+            "partition strategy); falling back to the scalar reference path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return self.run_days_reference(generator, days)
 
     def run_days_reference(

@@ -185,3 +185,50 @@ class TestLifecycleManager:
             if outcome.rolled_back:
                 version = manager.registry.get(outcome.active_version)
                 assert version.trained_on_day < outcome.day
+
+
+class TestRollbackRearmsRetrain:
+    def test_rollback_rearms_early_retrain_trigger(self, tiny_bundle, monkeypatch):
+        """Section 6.7 gate rollback must leave the retrain trigger armed.
+
+        Pre-fix, ``step`` cleared ``_drift_pending`` and stamped
+        ``_last_train_day`` *before* the gate ran, so a rolled-back retrain
+        silenced its own trigger and the stale predecessor served for up to
+        ``frequency_days`` — violating the "self-correct on the next cycle"
+        contract.
+        """
+        from dataclasses import replace as dc_replace
+
+        import repro.core.lifecycle as lifecycle_mod
+
+        manager = LifecycleManager(
+            policy=RetrainPolicy(
+                window_days=1, frequency_days=100, regression_factor=1.5
+            )
+        )
+        days = tiny_bundle.log.days
+        first = manager.step(tiny_bundle.log, days[1])
+        assert first.retrained and not first.rolled_back
+
+        # Pretend yesterday drifted, so today retrains early — and force
+        # the fresh version to look regressed so the gate rolls it back.
+        manager._drift_pending = True
+        real_eval = lifecycle_mod.evaluate_predictor_on_log
+
+        def biased_eval(predictor, log, name=""):
+            quality = real_eval(predictor, log, name=name)
+            if name == "fresh":
+                return dc_replace(
+                    quality, median_error_pct=quality.median_error_pct * 10 + 1000
+                )
+            return quality
+
+        monkeypatch.setattr(
+            lifecycle_mod, "evaluate_predictor_on_log", biased_eval
+        )
+        outcome = manager.step(tiny_bundle.log, days[2])
+        assert outcome.retrained and outcome.rolled_back
+        # The stale predecessor is serving again; the early-retrain trigger
+        # must be armed so the very next day tries again.
+        assert manager._drift_pending is True
+        assert manager._should_retrain(days[2] + 1)

@@ -1,0 +1,288 @@
+"""Batched learned-cost planning parity (optimizer.planner + partition).
+
+The batched path must be *bitwise* identical to the scalar planner: same
+plan shapes, same partition counts, same estimated costs, same candidate
+counts, and the same per-prediction model-lookup accounting — batching may
+only change how many vectorized model invocations happen, never what they
+compute.  These tests pin that contract over the trained tiny bundle, over
+randomized ad-hoc plans, and for every partition strategy family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.cost_model import CleoCostModel
+from repro.optimizer.partition import (
+    AnalyticalStrategy,
+    ExhaustiveStrategy,
+    SamplingStrategy,
+    _stage_cost_at,
+)
+from repro.optimizer.planner import (
+    PlannerConfig,
+    QueryPlanner,
+    _DeferredCost,
+    _resolve_cost,
+)
+from repro.plan.stages import build_stage_graph
+from repro.workload.templates import instantiate
+
+
+def _fingerprint(planned):
+    return (
+        tuple((op.op_type.value, op.partition_count) for op in planned.plan.walk()),
+        planned.estimated_cost,
+        planned.candidates_considered,
+    )
+
+
+def _test_jobs(bundle, limit=None):
+    day = bundle.log.days[-1]
+    catalog = bundle.generator.catalog_for_day(day)
+    jobs = bundle.generator.jobs_for_day(day)
+    if limit is not None:
+        jobs = jobs[:limit]
+    return [(job.job_id, instantiate(job, catalog)) for job in jobs]
+
+
+def _plan_all(planner, jobs, predictor):
+    fingerprints = []
+    predictor.reset_lookup_count()
+    for job_id, logical in jobs:
+        planner.jitter_salt = job_id
+        fingerprints.append(_fingerprint(planner.plan(logical)))
+    return fingerprints, predictor.lookup_count
+
+
+class TestFrontierPricingParity:
+    def test_structural_plans_and_lookups_identical(self, tiny_bundle, tiny_predictor):
+        jobs = _test_jobs(tiny_bundle)
+        config = PlannerConfig()
+        scalar = QueryPlanner(
+            CleoCostModel(tiny_predictor, batched=False), CardinalityEstimator(), config
+        )
+        batched = QueryPlanner(
+            CleoCostModel(tiny_predictor), CardinalityEstimator(), config
+        )
+        scalar_fps, scalar_lookups = _plan_all(scalar, jobs, tiny_predictor)
+        batched_fps, batched_lookups = _plan_all(batched, jobs, tiny_predictor)
+        assert scalar_fps == batched_fps
+        assert scalar_lookups == batched_lookups
+
+    @pytest.mark.parametrize(
+        "strategy,max_partitions",
+        [
+            (SamplingStrategy(scheme="geometric"), 3000),
+            (SamplingStrategy(scheme="uniform", n_samples=8), 500),
+            (ExhaustiveStrategy(), 24),
+            (AnalyticalStrategy(), 3000),
+        ],
+        ids=["geometric", "uniform", "exhaustive", "analytical"],
+    )
+    def test_partition_strategies_identical(
+        self, tiny_bundle, tiny_predictor, strategy, max_partitions
+    ):
+        jobs = _test_jobs(tiny_bundle, limit=8)
+        config = PlannerConfig(
+            partition_strategy=strategy, max_partitions=max_partitions
+        )
+        scalar = QueryPlanner(
+            CleoCostModel(tiny_predictor, batched=False), CardinalityEstimator(), config
+        )
+        batched = QueryPlanner(
+            CleoCostModel(tiny_predictor), CardinalityEstimator(), config
+        )
+        scalar_fps, scalar_lookups = _plan_all(scalar, jobs, tiny_predictor)
+        batched_fps, batched_lookups = _plan_all(batched, jobs, tiny_predictor)
+        assert scalar_fps == batched_fps
+        assert scalar_lookups == batched_lookups
+
+    def test_randomized_adhoc_plans_identical(self, builder, tiny_predictor):
+        """Parity across randomized plan shapes, not just recurring templates."""
+        rng = np.random.default_rng(7)
+        scalar = QueryPlanner(
+            CleoCostModel(tiny_predictor, batched=False),
+            CardinalityEstimator(),
+            PlannerConfig(partition_jitter=0.35),
+        )
+        batched = QueryPlanner(
+            CleoCostModel(tiny_predictor),
+            CardinalityEstimator(),
+            PlannerConfig(partition_jitter=0.35),
+        )
+        for i in range(12):
+            events = builder.filter(
+                builder.scan("events_2024_01_01"),
+                "value",
+                float(rng.uniform(0.05, 0.9)),
+                tag=f"rt:f{i}",
+            )
+            users = builder.filter(
+                builder.scan("users_2024_01_01"),
+                "country",
+                float(rng.uniform(0.1, 0.9)),
+                tag=f"rt:g{i}",
+            )
+            joined = builder.join(
+                events, users,
+                keys=("user_id", "user_id"),
+                fanout=float(rng.uniform(0.05, 1.5)),
+                tag=f"rt:j{i}",
+            )
+            agg = builder.aggregate(
+                joined,
+                keys=("country",),
+                group_count=int(rng.integers(5, 5000)),
+                tag=f"rt:a{i}",
+            )
+            logical = builder.output(agg, name=f"rt:o{i}")
+            scalar.jitter_salt = batched.jitter_salt = f"rt{i}"
+            assert _fingerprint(scalar.plan(logical)) == _fingerprint(
+                batched.plan(logical)
+            )
+
+    def test_cache_enabled_service_plans_identical(self, tiny_bundle, tiny_predictor):
+        """service.cost_model() (LRU enabled, the whatif/allocation shape)."""
+        from repro.serving.service import CleoService
+
+        jobs = _test_jobs(tiny_bundle, limit=10)
+        config = PlannerConfig(partition_strategy=SamplingStrategy())
+        scalar_service = CleoService(tiny_predictor)
+        batched_service = CleoService(tiny_predictor)
+        scalar = QueryPlanner(
+            CleoCostModel(tiny_predictor, service=scalar_service, batched=False),
+            CardinalityEstimator(),
+            config,
+        )
+        batched = QueryPlanner(
+            batched_service.cost_model(), CardinalityEstimator(), config
+        )
+        scalar_fps, _ = _plan_all(scalar, jobs, tiny_predictor)
+        batched_fps, _ = _plan_all(batched, jobs, tiny_predictor)
+        assert scalar_fps == batched_fps
+        # The batched planner really priced through batches, not one-by-one.
+        stats = batched_service.stats()
+        assert stats.batched_predictions > 0
+        assert stats.scalar_predictions == 0
+
+    def test_batched_flag_off_means_scalar_path(self, tiny_predictor):
+        model = CleoCostModel(tiny_predictor, batched=False)
+        assert not model.supports_batched_pricing
+        assert CleoCostModel(tiny_predictor).supports_batched_pricing
+
+
+class TestStageSweepPricing:
+    def test_sweep_matches_scalar_stage_costs(self, tiny_bundle, tiny_predictor):
+        job = next(iter(tiny_bundle.test_log()))
+        plan = tiny_bundle.runner.plans[job.job_id]
+        estimator = CardinalityEstimator()
+        model = CleoCostModel(tiny_predictor)
+        graph = build_stage_graph(plan)
+        partitions = [1, 2, 7, 33, 250]
+        for stage in graph.stages:
+            batched = model.price_stage_sweep(stage.operators, estimator, partitions)
+            scalar = [
+                _stage_cost_at(stage.operators, model, estimator, p)
+                for p in partitions
+            ]
+            assert batched == scalar  # exact float equality, not approx
+
+    def test_price_operators_matches_operator_cost(self, tiny_bundle, tiny_predictor):
+        job = next(iter(tiny_bundle.test_log()))
+        plan = tiny_bundle.runner.plans[job.job_id]
+        estimator = CardinalityEstimator()
+        model = CleoCostModel(tiny_predictor)
+        ops = list(plan.walk())
+        tiny_predictor.reset_lookup_count()
+        batched = model.price_operators(ops, estimator)
+        batched_lookups = tiny_predictor.lookup_count
+        tiny_predictor.reset_lookup_count()
+        scalar = [model.operator_cost(op, estimator) for op in ops]
+        assert tiny_predictor.lookup_count == batched_lookups
+        assert list(batched) == scalar
+
+
+class TestDeferredCostArithmetic:
+    def test_replay_preserves_operand_order(self):
+        priced = [0.1, 0.2, 0.7]
+        leaf = lambda i: _DeferredCost(_DeferredCost.LEAF, i)  # noqa: E731
+        # float + deferred, deferred + float, chains, and subtraction —
+        # the shapes the planner's cost accumulation actually produces.
+        assert _resolve_cost(0.5 + leaf(0), priced) == 0.5 + priced[0]
+        assert _resolve_cost(leaf(1) + 0.5, priced) == priced[1] + 0.5
+        chained = 0.25 + leaf(0) + leaf(1) + leaf(2)
+        assert _resolve_cost(chained, priced) == ((0.25 + 0.1) + 0.2) + 0.7
+        delta = 0.0 + (leaf(2) - leaf(0))
+        assert _resolve_cost(delta, priced) == 0.0 + (0.7 - 0.1)
+        assert _resolve_cost(1.25, priced) == 1.25
+
+    def test_wide_frontier_resolves_without_recursion_error(
+        self, builder, tiny_predictor
+    ):
+        """A very wide union builds a deferred expression thousands of
+        nodes deep; resolution must be iterative (pre-fix: RecursionError
+        on the default batched path for plans the scalar path handled)."""
+        branches = [
+            builder.filter(
+                builder.scan("events_2024_01_01"), "value", 0.2, tag=f"wide:f{i}"
+            )
+            for i in range(1100)
+        ]
+        logical = builder.output(
+            builder.aggregate(
+                builder.union(*branches, tag="wide:u"),
+                keys=("user_id",),
+                group_count=100,
+                tag="wide:a",
+            ),
+            name="wide:o",
+        )
+        scalar = QueryPlanner(
+            CleoCostModel(tiny_predictor, batched=False),
+            CardinalityEstimator(),
+            PlannerConfig(),
+        )
+        batched = QueryPlanner(
+            CleoCostModel(tiny_predictor), CardinalityEstimator(), PlannerConfig()
+        )
+        assert _fingerprint(scalar.plan(logical)) == _fingerprint(
+            batched.plan(logical)
+        )
+
+    def test_planner_leaves_no_pending_ops(self, tiny_bundle, tiny_predictor):
+        """Every deferred operator is priced exactly once per plan."""
+        jobs = _test_jobs(tiny_bundle, limit=3)
+        planner = QueryPlanner(
+            CleoCostModel(tiny_predictor), CardinalityEstimator(), PlannerConfig()
+        )
+        for job_id, logical in jobs:
+            planner.jitter_salt = job_id
+            planner.plan(logical)
+            assert planner._pending_ops == []
+
+
+class TestApplicationRouting:
+    def test_whatif_and_allocation_plan_batched(self, tiny_bundle, tiny_predictor):
+        """The application layers inherit batched pricing automatically."""
+        from repro.applications.whatif import WhatIfAnalyzer
+        from repro.serving.service import CleoService
+
+        service = CleoService(tiny_predictor)
+        analyzer = WhatIfAnalyzer(service)
+        assert service.cost_model().supports_batched_pricing
+        job = next(iter(tiny_bundle.test_log()))
+        catalog = tiny_bundle.generator.catalog_for_day(job.day)
+        spec = next(
+            j
+            for j in tiny_bundle.generator.jobs_for_day(job.day)
+            if j.job_id == job.job_id
+        )
+        logical = instantiate(spec, catalog)
+        before = service.stats().batched_predictions
+        outcome = analyzer.evaluate(logical, lambda plan: plan, job_id=job.job_id)
+        assert outcome.baseline.latency_seconds > 0
+        assert service.stats().batched_predictions > before
+        assert service.stats().scalar_predictions == 0

@@ -180,3 +180,86 @@ class TestExpectedLookups:
     def test_unknown_raises(self):
         with pytest.raises(ValueError):
             expected_lookups(1, "bogus")
+
+
+class TestDagRebuild:
+    """optimize_partitions on DAG-shaped caller input (shared subtrees)."""
+
+    @staticmethod
+    def _shared_plan(physical_simple_plan):
+        """A hand-built DAG: one subtree consumed by two union inputs."""
+        from repro.plan.physical import PhysicalOp
+        from repro.plan.properties import Partitioning
+
+        shared = physical_simple_plan.children[0]
+        union = PhysicalOp(
+            op_type=PhysOpType.UNION_ALL,
+            children=(shared, shared),
+            logical=None,
+            partition_count=shared.partition_count,
+            partitioning=Partitioning.random(),
+        )
+        return union
+
+    def test_shared_subtree_keeps_shared_identity(
+        self, physical_simple_plan, estimator
+    ):
+        from dataclasses import dataclass
+
+        @dataclass
+        class BumpStrategy:
+            """Always picks a different count, forcing a real rebuild."""
+
+            name: str = "bump"
+
+            def choose(self, stage_ops, cost_model, estimator, max_partitions):
+                return min(stage_ops[0].partition_count + 3, max_partitions)
+
+        plan = self._shared_plan(physical_simple_plan)
+        optimized = optimize_partitions(
+            plan,
+            DefaultCostModel(),
+            estimator,
+            BumpStrategy(),
+            max_partitions=64,
+            guard=False,
+        )
+        # Counts actually changed, so every node was rebuilt — and the
+        # rebuilt shared subtree must stay ONE object, not a duplicate per
+        # consumer (pre-fix, the un-memoized rebuild split it).
+        assert optimized is not plan
+        assert optimized.children[0] is optimized.children[1]
+
+    def test_deep_sharing_stays_linear(self, physical_simple_plan, estimator):
+        """2^40 paths if the walk is exponential; must finish instantly."""
+        from repro.plan.physical import PhysicalOp
+        from repro.plan.properties import Partitioning
+
+        node = physical_simple_plan.children[0]
+        for _ in range(40):
+            node = PhysicalOp(
+                op_type=PhysOpType.UNION_ALL,
+                children=(node, node),
+                logical=None,
+                partition_count=node.partition_count,
+                partitioning=Partitioning.random(),
+            )
+        optimized = optimize_partitions(
+            node,
+            DefaultCostModel(),
+            estimator,
+            DefaultHeuristicStrategy(),
+            max_partitions=64,
+        )
+        # Sharing preserved at every level.
+        probe = optimized
+        for _ in range(40):
+            assert probe.children[0] is probe.children[1]
+            probe = probe.children[0]
+
+    def test_stage_graph_counts_shared_ops_once(self, physical_simple_plan):
+        plan = self._shared_plan(physical_simple_plan)
+        graph = build_stage_graph(plan)
+        for stage in graph.stages:
+            ids = [id(op) for op in stage.operators]
+            assert len(ids) == len(set(ids))

@@ -150,7 +150,9 @@ def test_empty_day_set_yields_empty_log():
 
 
 def test_non_stock_config_falls_back_to_reference():
-    """A custom cost model disables the fast path but still runs."""
+    """A custom cost model disables the fast path, loudly, but still runs."""
+    import pytest
+
     from repro.cost.default_model import DefaultCostModel
 
     class TweakedModel(DefaultCostModel):
@@ -160,6 +162,31 @@ def test_non_stock_config_falls_back_to_reference():
     generator = WorkloadGenerator(_config(cluster.name, 2))
     runner = WorkloadRunner(cluster=cluster, seed=2, cost_model=TweakedModel())
     assert not runner.batched_supported
-    log = runner.run_days(generator, [1])
+    assert runner.last_run_used_batched is None
+    with pytest.warns(RuntimeWarning, match="falling back to the scalar"):
+        log = runner.run_days(generator, [1])
     assert len(log) > 0
     assert runner._skeleton_planner is None
+    assert runner.last_run_used_batched is False
+
+
+def test_stock_config_reports_batched_path():
+    """The stock configuration takes the batched engine, silently."""
+    import warnings
+
+    cluster = DEFAULT_CLUSTERS[0]
+    generator = WorkloadGenerator(_config(cluster.name, seed=3))
+    runner = WorkloadRunner(cluster=cluster, seed=3)
+    assert runner.batched_supported
+    assert runner.last_run_used_batched is None
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning here is a regression
+        log = runner.run_days(generator, [1])
+    assert len(log) > 0
+    assert runner.last_run_used_batched is True
+    # A direct reference run does not warn and does not claim the flag.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        reference = runner.run_days_reference(generator, [1])
+    assert runner.last_run_used_batched is True
+    assert len(reference) == len(log)

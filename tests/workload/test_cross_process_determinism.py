@@ -83,3 +83,83 @@ def test_batched_and_reference_agree_across_hash_seeds():
         "batched engine and scalar reference diverged across processes "
         "with different PYTHONHASHSEED values"
     )
+
+
+#: Trains a tiny Cleo on a 3-day cluster-4 workload, then re-plans the test
+#: day's jobs with learned costs + partition exploration through either the
+#: batched frontier-pricing path or the retained scalar planner
+#: (``{batched}``), and fingerprints everything a plan-choice divergence
+#: would perturb: shapes, partition counts, estimated costs, candidate
+#: counts.
+_PLAN_SCRIPT = """
+import hashlib
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.cost_model import CleoCostModel
+from repro.core.trainer import CleoTrainer
+from repro.experiments.shared import cluster_spec, workload_config
+from repro.optimizer.partition import SamplingStrategy
+from repro.optimizer.planner import PlannerConfig, QueryPlanner
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadRunner
+from repro.workload.templates import instantiate
+
+generator = WorkloadGenerator(workload_config("cluster4", "tiny", 0))
+runner = WorkloadRunner(cluster=cluster_spec("cluster4"), seed=0)
+log = runner.run_days(generator, days=[1, 2, 3])
+predictor = CleoTrainer().train(log, individual_days=[1, 2], combined_days=[2])
+planner = QueryPlanner(
+    CleoCostModel(predictor, batched={batched}),
+    CardinalityEstimator(),
+    PlannerConfig(partition_strategy=SamplingStrategy(scheme="geometric")),
+)
+catalog = generator.catalog_for_day(3)
+payload = []
+for job in generator.jobs_for_day(3):
+    planner.jitter_salt = job.job_id
+    planned = planner.plan(instantiate(job, catalog))
+    payload.append(
+        (
+            job.job_id,
+            [(op.op_type.value, op.partition_count) for op in planned.plan.walk()],
+            planned.estimated_cost,
+            planned.candidates_considered,
+        )
+    )
+print(hashlib.sha256(repr(payload).encode()).hexdigest())
+"""
+
+
+def _plan_with_hash_seed(hash_seed: str, batched: bool) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _PLAN_SCRIPT.format(batched=batched)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_batched_learned_planning_identical_across_hash_seeds():
+    """Batched learned-cost planning is hash-seed independent."""
+    digest_a = _plan_with_hash_seed("0", batched=True)
+    digest_b = _plan_with_hash_seed("42", batched=True)
+    assert digest_a == digest_b, (
+        "batched learned-cost planning chose different plans under "
+        "different PYTHONHASHSEED values - some set/dict iteration order "
+        "is leaking into frontier pricing or sweep decisions"
+    )
+
+
+def test_batched_and_scalar_learned_planning_agree_across_hash_seeds():
+    """Batched and scalar learned-cost planners agree across processes."""
+    batched = _plan_with_hash_seed("13", batched=True)
+    scalar = _plan_with_hash_seed("7", batched=False)
+    assert batched == scalar, (
+        "batched frontier pricing and the scalar predict_operator planner "
+        "diverged across processes with different PYTHONHASHSEED values"
+    )
