@@ -1,0 +1,36 @@
+"""Benchmark: the sharded serving tier under a mixed request load.
+
+Tracks the reproduction's serving-at-scale trajectory (ROADMAP: "heavy
+traffic from millions of users"): a deterministic multi-cluster
+predict/plan stream replayed for several epochs against one single-process
+``CleoService`` per cluster and against the sharded router at 1/2/4
+shards.  Asserts every configuration's merged predictions are bitwise
+identical to the single-process baseline and that scale-out pays: the
+widest multi-shard config (whose fleet-aggregate LRU capacity holds the
+working set a single shard's cache cannot) clears 2x the single-shard
+steady-state throughput.  Drops ``BENCH_serving.json`` under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.serving_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_serving_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, epochs=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_serving.json")
+    assert result["predictions_bitwise_identical"]
+    assert result["multi_shard_speedup"] is not None
+    assert result["multi_shard_speedup"] >= 2.0

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Run the serving load test and write ``BENCH_serving.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py [--scale tiny|small|full]
+        [--clusters cluster1 cluster2] [--seed 0] [--epochs 4]
+        [--shards 1 1 2 4] [--workers 1 4 4 4] [--max-jobs N]
+        [--out BENCH_serving.json]
+
+Drives the deterministic mixed predict/plan request stream through one
+single-process ``CleoService`` per cluster and through the sharded router
+at every ``(--shards[i], --workers[i])`` configuration, checks the merged
+predictions are bitwise identical everywhere, and records throughput,
+p50/p99 latency, and cache hit rates per configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.serving_throughput import (  # noqa: E402
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    parser.add_argument(
+        "--clusters", nargs="+", default=["cluster1", "cluster2"]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 1, 2, 4],
+        help="shard count of each configuration (paired with --workers)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 4, 4, 4],
+        help="worker count of each configuration (paired with --shards)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="cap jobs per cluster (smoke runs)",
+    )
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    if len(args.shards) != len(args.workers):
+        parser.error("--shards and --workers must pair up")
+    result = run_benchmark(
+        scale=args.scale,
+        clusters=tuple(args.clusters),
+        seed=args.seed,
+        epochs=args.epochs,
+        configs=tuple(zip(args.shards, args.workers)),
+        max_jobs_per_cluster=args.max_jobs,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["predictions_bitwise_identical"]:
+        print("ERROR: sharded predictions diverged from the single-process service")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,11 @@ Five commands cover the library's day-to-day loops without writing code:
   counts, and cache hit rates, with optional per-operator explanations;
 * ``experiment`` — regenerate any paper table/figure or ablation by id
   (``--list`` enumerates them), printing the same report the benchmark
-  suite persists.
+  suite persists;
+* ``bench-serving`` — replay the deterministic serving load through the
+  sharded router at each ``--shards``/``--workers`` pairing and write
+  ``BENCH_serving.json`` (throughput, p50/p99 latency, bitwise parity
+  with single-process serving).
 
 Every command is deterministic given ``--seed``.
 """
@@ -246,6 +250,36 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.experiments.serving_throughput import (
+        format_result,
+        run_benchmark,
+        write_result,
+    )
+
+    if len(args.shards) != len(args.workers):
+        print("--shards and --workers must pair up", file=sys.stderr)
+        return 2
+    result = run_benchmark(
+        scale=args.scale,
+        clusters=tuple(args.clusters),
+        seed=args.seed,
+        epochs=args.epochs,
+        configs=tuple(zip(args.shards, args.workers)),
+        max_jobs_per_cluster=args.max_jobs,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["predictions_bitwise_identical"]:
+        print(
+            "ERROR: sharded predictions diverged from the single-process service",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster", default="cluster1", help="cluster name (default: cluster1)")
     parser.add_argument("--tables", type=int, default=8, help="base tables (default: 8)")
@@ -295,6 +329,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale (default: tiny)")
     p_exp.add_argument("--seed", type=int, default=0, help="deterministic seed (default: 0)")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "bench-serving",
+        help="load-test the sharded serving tier and write BENCH_serving.json",
+    )
+    p_serve.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                         help="workload scale (default: small)")
+    p_serve.add_argument("--clusters", nargs="+", default=["cluster1", "cluster2"],
+                         help="clusters to serve (default: cluster1 cluster2)")
+    p_serve.add_argument("--seed", type=int, default=0, help="deterministic seed (default: 0)")
+    p_serve.add_argument("--epochs", type=int, default=4,
+                         help="replay epochs per configuration (default: 4)")
+    p_serve.add_argument("--shards", type=int, nargs="+", default=[1, 1, 2, 4],
+                         help="shard count per configuration (paired with --workers)")
+    p_serve.add_argument("--workers", type=int, nargs="+", default=[1, 4, 4, 4],
+                         help="worker count per configuration (paired with --shards)")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         help="cap jobs per cluster (smoke runs)")
+    p_serve.add_argument("--out", default="BENCH_serving.json",
+                         help="output JSON path (default: BENCH_serving.json)")
+    p_serve.set_defaults(func=cmd_bench_serving)
 
     return parser
 

@@ -147,6 +147,23 @@ class CleoCostModel:
         features = feature_input_for(op, estimator)
         return self.predictor.resource_profile(features, self.service.bundle_for(op))
 
+    def resource_profiles(
+        self, ops: Sequence[PhysicalOp], estimator: CardinalityEstimator
+    ) -> list[ResourceProfile | None]:
+        """Profiles for a whole stage in one packed pass.
+
+        The analytical partition strategy's batched entry: bitwise identical
+        thetas and lookup accounting to a per-op :meth:`resource_profile`
+        loop.  ``batched=False`` retains that scalar loop (the parity
+        baseline).
+        """
+        if not self.batched:
+            return [self.resource_profile(op, estimator) for op in ops]
+        service = self.service
+        inputs = [feature_input_for(op, estimator) for op in ops]
+        bundles = [service.bundle_for(op) for op in ops]
+        return service.resource_profiles(inputs, bundles)
+
     @property
     def lookup_count(self) -> int:
         return self.predictor.lookup_count

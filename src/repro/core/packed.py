@@ -35,17 +35,19 @@ scalar chain).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.config import SPECIFICITY_ORDER, ModelKind
-from repro.core.learned_model import _MAX_PREDICT_SECONDS
+from repro.core.learned_model import _MAX_PREDICT_SECONDS, ResourceProfile
 from repro.core.model_store import SIGNATURE_FIELDS, ModelStore
-from repro.features.featurizer import feature_names
+from repro.features.featurizer import INVERSE_P_FEATURES, feature_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.features.featurizer import FeatureInput
     from repro.features.table import FeatureTable
+    from repro.plan.signatures import SignatureBundle
 
 
 def match_sorted(
@@ -85,6 +87,16 @@ class PackedKindModels:
     intercept: np.ndarray  # (m,)
     y_scale: np.ndarray  # (m,) target scales
     width: int  # d: the kind's feature width
+    #: Raw-space weights/intercepts (`coefficients_raw` replayed at compile
+    #: time), backing the batched resource-profile extraction of Section 5.3.
+    raw_coef: np.ndarray  # (m, d)
+    raw_intercept: np.ndarray  # (m,)
+    #: Feature-column split for theta extraction: ascending indices of the
+    #: 1/P-family features (-> theta_p), the bare "P" feature (-> theta_c),
+    #: and everything else (-> theta_0).
+    inverse_p_columns: tuple[int, ...]
+    partition_columns: tuple[int, ...]
+    other_columns: tuple[int, ...]
 
     def __len__(self) -> int:
         return int(self.signatures.size)
@@ -114,6 +126,31 @@ class PackedKindModels:
         hit = np.zeros(len(self), dtype=bool)
         hit[model_idx] = True
         return int(hit.sum())
+
+    def resource_rows(
+        self, at_one_rows: np.ndarray, model_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(theta_p, theta_c, theta_0)`` per row, from the raw-space fit.
+
+        ``at_one_rows`` are the rows' feature vectors evaluated at P=1
+        (sliced to this kind's width); row ``i`` reads model
+        ``model_idx[i]``.  The accumulation replays
+        :meth:`~repro.core.learned_model.LearnedCostModel.resource_profile`
+        exactly — per accumulator, terms fold in ascending feature-column
+        order — so every theta is bitwise identical to the scalar loop.
+        """
+        raw = self.raw_coef[model_idx]  # (k, d): one gather
+        k = len(model_idx)
+        theta_p = np.zeros(k, dtype=float)
+        theta_c = np.zeros(k, dtype=float)
+        theta_0 = self.raw_intercept[model_idx].copy()
+        for j in self.inverse_p_columns:
+            theta_p += raw[:, j] * at_one_rows[:, j]
+        for j in self.partition_columns:
+            theta_c += raw[:, j]
+        for j in self.other_columns:
+            theta_0 += raw[:, j] * at_one_rows[:, j]
+        return theta_p, theta_c, theta_0
 
 
 @dataclass(frozen=True)
@@ -155,13 +192,38 @@ class PackedModelBank:
                 fused[g, 0] = mean
                 fused[g, 1] = scale
                 fused[g, 2] = coef
+            intercept = np.array([p[3] for p in params], dtype=float)
+            y_scale = np.array([p[4] for p in params], dtype=float)
+            # Raw-space parameters, replaying ElasticNetMSLE.coefficients_raw
+            # op for op (divide then rescale; inner multiply-divide-sum) so
+            # batched resource profiles match the scalar reads bitwise.  The
+            # axis-1 sum over a (m, d) product uses the same pairwise
+            # reduction as each model's own length-d sum.
+            raw_coef = fused[:, 2, :] / fused[:, 1, :] * y_scale[:, None]
+            raw_intercept = (
+                intercept - (fused[:, 2, :] * fused[:, 0, :] / fused[:, 1, :]).sum(axis=1)
+            ) * y_scale
+            names = feature_names(kind.uses_context_features)
             kinds[kind] = PackedKindModels(
                 kind=kind,
                 signatures=signatures,
                 fused=fused,
-                intercept=np.array([p[3] for p in params], dtype=float),
-                y_scale=np.array([p[4] for p in params], dtype=float),
+                intercept=intercept,
+                y_scale=y_scale,
                 width=width,
+                raw_coef=raw_coef,
+                raw_intercept=raw_intercept,
+                inverse_p_columns=tuple(
+                    j for j, name in enumerate(names) if name in INVERSE_P_FEATURES
+                ),
+                partition_columns=tuple(
+                    j for j, name in enumerate(names) if name == "P"
+                ),
+                other_columns=tuple(
+                    j
+                    for j, name in enumerate(names)
+                    if name not in INVERSE_P_FEATURES and name != "P"
+                ),
             )
         return cls(coverage=coverage, kinds=kinds)
 
@@ -234,3 +296,73 @@ def predict_most_specific(
                 n_groups += 1
         remaining[idx] = False
     return values, n_groups, int(remaining.sum())
+
+
+def resource_profiles_most_specific(
+    store: ModelStore,
+    inputs: "Sequence[FeatureInput]",
+    bundles: "Sequence[SignatureBundle]",
+) -> tuple[list[ResourceProfile | None], int]:
+    """Batched Section-5.3 resource profiles via the packed bank.
+
+    For every operator, the most specific covering individual model's
+    ``(theta_p, theta_c, theta_0)`` — or ``None`` where nothing covers it —
+    bitwise identical to the scalar ``store.most_specific(bundle) ->
+    model.resource_profile(features)`` chain, but with the raw-space
+    coefficient reads vectorized over all rows of a kind (the last per-op
+    Python loop the analytical partition strategy used to run).
+
+    Returns ``(profiles, n_covered)``; callers charge ``n_covered`` rows of
+    lookup accounting (the scalar path charges five lookups per *covered*
+    profile and none for uncovered operators).
+    """
+    from repro.features.table import FeatureTable
+
+    if len(inputs) != len(bundles):
+        raise ValueError("inputs and bundles must align")
+    bank = store.packed_bank()
+    n = len(inputs)
+    profiles: list[ResourceProfile | None] = [None] * n
+    if n == 0:
+        return profiles, 0
+    # Every theta read evaluates the features at P=1 (the scalar path's
+    # `with_partition_count(1.0)`); feature_vector is a 1-row expand_columns,
+    # so these matrix rows are bitwise identical to the scalar vectors.
+    table = FeatureTable.from_inputs(
+        [features.with_partition_count(1.0) for features in inputs], bundles
+    )
+    full_matrix = table.feature_matrix(include_context=True)
+    remaining = np.ones(n, dtype=bool)
+    n_covered = 0
+    for kind in SPECIFICITY_ORDER:
+        if not remaining.any():
+            break
+        if bank.coverage[kind].size == 0:
+            continue
+        column = table.signature_column(SIGNATURE_FIELDS[kind])
+        mask, position = bank.covered(kind, column)
+        mask &= remaining
+        if not mask.any():
+            continue
+        idx = np.flatnonzero(mask)
+        packed = bank.kinds[kind]
+        if packed is not None:
+            theta_p, theta_c, theta_0 = packed.resource_rows(
+                full_matrix[idx, : packed.width], position[idx]
+            )
+            for r, row in enumerate(idx):
+                profiles[row] = ResourceProfile(
+                    theta_p=float(theta_p[r]),
+                    theta_c=float(theta_c[r]),
+                    theta_0=float(theta_0[r]),
+                )
+        else:
+            # Unpackable kind: per-row object-graph reads (an unfitted model
+            # raises here, exactly like the scalar chain).
+            for row in idx:
+                model = store.get(kind, int(column[row]))
+                assert model is not None
+                profiles[row] = model.resource_profile(inputs[row])
+        n_covered += len(idx)
+        remaining[idx] = False
+    return profiles, n_covered

@@ -144,6 +144,30 @@ class FeatureTable:
             is_adhoc=is_adhoc,
         )
 
+    def take(self, indices: np.ndarray) -> "FeatureTable":
+        """A new table holding the given rows, in the given order.
+
+        Used by the sharded serving tier to split one request table into
+        per-shard sub-tables: every column (features, signatures, outcomes)
+        is gathered with one fancy index, so sub-table rows are the exact
+        arrays of the parent rows.  Matrix memoization is per table, so the
+        sub-table expands its own feature matrix on first use.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        feature_cols = {
+            name: getattr(self, name)[indices] for name in COLUMN_NAMES
+        }
+        return FeatureTable(
+            **feature_cols,
+            signatures={
+                name: column[indices] for name, column in self.signatures.items()
+            },
+            latency=self.latency[indices] if len(self.latency) else self.latency,
+            day=self.day[indices] if len(self.day) else self.day,
+            cluster=tuple(self.cluster[i] for i in indices) if self.cluster else (),
+            is_adhoc=self.is_adhoc[indices] if len(self.is_adhoc) else self.is_adhoc,
+        )
+
     # ------------------------------------------------------------------ #
     # Columnar views
     # ------------------------------------------------------------------ #

@@ -253,8 +253,15 @@ class AnalyticalStrategy:
                 " (CleoCostModel)"
             )
         context = ResourceContext()
-        for op in stage_ops:
-            profile = cost_model.resource_profile(op, estimator)
+        if hasattr(cost_model, "resource_profiles") and getattr(
+            cost_model, "supports_batched_pricing", False
+        ):
+            # One packed pass for the whole stage (bitwise identical to the
+            # per-op loop below, which batched=False cost models retain).
+            profiles = cost_model.resource_profiles(stage_ops, estimator)
+        else:
+            profiles = [cost_model.resource_profile(op, estimator) for op in stage_ops]
+        for profile in profiles:
             if profile is not None:
                 context.attach(profile)
         if not context.profiles:

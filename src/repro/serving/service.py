@@ -33,6 +33,7 @@ Serving-grade mechanics:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -42,7 +43,7 @@ import numpy as np
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.core.combined import build_meta_matrix, build_meta_matrix_reference
 from repro.core.config import CleoConfig, ModelKind
-from repro.core.packed import predict_most_specific
+from repro.core.packed import predict_most_specific, resource_profiles_most_specific
 from repro.core.learned_model import ResourceProfile
 from repro.core.lifecycle import ModelRegistry, ModelVersion
 from repro.core.model_store import ModelStore, signature_for
@@ -124,6 +125,23 @@ class ServiceStats:
     def hit_rate(self) -> float:
         return self.cache.hit_rate
 
+    @classmethod
+    def aggregate(cls, parts: "Iterable[ServiceStats]") -> "ServiceStats":
+        """Counter-wise sum across services (the sharded tier's merged view)."""
+        parts = list(parts)
+        return cls(
+            predictions=sum(p.predictions for p in parts),
+            batches=sum(p.batches for p in parts),
+            batched_predictions=sum(p.batched_predictions for p in parts),
+            scalar_predictions=sum(p.scalar_predictions for p in parts),
+            cache=CacheStats.aggregate(p.cache for p in parts),
+            bundle_cache=CacheStats.aggregate(p.bundle_cache for p in parts),
+            individual_model_calls=sum(p.individual_model_calls for p in parts),
+            combined_model_calls=sum(p.combined_model_calls for p in parts),
+            fallback_predictions=sum(p.fallback_predictions for p in parts),
+            in_batch_reuses=sum(p.in_batch_reuses for p in parts),
+        )
+
     def describe(self) -> str:
         return (
             f"{self.predictions} predictions "
@@ -164,6 +182,11 @@ class CleoService:
         self._bundle_cache = LRUCache(bundle_cache_size)
         self._predictor = predictor
         self.registry = registry or ModelRegistry()
+        # Guards every serving counter (including the predictor's
+        # lookup_count, whose `+=` is a read-modify-write): the sharded tier
+        # fans batches across threads, and torn increments would corrupt the
+        # aggregated ServiceStats.  Never held across model computation.
+        self._stats_lock = threading.Lock()
         self._batches = 0
         self._batched_predictions = 0
         self._scalar_predictions = 0
@@ -249,13 +272,16 @@ class CleoService:
         key = (features, signatures)
         cached = self._prediction_cache.get(key)
         if cached is not None:
-            self._scalar_predictions += 1
+            with self._stats_lock:
+                self._scalar_predictions += 1
             return cached
         value = self.predictor.predict(features, signatures)
-        if self._is_fallback(signatures):
-            self._fallbacks += 1
+        is_fallback = self._is_fallback(signatures)
         self._prediction_cache.put(key, value)
-        self._scalar_predictions += 1
+        with self._stats_lock:
+            self._scalar_predictions += 1
+            if is_fallback:
+                self._fallbacks += 1
         return value
 
     def predict_record(self, record: OperatorRecord) -> float:
@@ -265,6 +291,27 @@ class CleoService:
         self, features: FeatureInput, signatures: SignatureBundle
     ) -> ResourceProfile | None:
         return self.predictor.resource_profile(features, signatures)
+
+    def resource_profiles(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> list[ResourceProfile | None]:
+        """Batched Section-5.3 resource profiles, via the packed bank.
+
+        Bitwise identical to a per-operator :meth:`resource_profile` loop
+        (``None`` where no individual model covers the operator), with the
+        same lookup accounting: five lookups per covered profile, none for
+        uncovered operators.
+        """
+        profiles, n_covered = resource_profiles_most_specific(
+            self.predictor.store, inputs, bundles
+        )
+        with self._stats_lock:
+            self.predictor.lookup_count += (
+                n_covered * CleoPredictor.LOOKUPS_PER_PREDICTION
+            )
+        return profiles
 
     def covers(self, kind: ModelKind, signatures: SignatureBundle) -> bool:
         return self.predictor.covers(kind, signatures)
@@ -306,17 +353,16 @@ class CleoService:
         self, requests: Sequence[PredictionRequest], reference: bool
     ) -> np.ndarray:
         out = np.empty(len(requests), dtype=float)
-        self._batches += 1
-        self._batched_predictions += len(requests)
 
         pending: dict[tuple[FeatureInput, SignatureBundle], list[int]] = {}
         uncached = 0
+        reuses = 0
         for i, request in enumerate(requests):
             key = request.key
             indices = pending.get(key)
             if indices is not None:  # duplicate within this batch
                 indices.append(i)
-                self._batch_reuses += 1
+                reuses += 1
                 uncached += 1
                 continue
             cached = self._prediction_cache.get(key)
@@ -334,7 +380,13 @@ class CleoService:
         # turns in-batch duplicates into LRU hits (uncharged), while the
         # batch computes them once and reuses the value without a cache
         # round-trip (charged per request).
-        self.predictor.lookup_count += uncached * CleoPredictor.LOOKUPS_PER_PREDICTION
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_predictions += len(requests)
+            self._batch_reuses += reuses
+            self.predictor.lookup_count += (
+                uncached * CleoPredictor.LOOKUPS_PER_PREDICTION
+            )
 
         if pending:
             keys = list(pending)
@@ -379,25 +431,32 @@ class CleoService:
         if not table.has_signatures:
             raise ValueError("predict_table requires a table with signature columns")
         n = len(table)
-        self._batches += 1
-        self._batched_predictions += n
         predictor = self._predictor
-        predictor.lookup_count += n * CleoPredictor.LOOKUPS_PER_PREDICTION
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_predictions += n
+            predictor.lookup_count += n * CleoPredictor.LOOKUPS_PER_PREDICTION
         if n == 0:
             return np.empty(0, dtype=float)
         combined = predictor.combined
         if combined is not None and combined.is_fitted:
+            calls = 0
+
             def count_call() -> None:
-                self._individual_calls += 1
+                nonlocal calls
+                calls += 1
 
             rows = build_meta_matrix(predictor.store, table, on_model_call=count_call)
-            self._combined_calls += 1
+            with self._stats_lock:
+                self._individual_calls += calls
+                self._combined_calls += 1
             return combined.predict_rows(rows)
         values, n_groups, n_fallbacks = predict_most_specific(
             predictor.store, table, predictor.fallback_cost
         )
-        self._individual_calls += n_groups
-        self._fallbacks += n_fallbacks
+        with self._stats_lock:
+            self._individual_calls += n_groups
+            self._fallbacks += n_fallbacks
         return values
 
     def predict_inputs(
@@ -449,25 +508,29 @@ class CleoService:
         combined = predictor.combined
         if combined is not None and combined.is_fitted:
             rows = self._meta_rows(store, features, bundles, reference)
-            self._combined_calls += 1
+            with self._stats_lock:
+                self._combined_calls += 1
             if reference:
                 return combined.predict_rows_reference(rows)
             return combined.predict_rows(rows)
 
         values = np.full(n, predictor.fallback_cost, dtype=float)
         groups: dict[tuple[ModelKind, int], list[int]] = {}
+        fallback_requests = 0
         for i, bundle in enumerate(bundles):
             best = store.most_specific(bundle)
             if best is None:
-                self._fallbacks += request_counts[i]
+                fallback_requests += request_counts[i]
                 continue
             kind, _ = best
             groups.setdefault((kind, signature_for(kind, bundle)), []).append(i)
         for (kind, signature), indices in groups.items():
             model = store.get(kind, signature)
             assert model is not None
-            self._individual_calls += 1
             values[indices] = model.predict_many([features[i] for i in indices])
+        with self._stats_lock:
+            self._fallbacks += fallback_requests
+            self._individual_calls += len(groups)
         return values
 
     def _meta_rows(
@@ -487,12 +550,18 @@ class CleoService:
         test_batch_bitwise_identical_to_sequential``.
         """
 
+        calls = 0
+
         def count_call() -> None:
-            self._individual_calls += 1
+            nonlocal calls
+            calls += 1
 
         table = FeatureTable.from_inputs(features, bundles)
         builder = build_meta_matrix_reference if reference else build_meta_matrix
-        return builder(store, table, on_model_call=count_call)
+        rows = builder(store, table, on_model_call=count_call)
+        with self._stats_lock:
+            self._individual_calls += calls
+        return rows
 
     # ------------------------------------------------------------------ #
     # Operator / plan entry points (optimizer-facing)
@@ -619,6 +688,11 @@ class CleoService:
         return self._prediction_cache.capacity > 0
 
     @property
+    def lookup_count(self) -> int:
+        """Model lookups charged by the served predictor (Section 6.5)."""
+        return self.predictor.lookup_count
+
+    @property
     def store(self) -> ModelStore:
         return self.predictor.store
 
@@ -631,28 +705,31 @@ class CleoService:
         return self.predictor.memory_bytes
 
     def stats(self) -> ServiceStats:
-        return ServiceStats(
-            predictions=self._batched_predictions + self._scalar_predictions,
-            batches=self._batches,
-            batched_predictions=self._batched_predictions,
-            scalar_predictions=self._scalar_predictions,
-            cache=self._prediction_cache.stats(),
-            bundle_cache=self._bundle_cache.stats(),
-            individual_model_calls=self._individual_calls,
-            combined_model_calls=self._combined_calls,
-            fallback_predictions=self._fallbacks,
-            in_batch_reuses=self._batch_reuses,
-        )
+        """An atomic snapshot of the serving counters."""
+        with self._stats_lock:
+            return ServiceStats(
+                predictions=self._batched_predictions + self._scalar_predictions,
+                batches=self._batches,
+                batched_predictions=self._batched_predictions,
+                scalar_predictions=self._scalar_predictions,
+                cache=self._prediction_cache.stats(),
+                bundle_cache=self._bundle_cache.stats(),
+                individual_model_calls=self._individual_calls,
+                combined_model_calls=self._combined_calls,
+                fallback_predictions=self._fallbacks,
+                in_batch_reuses=self._batch_reuses,
+            )
 
     def reset_stats(self) -> None:
         """Zero every counter (cache contents are kept)."""
-        self._batches = 0
-        self._batched_predictions = 0
-        self._scalar_predictions = 0
-        self._individual_calls = 0
-        self._combined_calls = 0
-        self._fallbacks = 0
-        self._batch_reuses = 0
+        with self._stats_lock:
+            self._batches = 0
+            self._batched_predictions = 0
+            self._scalar_predictions = 0
+            self._individual_calls = 0
+            self._combined_calls = 0
+            self._fallbacks = 0
+            self._batch_reuses = 0
         self._prediction_cache.reset_stats()
         self._bundle_cache.reset_stats()
 

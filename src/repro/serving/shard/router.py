@@ -1,0 +1,523 @@
+"""``ShardedCleoRouter``: the façade over a fleet of per-shard services.
+
+One router serves every cluster's models behind a single surface, the way
+the paper's optimizer-facing deployment does (Section 5.1), but scaled out:
+
+* **Sharding** — each shard owns one :class:`~repro.serving.service.
+  CleoService` per cluster: its own prediction/bundle LRUs, its own
+  counters, its own :class:`~repro.core.predictor.CleoPredictor` view (own
+  lookup accounting).  All shards of a cluster *share* the read-only model
+  bank — the :class:`~repro.core.model_store.ModelStore`, the combined
+  ensemble, and the :class:`~repro.core.packed.PackedModelBank` compiled
+  once in the constructor — so shards share nothing mutable and a shard
+  adds only cache + counter memory, exactly like a scale-out replica that
+  brings its own cache tier to the same published model artifact.
+* **Routing** — requests route by a consistent hash of ``(cluster,
+  approximate subgraph signature)`` over :class:`~repro.serving.shard.
+  routing.HashRing`; every operator of a template lands on the same shard,
+  so per-shard LRUs stay disjoint and in-batch deduplication keeps working
+  (identical requests always share a shard).
+* **Fan-out** — batch entry points split their rows by owning shard, run
+  the per-shard sub-batches on a thread pool (``n_workers``), and merge
+  results back **in input order**.  Every per-row computation in the packed
+  runtime is batch-size invariant, so the merged predictions are bitwise
+  identical to one single-process :class:`~repro.serving.service.
+  CleoService` pricing the whole batch — the property the serving load
+  test asserts as ``predictions_bitwise_identical``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+from typing import Callable, Iterator, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.learned_model import ResourceProfile
+from repro.core.predictor import CleoPredictor
+from repro.cost.interface import CostExplanation, CostModel
+from repro.features.extract import feature_input_for
+from repro.features.featurizer import FeatureInput
+from repro.features.table import FeatureTable
+from repro.plan.physical import PhysicalOp
+from repro.plan.signatures import SignatureBundle
+from repro.serving.cache import LRUCache
+from repro.serving.service import (
+    DEFAULT_BUNDLE_CACHE,
+    DEFAULT_PREDICTION_CACHE,
+    CleoService,
+    PredictionRequest,
+    ServiceStats,
+)
+from repro.serving.shard.routing import DEFAULT_REPLICAS, HashRing, route_key
+
+_T = TypeVar("_T")
+
+
+class ShardedCleoRouter:
+    """Routes prediction traffic for many clusters across service shards.
+
+    Args:
+        predictors: ``cluster name -> CleoPredictor`` (or ``CleoService``,
+            whose predictor is adopted) — the model bank of each cluster.
+        n_shards: number of service shards.
+        n_workers: thread-pool width for shard fan-out; ``1`` runs shards
+            inline (still sharded caches, no threads).
+        replicas: virtual nodes per shard on the hash ring.
+        prediction_cache_size: **per-shard** prediction-LRU capacity (each
+            shard node brings its own cache memory; total capacity grows
+            with the fleet).  ``0`` disables caching on every shard.
+        bundle_cache_size: per-shard (and per-client) bundle-LRU capacity.
+    """
+
+    def __init__(
+        self,
+        predictors: "Mapping[str, CleoPredictor | CleoService]",
+        n_shards: int = 1,
+        n_workers: int = 1,
+        replicas: int = DEFAULT_REPLICAS,
+        prediction_cache_size: int = DEFAULT_PREDICTION_CACHE,
+        bundle_cache_size: int = DEFAULT_BUNDLE_CACHE,
+    ) -> None:
+        if not predictors:
+            raise ValueError("a router needs at least one cluster")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.ring = HashRing(n_shards, replicas=replicas)
+        self.n_workers = int(n_workers)
+        self._bundle_cache_size = int(bundle_cache_size)
+        self._base: dict[str, CleoPredictor] = {}
+        for cluster, predictor in predictors.items():
+            if isinstance(predictor, CleoService):
+                predictor = predictor.predictor
+            self._base[cluster] = predictor
+            # Compile the shared read-only runtime up front: the packed bank
+            # and the combined model's flat forest are otherwise compiled
+            # lazily on first use, and a lazy compile under concurrent
+            # fan-out would race (and duplicate) that work.
+            predictor.store.packed_bank()
+            combined = predictor.combined
+            if combined is not None and combined.is_fitted:
+                warm = getattr(combined.regressor, "_flat_forest", None)
+                if warm is not None:
+                    warm()
+        #: shard index -> cluster name -> that shard's service.
+        self._shards: list[dict[str, CleoService]] = [
+            {
+                cluster: CleoService(
+                    CleoPredictor(
+                        store=base.store,
+                        combined=base.combined,
+                        fallback_cost=base.fallback_cost,
+                    ),
+                    prediction_cache_size=prediction_cache_size,
+                    bundle_cache_size=bundle_cache_size,
+                )
+                for cluster, base in self._base.items()
+            }
+            for _ in range(self.ring.n_shards)
+        ]
+        self._route_cache: dict[tuple[str, int], int] = {}
+        self._route_lock = Lock()
+        self._clients: dict[str, ClusterClient] = {}
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="cleo-shard"
+            )
+            if self.n_workers > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clusters(self) -> tuple[str, ...]:
+        return tuple(self._base)
+
+    @property
+    def n_shards(self) -> int:
+        return self.ring.n_shards
+
+    def service_for(self, cluster: str, shard: int) -> CleoService:
+        """One shard's service for a cluster (tests and introspection)."""
+        return self._shards[shard][self._check_cluster(cluster)]
+
+    def shard_for(self, cluster: str, template_signature: int) -> int:
+        """Owning shard of a ``(cluster, template)`` pair, memoized."""
+        self._check_cluster(cluster)
+        key = (cluster, int(template_signature))
+        shard = self._route_cache.get(key)
+        if shard is None:
+            shard = self.ring.shard_for_key(route_key(*key))
+            with self._route_lock:
+                self._route_cache[key] = shard
+        return shard
+
+    def _check_cluster(self, cluster: str) -> str:
+        if cluster not in self._base:
+            raise KeyError(f"router serves {sorted(self._base)}, not {cluster!r}")
+        return cluster
+
+    def _default_cluster(self, cluster: str | None) -> str:
+        if cluster is not None:
+            return self._check_cluster(cluster)
+        if len(self._base) == 1:
+            return next(iter(self._base))
+        raise ValueError(
+            f"router serves several clusters {sorted(self._base)}; pass one"
+        )
+
+    def _shards_for_column(self, cluster: str, approx: np.ndarray) -> np.ndarray:
+        """Owning shard of every row, from the approx-signature column.
+
+        Hashes each *unique* template once (memoized across calls), then
+        maps rows back with one ``searchsorted`` — recurring workloads
+        route whole tables without re-hashing.
+        """
+        uniques, inverse = np.unique(approx, return_inverse=True)
+        owners = np.array(
+            [self.shard_for(cluster, int(u)) for u in uniques], dtype=np.int64
+        )
+        return owners[inverse]
+
+    # ------------------------------------------------------------------ #
+    # Fan-out
+    # ------------------------------------------------------------------ #
+
+    def _fan_out(self, tasks: "Sequence[Callable[[], _T]]") -> list[_T]:
+        """Run shard tasks, on the pool when it exists and helps."""
+        if self._executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        return [f.result() for f in [self._executor.submit(t) for t in tasks]]
+
+    # ------------------------------------------------------------------ #
+    # Prediction entry points (cluster-scoped)
+    # ------------------------------------------------------------------ #
+
+    def predict(
+        self, cluster: str, features: FeatureInput, signatures: SignatureBundle
+    ) -> float:
+        """One operator instance, served by its owning shard."""
+        shard = self.shard_for(cluster, signatures.approx)
+        return self._shards[shard][cluster].predict(features, signatures)
+
+    def predict_batch(
+        self, cluster: str, requests: Sequence[PredictionRequest]
+    ) -> np.ndarray:
+        """A request batch, split by owning shard and merged in input order.
+
+        Identical requests share a template, hence a shard, so the
+        per-shard in-batch deduplication of
+        :meth:`~repro.serving.service.CleoService.predict_batch` sees every
+        duplicate pair a single service would.
+        """
+        self._check_cluster(cluster)
+        groups = self._group_requests(cluster, requests)
+        out = np.empty(len(requests), dtype=float)
+
+        def price(shard: int, idx: list[int]) -> np.ndarray:
+            return self._shards[shard][cluster].predict_batch(
+                [requests[i] for i in idx]
+            )
+
+        tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in groups]
+        for (_, idx), values in zip(groups, self._fan_out(tasks)):
+            out[np.asarray(idx, dtype=np.int64)] = values
+        return out
+
+    def predict_inputs(
+        self,
+        cluster: str,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> np.ndarray:
+        """Parallel (features, signatures) sequences, sharded and merged."""
+        if len(inputs) != len(bundles):
+            raise ValueError("inputs and bundles must align")
+        self._check_cluster(cluster)
+        groups = self._group_bundles(cluster, bundles)
+        out = np.empty(len(inputs), dtype=float)
+
+        def price(shard: int, idx: list[int]) -> np.ndarray:
+            return self._shards[shard][cluster].predict_inputs(
+                [inputs[i] for i in idx], [bundles[i] for i in idx]
+            )
+
+        tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in groups]
+        for (_, idx), values in zip(groups, self._fan_out(tasks)):
+            out[np.asarray(idx, dtype=np.int64)] = values
+        return out
+
+    def predict_table(self, cluster: str, table: FeatureTable) -> np.ndarray:
+        """A whole signature-bearing table, split by shard with array ops."""
+        self._check_cluster(cluster)
+        if not table.has_signatures:
+            raise ValueError("predict_table requires a table with signature columns")
+        n = len(table)
+        if n == 0:
+            return self._shards[0][cluster].predict_table(table)
+        owners = self._shards_for_column(cluster, table.signature_column("approx"))
+        shards = np.unique(owners)
+        if len(shards) == 1:
+            return self._shards[int(shards[0])][cluster].predict_table(table)
+        splits = [(int(s), np.flatnonzero(owners == s)) for s in shards]
+
+        def price(shard: int, idx: np.ndarray) -> np.ndarray:
+            return self._shards[shard][cluster].predict_table(table.take(idx))
+
+        out = np.empty(n, dtype=float)
+        tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in splits]
+        for (_, idx), values in zip(splits, self._fan_out(tasks)):
+            out[idx] = values
+        return out
+
+    def resource_profile(
+        self, cluster: str, features: FeatureInput, signatures: SignatureBundle
+    ) -> ResourceProfile | None:
+        shard = self.shard_for(cluster, signatures.approx)
+        return self._shards[shard][cluster].resource_profile(features, signatures)
+
+    def resource_profiles(
+        self,
+        cluster: str,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> list[ResourceProfile | None]:
+        """Batched Section-5.3 profiles, sharded and merged in input order."""
+        if len(inputs) != len(bundles):
+            raise ValueError("inputs and bundles must align")
+        self._check_cluster(cluster)
+        groups = self._group_bundles(cluster, bundles)
+        out: list[ResourceProfile | None] = [None] * len(inputs)
+
+        def profile(shard: int, idx: list[int]) -> list[ResourceProfile | None]:
+            return self._shards[shard][cluster].resource_profiles(
+                [inputs[i] for i in idx], [bundles[i] for i in idx]
+            )
+
+        tasks = [(lambda s=shard, i=idx: profile(s, i)) for shard, idx in groups]
+        for (_, idx), profiles in zip(groups, self._fan_out(tasks)):
+            for i, value in zip(idx, profiles):
+                out[i] = value
+        return out
+
+    def explain(
+        self, cluster: str, features: FeatureInput, signatures: SignatureBundle
+    ) -> CostExplanation:
+        shard = self.shard_for(cluster, signatures.approx)
+        return self._shards[shard][cluster].explain(features, signatures)
+
+    def _group_requests(
+        self, cluster: str, requests: Sequence[PredictionRequest]
+    ) -> list[tuple[int, list[int]]]:
+        return self._group_bundles(cluster, [r.signatures for r in requests])
+
+    def _group_bundles(
+        self, cluster: str, bundles: Sequence[SignatureBundle]
+    ) -> list[tuple[int, list[int]]]:
+        """Input indices per owning shard, shards in ascending order."""
+        groups: dict[int, list[int]] = {}
+        for i, bundle in enumerate(bundles):
+            groups.setdefault(self.shard_for(cluster, bundle.approx), []).append(i)
+        return sorted(groups.items())
+
+    # ------------------------------------------------------------------ #
+    # Optimizer-facing clients
+    # ------------------------------------------------------------------ #
+
+    def client(self, cluster: str | None = None) -> "ClusterClient":
+        """A CleoService-shaped view of this router bound to one cluster.
+
+        Memoized per cluster so repeated plan pricing reuses one bundle
+        cache.
+        """
+        cluster = self._default_cluster(cluster)
+        client = self._clients.get(cluster)
+        if client is None:
+            client = self._clients[cluster] = ClusterClient(self, cluster)
+        return client
+
+    def predict_plan(
+        self, cluster: str, root: PhysicalOp, estimator: CardinalityEstimator
+    ) -> float:
+        """Total plan cost through the cluster's client (the load-test path)."""
+        return self.client(cluster).predict_plan(root, estimator)
+
+    def cost_model(self, cluster: str | None = None) -> CostModel:
+        """An optimizer-facing cost model that prices through the fleet."""
+        return self.client(cluster).cost_model()
+
+    # ------------------------------------------------------------------ #
+    # Stats and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _services(self) -> Iterator[CleoService]:
+        for shard in self._shards:
+            yield from shard.values()
+
+    def stats(self) -> ServiceStats:
+        """Aggregated counters across every shard and cluster."""
+        return ServiceStats.aggregate(s.stats() for s in self._services())
+
+    def stats_for(self, cluster: str) -> ServiceStats:
+        self._check_cluster(cluster)
+        return ServiceStats.aggregate(
+            shard[cluster].stats() for shard in self._shards
+        )
+
+    def shard_stats(self) -> list[ServiceStats]:
+        """Per-shard aggregated counters (load-balance introspection)."""
+        return [
+            ServiceStats.aggregate(s.stats() for s in shard.values())
+            for shard in self._shards
+        ]
+
+    @property
+    def lookup_count(self) -> int:
+        """Model lookups across the fleet plus the base predictors."""
+        total = sum(s.predictor.lookup_count for s in self._services())
+        return total + sum(p.lookup_count for p in self._base.values())
+
+    def reset_stats(self) -> None:
+        for service in self._services():
+            service.reset_stats()
+            service.predictor.reset_lookup_count()
+
+    def clear_caches(self) -> None:
+        for service in self._services():
+            service.clear_caches()
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedCleoRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        return (
+            f"ShardedCleoRouter({len(self._base)} clusters x "
+            f"{self.ring.n_shards} shards, {self.n_workers} workers)"
+        )
+
+
+class ClusterClient:
+    """The :class:`~repro.serving.service.CleoService` surface, one cluster.
+
+    What :class:`~repro.core.cost_model.CleoCostModel` (and the planner
+    behind it) needs from a service, re-pointed at the router: scalar and
+    batched prediction, bundle memoization, plan pricing with the exact
+    left-fold total, resource profiles, and explanations.  Bundles are
+    memoized here — routing needs the bundle *before* a shard is known.
+    """
+
+    def __init__(self, router: ShardedCleoRouter, cluster: str) -> None:
+        self.router = router
+        self.cluster = cluster
+        self._bundle_cache = LRUCache(router._bundle_cache_size)
+
+    @property
+    def predictor(self) -> CleoPredictor:
+        """The cluster's base (unsharded) predictor view."""
+        return self.router._base[self.cluster]
+
+    @property
+    def prediction_cache_enabled(self) -> bool:
+        return self.router._shards[0][self.cluster].prediction_cache_enabled
+
+    @property
+    def lookup_count(self) -> int:
+        return self.router.lookup_count
+
+    def bundle_for(self, op: PhysicalOp) -> SignatureBundle:
+        entry = self._bundle_cache.get(id(op))
+        if entry is not None and entry[0] is op:
+            return entry[1]
+        bundle = SignatureBundle.of(op)
+        self._bundle_cache.put(id(op), (op, bundle))
+        return bundle
+
+    def predict(self, features: FeatureInput, signatures: SignatureBundle) -> float:
+        return self.router.predict(self.cluster, features, signatures)
+
+    def predict_batch(self, requests: Sequence[PredictionRequest]) -> np.ndarray:
+        return self.router.predict_batch(self.cluster, requests)
+
+    def predict_inputs(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> np.ndarray:
+        return self.router.predict_inputs(self.cluster, inputs, bundles)
+
+    def predict_table(self, table: FeatureTable) -> np.ndarray:
+        return self.router.predict_table(self.cluster, table)
+
+    def resource_profile(
+        self, features: FeatureInput, signatures: SignatureBundle
+    ) -> ResourceProfile | None:
+        return self.router.resource_profile(self.cluster, features, signatures)
+
+    def resource_profiles(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+    ) -> list[ResourceProfile | None]:
+        return self.router.resource_profiles(self.cluster, inputs, bundles)
+
+    def predict_operator(
+        self,
+        op: PhysicalOp,
+        estimator: CardinalityEstimator,
+        partition_override: int | None = None,
+    ) -> float:
+        features = feature_input_for(op, estimator, partition_override)
+        return self.predict(features, self.bundle_for(op))
+
+    def predict_plan(self, root: PhysicalOp, estimator: CardinalityEstimator) -> float:
+        """Total plan cost through the sharded batch path.
+
+        Same request construction and left-fold summation as
+        :meth:`~repro.serving.service.CleoService.predict_plan`, so plan
+        totals are bitwise identical to the single-process service.
+        """
+        requests = [
+            PredictionRequest(feature_input_for(op, estimator), self.bundle_for(op))
+            for op in root.walk()
+        ]
+        total = 0.0
+        for value in self.predict_batch(requests):
+            total = total + float(value)
+        return total
+
+    def explain(
+        self, features: FeatureInput, signatures: SignatureBundle
+    ) -> CostExplanation:
+        return self.router.explain(self.cluster, features, signatures)
+
+    def explain_operator(
+        self, op: PhysicalOp, estimator: CardinalityEstimator
+    ) -> CostExplanation:
+        features = feature_input_for(op, estimator)
+        return self.explain(features, self.bundle_for(op))
+
+    def cost_model(self) -> CostModel:
+        from repro.core.cost_model import CleoCostModel
+
+        return CleoCostModel(self.predictor, service=self)
+
+    def clear_caches(self) -> None:
+        self._bundle_cache.clear()
+        self.router.clear_caches()
+
+    def describe(self) -> str:
+        return f"ClusterClient({self.cluster!r} via {self.router.describe()})"

@@ -1,0 +1,95 @@
+"""Batched Section-5.3 resource profiles vs the per-model scalar path.
+
+``resource_profiles_most_specific`` replays each packed model's raw-space
+coefficients into ``(theta_p, theta_c, theta_0)`` with the same reduction
+order as ``LearnedCostModel.resource_profile``, so the analytical partition
+strategy prices whole stages through the packed bank **bitwise identically**
+to the per-operator loop — including the 5-lookups-per-covered-row
+accounting the paper's Figure 8c tracks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SPECIFICITY_ORDER
+from repro.core.packed import resource_profiles_most_specific
+from repro.core.predictor import CleoPredictor
+from repro.serving import CleoService, PredictionRequest
+
+
+@pytest.fixture(scope="module")
+def rows(tiny_bundle):
+    records = list(tiny_bundle.log.operator_records())[:400]
+    requests = [PredictionRequest.for_record(r) for r in records]
+    return [r.features for r in requests], [r.signatures for r in requests]
+
+
+def _scalar_profiles(store, inputs, bundles):
+    """The retained reference: most-specific model, per-operator method."""
+    profiles = []
+    for features, signatures in zip(inputs, bundles):
+        profile = None
+        for kind in SPECIFICITY_ORDER:
+            model = store.lookup(kind, signatures)
+            if model is not None:
+                profile = model.resource_profile(features)
+                break
+        profiles.append(profile)
+    return profiles
+
+
+class TestBatchedResourceProfiles:
+    def test_bitwise_identical_to_per_model_path(self, tiny_predictor, rows):
+        inputs, bundles = rows
+        batched, n_covered = resource_profiles_most_specific(
+            tiny_predictor.store, inputs, bundles
+        )
+        scalar = _scalar_profiles(tiny_predictor.store, inputs, bundles)
+        assert len(batched) == len(scalar) == len(inputs)
+        for ours, theirs in zip(batched, scalar):
+            if theirs is None:
+                assert ours is None
+            else:
+                # Exact float equality: same reduction order, bit for bit.
+                assert (ours.theta_p, ours.theta_c, ours.theta_0) == (
+                    theirs.theta_p,
+                    theirs.theta_c,
+                    theirs.theta_0,
+                )
+        assert n_covered == sum(1 for p in scalar if p is not None)
+        assert n_covered > 0, "tiny bundle should cover some operators"
+
+    def test_service_charges_five_lookups_per_covered_row(
+        self, tiny_predictor, rows
+    ):
+        inputs, bundles = rows
+        service = CleoService(
+            CleoPredictor(
+                store=tiny_predictor.store,
+                combined=tiny_predictor.combined,
+                fallback_cost=tiny_predictor.fallback_cost,
+            )
+        )
+        before = service.predictor.lookup_count
+        profiles = service.resource_profiles(inputs, bundles)
+        covered = sum(1 for p in profiles if p is not None)
+        assert covered > 0
+        assert (
+            service.predictor.lookup_count - before
+            == covered * CleoPredictor.LOOKUPS_PER_PREDICTION
+        )
+
+    def test_cost_model_routes_batched(self, tiny_bundle, tiny_predictor):
+        """CleoCostModel.resource_profiles == per-op resource_profile calls."""
+        from repro.core.cost_model import CleoCostModel
+
+        estimator = tiny_bundle.fresh_estimator()
+        root = next(iter(tiny_bundle.runner.plans.values()))
+        ops = list(root.walk())
+        batched_model = CleoCostModel(tiny_predictor)
+        scalar_model = CleoCostModel(tiny_predictor, batched=False)
+        assert batched_model.supports_batched_pricing
+        batched = batched_model.resource_profiles(ops, estimator)
+        scalar = [scalar_model.resource_profile(op, estimator) for op in ops]
+        assert batched == scalar

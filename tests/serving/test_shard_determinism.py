@@ -1,0 +1,112 @@
+"""Cross-process determinism of the sharded serving tier.
+
+Shard routing must not depend on ``PYTHONHASHSEED``: the same ``(cluster,
+template)`` pair has to land on the same shard in every serving process, or
+replicas of one router would answer from different caches and the fleet's
+template affinity (and with it the bitwise-parity guarantee) would silently
+break between deploys.  Routing therefore goes through
+``repro.common.hashing.stable_hash`` end to end — the builtin ``hash`` is
+salted per process and is banned from the path (the PR-2 workload-planner
+incident: a ``set``'s salted iteration order flipping plan ties across
+processes).
+
+In-process tests cannot catch a salted-hash leak, so these spawn real
+subprocesses with different hash seeds and compare fingerprints.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Pure routing: fingerprint the owning shard of many (cluster, template)
+#: pairs across several ring sizes.  No models, so it is cheap enough to
+#: run at three hash seeds.
+_ROUTING_SCRIPT = """
+import hashlib
+from repro.serving.shard import HashRing, route_key
+
+payload = []
+for n_shards in (1, 2, 4, 7):
+    ring = HashRing(n_shards)
+    payload.append(
+        [
+            ring.shard_for_key(route_key(f"cluster{t % 3}", t))
+            for t in range(5000)
+        ]
+    )
+print(hashlib.sha256(repr(payload).encode()).hexdigest())
+"""
+
+#: End to end: train the tiny bundle, serve one batch through the router at
+#: 1/2/4 shards, and fingerprint shard assignments plus the merged
+#: prediction bytes.  Asserts in-process that every configuration is
+#: bitwise identical to a single-process ``CleoService`` — so equal
+#: digests across seeds pin both the routing *and* the merged values.
+_SERVING_SCRIPT = """
+import hashlib
+import numpy as np
+from repro.experiments.shared import get_bundle
+from repro.serving import CleoService, PredictionRequest
+from repro.serving.shard import ShardedCleoRouter
+
+bundle = get_bundle("cluster1", scale="tiny", seed=0)
+predictor = bundle.predictor()
+records = list(bundle.log.operator_records())[:400]
+requests = [PredictionRequest.for_record(r) for r in records]
+baseline = CleoService(predictor).predict_batch(requests)
+lines = [baseline.tobytes().hex()]
+for n_shards in (1, 2, 4):
+    with ShardedCleoRouter(
+        {"cluster1": predictor}, n_shards=n_shards, n_workers=2
+    ) as router:
+        owners = [
+            router.shard_for("cluster1", r.signatures.approx) for r in requests
+        ]
+        values = router.predict_batch("cluster1", requests)
+    assert np.array_equal(values, baseline), f"{n_shards} shards diverged"
+    lines.append(repr(owners) + values.tobytes().hex())
+print(hashlib.sha256("\\n".join(lines).encode()).hexdigest())
+"""
+
+
+def _run_with_hash_seed(script: str, hash_seed: str, timeout: int = 600) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_shard_routing_identical_across_hash_seeds():
+    digests = {
+        _run_with_hash_seed(_ROUTING_SCRIPT, seed, timeout=120)
+        for seed in ("0", "42", "1234")
+    }
+    assert len(digests) == 1, (
+        "HashRing/route_key produced different shard assignments under "
+        "different PYTHONHASHSEED values - a builtin hash() leaked into "
+        "the routing path"
+    )
+
+
+def test_sharded_serving_identical_across_hash_seeds():
+    """1/2/4-shard configs: same shard owners, same merged predictions,
+    bitwise identical to single-process serving, in every process."""
+    digest_a = _run_with_hash_seed(_SERVING_SCRIPT, "0")
+    digest_b = _run_with_hash_seed(_SERVING_SCRIPT, "42")
+    assert digest_a == digest_b, (
+        "sharded serving produced different shard assignments or merged "
+        "predictions under different PYTHONHASHSEED values"
+    )

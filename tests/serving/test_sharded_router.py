@@ -1,0 +1,333 @@
+"""Tests for the sharded serving tier (``repro.serving.shard``).
+
+The load-bearing guarantees:
+
+* routing is a pure function of ``(cluster, template signature)`` through
+  ``stable_hash`` — no builtin ``hash`` anywhere on the path;
+* every batch entry point merges per-shard results back in input order,
+  **bitwise identical** to one single-process ``CleoService`` pricing the
+  whole batch, for any shard/worker count;
+* fleet statistics aggregate exactly (no counters lost to sharding or to
+  concurrent fan-out).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.hashing import stable_hash
+from repro.features.table import FeatureTable
+from repro.serving import CleoService, PredictionRequest
+from repro.serving.service import ServiceStats
+from repro.serving.shard import HashRing, ShardedCleoRouter, route_key
+from repro.serving.shard.routing import _RING_SALT
+
+# ------------------------------------------------------------------ #
+# Fixtures
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture(scope="module")
+def records(tiny_bundle):
+    """A deterministic slice of the tiny workload's operator stream."""
+    records = list(tiny_bundle.log.operator_records())[:600]
+    assert len(records) == 600
+    return records
+
+
+@pytest.fixture(scope="module")
+def requests(records):
+    return [PredictionRequest.for_record(r) for r in records]
+
+
+@pytest.fixture()
+def baseline(tiny_predictor):
+    return CleoService(tiny_predictor)
+
+
+def make_router(tiny_predictor, **kwargs) -> ShardedCleoRouter:
+    return ShardedCleoRouter({"cluster1": tiny_predictor}, **kwargs)
+
+
+# ------------------------------------------------------------------ #
+# Hash ring
+# ------------------------------------------------------------------ #
+
+
+class TestHashRing:
+    def test_rejects_bad_topologies(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        keys = np.arange(1000, dtype=np.uint64)
+        assert ring.shard_for_key(12345) == 0
+        assert np.all(ring.shards_for_keys(keys) == 0)
+
+    def test_positions_come_from_stable_hash(self):
+        """Virtual nodes sit exactly at stable_hash(salt, shard, replica)."""
+        ring = HashRing(3, replicas=8)
+        expected = {
+            stable_hash(_RING_SALT, shard, replica): shard
+            for shard in range(3)
+            for replica in range(8)
+        }
+        for position, owner in zip(ring._positions, ring._owners):
+            assert expected[int(position)] == int(owner)
+
+    def test_vectorized_matches_scalar_lookup(self):
+        ring = HashRing(4)
+        keys = np.array(
+            [route_key("cluster1", t) for t in range(500)], dtype=np.uint64
+        )
+        vectorized = ring.shards_for_keys(keys)
+        scalar = np.array([ring.shard_for_key(int(k)) for k in keys])
+        assert np.array_equal(vectorized, scalar)
+
+    def test_every_shard_owns_some_keys(self):
+        ring = HashRing(4)
+        keys = np.array(
+            [route_key("cluster1", t) for t in range(2000)], dtype=np.uint64
+        )
+        spread = np.bincount(ring.shards_for_keys(keys), minlength=4)
+        assert np.all(spread > 0)
+
+    def test_route_key_is_stable_hash(self):
+        assert route_key("cluster1", 77) == stable_hash("cluster1", 77)
+
+
+# ------------------------------------------------------------------ #
+# Routing through the router
+# ------------------------------------------------------------------ #
+
+
+class TestRouting:
+    def test_needs_at_least_one_cluster(self):
+        with pytest.raises(ValueError):
+            ShardedCleoRouter({})
+
+    def test_rejects_bad_worker_count(self, tiny_predictor):
+        with pytest.raises(ValueError):
+            make_router(tiny_predictor, n_workers=0)
+
+    def test_unknown_cluster_raises(self, tiny_predictor, requests):
+        with make_router(tiny_predictor, n_shards=2) as router:
+            with pytest.raises(KeyError):
+                router.predict_batch("nope", requests[:4])
+            with pytest.raises(KeyError):
+                router.shard_for("nope", 1)
+
+    def test_template_affinity(self, tiny_predictor, requests):
+        """Every request of a template lands on one shard, so per-shard
+        in-batch deduplication sees every duplicate a single service would."""
+        with make_router(tiny_predictor, n_shards=4) as router:
+            owners: dict[int, int] = {}
+            for request in requests:
+                shard = router.shard_for("cluster1", request.signatures.approx)
+                assert owners.setdefault(request.signatures.approx, shard) == shard
+
+    def test_routing_uses_only_stable_hash(self, tiny_predictor, requests):
+        """Shard assignment is reproducible from stable_hash alone."""
+        with make_router(tiny_predictor, n_shards=4) as router:
+            ring = HashRing(4)
+            for request in requests[:100]:
+                approx = request.signatures.approx
+                expected = ring.shard_for_key(stable_hash("cluster1", int(approx)))
+                assert router.shard_for("cluster1", approx) == expected
+
+    def test_accepts_service_as_predictor(self, tiny_predictor, requests, baseline):
+        """A CleoService stands in for its predictor at construction."""
+        with ShardedCleoRouter({"cluster1": CleoService(tiny_predictor)}) as router:
+            assert np.array_equal(
+                router.predict_batch("cluster1", requests[:50]),
+                baseline.predict_batch(requests[:50]),
+            )
+
+    def test_default_cluster_requires_unambiguity(self, tiny_predictor):
+        with ShardedCleoRouter(
+            {"a": tiny_predictor, "b": tiny_predictor}
+        ) as router:
+            with pytest.raises(ValueError):
+                router.client()
+        with make_router(tiny_predictor) as router:
+            assert router.client().cluster == "cluster1"
+
+
+# ------------------------------------------------------------------ #
+# Bitwise parity with the single-process service
+# ------------------------------------------------------------------ #
+
+CONFIGS = [(1, 1), (2, 1), (3, 2), (4, 4)]
+
+
+class TestParity:
+    @pytest.mark.parametrize("shards,workers", CONFIGS)
+    def test_predict_batch(self, tiny_predictor, requests, baseline, shards, workers):
+        expected = baseline.predict_batch(requests)
+        with make_router(tiny_predictor, n_shards=shards, n_workers=workers) as router:
+            assert np.array_equal(
+                router.predict_batch("cluster1", requests), expected
+            )
+
+    @pytest.mark.parametrize("shards,workers", CONFIGS)
+    def test_predict_inputs(self, tiny_predictor, requests, baseline, shards, workers):
+        inputs = [r.features for r in requests]
+        bundles = [r.signatures for r in requests]
+        expected = baseline.predict_inputs(inputs, bundles)
+        with make_router(tiny_predictor, n_shards=shards, n_workers=workers) as router:
+            assert np.array_equal(
+                router.predict_inputs("cluster1", inputs, bundles), expected
+            )
+
+    @pytest.mark.parametrize("shards,workers", CONFIGS)
+    def test_predict_table(self, tiny_predictor, requests, baseline, shards, workers):
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests], [r.signatures for r in requests]
+        )
+        expected = baseline.predict_table(table)
+        with make_router(tiny_predictor, n_shards=shards, n_workers=workers) as router:
+            assert np.array_equal(router.predict_table("cluster1", table), expected)
+
+    def test_scalar_predict(self, tiny_predictor, requests, baseline):
+        with make_router(tiny_predictor, n_shards=4) as router:
+            for request in requests[:50]:
+                assert router.predict(
+                    "cluster1", request.features, request.signatures
+                ) == baseline.predict(request.features, request.signatures)
+
+    def test_duplicates_dedup_within_their_shard(self, tiny_predictor, requests, baseline):
+        doubled = list(requests[:100]) * 2
+        expected = baseline.predict_batch(doubled)
+        with make_router(tiny_predictor, n_shards=4) as router:
+            assert np.array_equal(
+                router.predict_batch("cluster1", doubled), expected
+            )
+            assert router.stats().in_batch_reuses >= 100
+
+    def test_resource_profiles(self, tiny_predictor, requests, baseline):
+        inputs = [r.features for r in requests[:200]]
+        bundles = [r.signatures for r in requests[:200]]
+        expected = [
+            baseline.resource_profile(f, s) for f, s in zip(inputs, bundles)
+        ]
+        with make_router(tiny_predictor, n_shards=3, n_workers=2) as router:
+            assert router.resource_profiles("cluster1", inputs, bundles) == expected
+
+    def test_predict_plan(self, tiny_bundle, tiny_predictor, baseline):
+        plans = list(tiny_bundle.runner.plans.values())[:10]
+        with make_router(tiny_predictor, n_shards=4, n_workers=2) as router:
+            client = router.client("cluster1")
+            for root in plans:
+                expected = baseline.predict_plan(root, tiny_bundle.fresh_estimator())
+                assert client.predict_plan(
+                    root, tiny_bundle.fresh_estimator()
+                ) == expected
+
+    def test_cost_model_prices_batched(self, tiny_predictor):
+        with make_router(tiny_predictor, n_shards=2) as router:
+            model = router.cost_model("cluster1")
+            assert model.supports_batched_pricing
+
+    def test_explain_matches_service(self, tiny_predictor, requests, baseline):
+        with make_router(tiny_predictor, n_shards=4) as router:
+            for request in requests[:10]:
+                ours = router.explain("cluster1", request.features, request.signatures)
+                theirs = baseline.explain(request.features, request.signatures)
+                assert (ours.cost, ours.source) == (theirs.cost, theirs.source)
+
+
+# ------------------------------------------------------------------ #
+# FeatureTable.take (the table split primitive)
+# ------------------------------------------------------------------ #
+
+
+class TestTableTake:
+    def test_take_commutes_with_prediction(self, tiny_predictor, requests, baseline):
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests], [r.signatures for r in requests]
+        )
+        rng = np.random.default_rng(7)
+        idx = rng.permutation(len(table))[:250]
+        full = baseline.predict_table(table)
+        taken = CleoService(tiny_predictor).predict_table(table.take(idx))
+        assert np.array_equal(taken, full[idx])
+
+    def test_take_preserves_signatures(self, requests):
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests[:20]], [r.signatures for r in requests[:20]]
+        )
+        sub = table.take(np.array([3, 1, 4]))
+        assert len(sub) == 3
+        assert sub.has_signatures
+        assert np.array_equal(
+            sub.signature_column("approx"),
+            table.signature_column("approx")[[3, 1, 4]],
+        )
+
+
+# ------------------------------------------------------------------ #
+# Stats aggregation and lifecycle
+# ------------------------------------------------------------------ #
+
+
+class TestStatsAndLifecycle:
+    def test_fleet_counters_sum_exactly(self, tiny_predictor, requests):
+        with make_router(tiny_predictor, n_shards=4) as router:
+            router.predict_batch("cluster1", requests)
+            stats = router.stats()
+            assert stats.batched_predictions == len(requests)
+            per_shard = router.shard_stats()
+            assert sum(s.batched_predictions for s in per_shard) == len(requests)
+            assert sum(s.batches for s in per_shard) == stats.batches
+            assert stats.cache.requests == sum(
+                s.cache.requests for s in per_shard
+            )
+
+    def test_aggregate_is_counterwise_sum(self, baseline, requests):
+        baseline.predict_batch(requests[:100])
+        one = baseline.stats()
+        double = ServiceStats.aggregate([one, one])
+        assert double.batched_predictions == 2 * one.batched_predictions
+        assert double.cache.hits == 2 * one.cache.hits
+        assert double.cache.capacity == 2 * one.cache.capacity
+
+    def test_reset_and_clear(self, tiny_predictor, requests):
+        with make_router(tiny_predictor, n_shards=2) as router:
+            router.predict_batch("cluster1", requests[:100])
+            assert router.stats().batched_predictions == 100
+            assert router.lookup_count > 0
+            router.reset_stats()
+            router.clear_caches()
+            assert router.stats().batched_predictions == 0
+            assert router.stats().cache.size == 0
+
+    def test_close_is_idempotent(self, tiny_predictor):
+        router = make_router(tiny_predictor, n_workers=4)
+        router.close()
+        router.close()
+
+    def test_concurrent_callers_lose_no_counters(self, tiny_predictor, requests):
+        """Many client threads against one router: counters still sum."""
+        with make_router(tiny_predictor, n_shards=2, n_workers=2) as router:
+            errors: list[Exception] = []
+
+            def hammer() -> None:
+                try:
+                    for _ in range(5):
+                        router.predict_batch("cluster1", requests[:80])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert router.stats().batched_predictions == 8 * 5 * 80
