@@ -1,0 +1,34 @@
+"""Benchmark: recurring-fleet replanning throughput (per-job vs replay).
+
+Unlike the figure/table benchmarks this one has no paper counterpart — it
+tracks the reproduction's own perf trajectory (ROADMAP: "fast as the
+hardware allows").  It replans a recurring-job fleet (the canonical
+workload's test day, each job replicated into several live instances) with
+learned costs through the per-job batched ``QueryPlanner`` loop and the
+fleet skeleton-replay driver, asserts bitwise-identical plan choices and
+lookup accounting, and drops ``BENCH_replan.json`` under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.replan_throughput import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_replan_throughput(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_replan.json")
+    assert result["plans_bitwise_identical"]
+    assert result["lookup_accounting_identical"]
+    assert result["speedup"] > 1.0

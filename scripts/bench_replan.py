@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Run the replan-throughput benchmark and write ``BENCH_replan.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_replan.py [--scale tiny|small|full]
+        [--seed 0] [--repeats 5] [--instances 4] [--out BENCH_replan.json]
+
+Times replanning a recurring-job fleet (the generated workload's test day,
+each job replicated into several live instances) with learned cost models
+through the per-job batched ``QueryPlanner`` loop and through the fleet
+skeleton-replay driver, verifies the two choose bitwise-identical plans
+(shapes, partition counts, costs, lookup accounting), and records both
+timings — the optimizer-side perf trajectory the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.replan_throughput import (  # noqa: E402
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--instances", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_replan.json")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        instances=args.instances,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["plans_bitwise_identical"]:
+        print("ERROR: fleet replay diverged from the per-job planner")
+        return 1
+    if not result["lookup_accounting_identical"]:
+        print("ERROR: fleet replay changed per-prediction lookup accounting")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

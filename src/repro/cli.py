@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's day-to-day loops without writing code:
+Eight commands cover the library's day-to-day loops without writing code:
 
 * ``workload``   — generate + execute a synthetic cluster workload and
   print its Figure-9-style profile;
@@ -19,7 +19,15 @@ Five commands cover the library's day-to-day loops without writing code:
 * ``bench-serving`` — replay the deterministic serving load through the
   sharded router at each ``--shards``/``--workers`` pairing and write
   ``BENCH_serving.json`` (throughput, p50/p99 latency, bitwise parity
-  with single-process serving).
+  with single-process serving);
+* ``bench-plan`` — re-plan the generated workload's test day with learned
+  costs through the scalar and batched planners and write
+  ``BENCH_plan.json`` (timings plus bitwise plan parity);
+* ``bench-replan`` — replan a recurring-job fleet (each test-day job
+  replicated into several live instances) through the per-job batched
+  planner and the fleet skeleton-replay driver and write
+  ``BENCH_replan.json`` (timings, bitwise plan parity, and per-prediction
+  lookup accounting).
 
 Every command is deterministic given ``--seed``.
 """
@@ -280,6 +288,57 @@ def cmd_bench_serving(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_plan(args: argparse.Namespace) -> int:
+    from repro.experiments.plan_throughput import (
+        format_result,
+        run_benchmark,
+        write_result,
+    )
+
+    result = run_benchmark(scale=args.scale, seed=args.seed, repeats=args.repeats)
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["plans_bitwise_identical"]:
+        print(
+            "ERROR: batched planning diverged from the scalar planner",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_bench_replan(args: argparse.Namespace) -> int:
+    from repro.experiments.replan_throughput import (
+        format_result,
+        run_benchmark,
+        write_result,
+    )
+
+    result = run_benchmark(
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        instances=args.instances,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["plans_bitwise_identical"]:
+        print(
+            "ERROR: fleet replay diverged from the per-job planner",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["lookup_accounting_identical"]:
+        print(
+            "ERROR: fleet replay changed per-prediction lookup accounting",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster", default="cluster1", help="cluster name (default: cluster1)")
     parser.add_argument("--tables", type=int, default=8, help="base tables (default: 8)")
@@ -350,6 +409,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--out", default="BENCH_serving.json",
                          help="output JSON path (default: BENCH_serving.json)")
     p_serve.set_defaults(func=cmd_bench_serving)
+
+    p_bplan = sub.add_parser(
+        "bench-plan",
+        help="time scalar vs batched learned-cost planning, write BENCH_plan.json",
+    )
+    p_bplan.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                         help="workload scale (default: small)")
+    p_bplan.add_argument("--seed", type=int, default=0, help="deterministic seed (default: 0)")
+    p_bplan.add_argument("--repeats", type=int, default=5,
+                         help="timed repeats per path (default: 5)")
+    p_bplan.add_argument("--out", default="BENCH_plan.json",
+                         help="output JSON path (default: BENCH_plan.json)")
+    p_bplan.set_defaults(func=cmd_bench_plan)
+
+    p_breplan = sub.add_parser(
+        "bench-replan",
+        help="time per-job vs fleet skeleton replanning, write BENCH_replan.json",
+    )
+    p_breplan.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                           help="workload scale (default: small)")
+    p_breplan.add_argument("--seed", type=int, default=0,
+                           help="deterministic seed (default: 0)")
+    p_breplan.add_argument("--repeats", type=int, default=5,
+                           help="timed repeats per path (default: 5)")
+    p_breplan.add_argument("--instances", type=int, default=4,
+                           help="live instances per recurring job (default: 4)")
+    p_breplan.add_argument("--out", default="BENCH_replan.json",
+                           help="output JSON path (default: BENCH_replan.json)")
+    p_breplan.set_defaults(func=cmd_bench_replan)
 
     return parser
 

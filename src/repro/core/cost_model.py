@@ -70,6 +70,18 @@ class CleoCostModel:
         return self.batched
 
     @property
+    def supports_replay_costing(self) -> bool:
+        """The skeleton replay can price for this model (learned hook surface).
+
+        The replay featurizes straight from its cached per-node statistics
+        (``repro.optimizer.skeleton``) and prices through
+        :meth:`price_input` / :meth:`price_inputs` / :meth:`price_plans`,
+        so both the scalar (``batched=False``) and the deferred-ledger
+        replay stay bitwise identical to the full ``QueryPlanner`` search.
+        """
+        return True
+
+    @property
     def predictor(self) -> CleoPredictor:
         """The currently served predictor (tracks service rollbacks)."""
         return self.service.predictor
@@ -100,6 +112,36 @@ class CleoCostModel:
         inputs = [feature_input_for(op, estimator) for op in ops]
         bundles = [service.bundle_for(op) for op in ops]
         return service.predict_inputs(inputs, bundles)
+
+    def price_input(self, features, bundle) -> float:
+        """Exclusive cost of one already-featurized operator.
+
+        The skeleton replay's scalar costing hook (``batched=False``): the
+        replay computes the features and signature bundle itself, so this is
+        one service round-trip with the same accounting as
+        :meth:`operator_cost`.
+        """
+        return self.service.predict(features, bundle)
+
+    def price_inputs(self, inputs, bundles) -> np.ndarray:
+        """Exclusive costs of already-featurized operators, one batched call.
+
+        The skeleton replay's frontier-flush hook: same values and
+        per-prediction lookup accounting as :meth:`price_operators`, minus
+        the :class:`PhysicalOp` featurization (the replay derives features
+        from its cached per-node statistics).
+        """
+        return self.service.predict_inputs(inputs, bundles)
+
+    def price_plans(self, inputs, bundles, lengths: Sequence[int]) -> list[float]:
+        """Total costs of several plans, one packed pass.
+
+        ``inputs``/``bundles`` concatenate every plan's operators in walk
+        order; ``lengths`` delimits the plans.  Each total is reduced with
+        the exact left-fold order :meth:`plan_cost` uses, so fleet replanning
+        reports costs bitwise identical to a per-plan loop.
+        """
+        return self.service.predict_plan_batch(inputs, bundles, lengths)
 
     def price_stage_sweep(
         self,

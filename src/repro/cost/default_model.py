@@ -61,6 +61,21 @@ class DefaultCostModel(CostModelBase):
     def __init__(self, coefficients: dict[PhysOpType, tuple[float, float, float, bool]] | None = None) -> None:
         self.coefficients = coefficients or DEFAULT_COEFFICIENTS
 
+    @property
+    def supports_replay_costing(self) -> bool:
+        """Replay-safe unless the pricing formula itself was overridden.
+
+        Subclasses that merely retune ``inflation`` / ``row_cap`` /
+        ``coefficients`` still price exactly through
+        :meth:`operator_cost_from_stats`, so the skeleton replay stays
+        engaged for them; overriding either costing method opts out.
+        """
+        cls = type(self)
+        return (
+            cls.operator_cost is DefaultCostModel.operator_cost
+            and cls.operator_cost_from_stats is DefaultCostModel.operator_cost_from_stats
+        )
+
     def operator_cost(
         self,
         op: PhysicalOp,

@@ -92,6 +92,21 @@ class CostModelBase:
     :meth:`explain` with real provenance.
     """
 
+    @property
+    def supports_replay_costing(self) -> bool:
+        """Whether the skeleton replay fast path can price for this model.
+
+        The template-skeleton replay (``repro.optimizer.skeleton``) never
+        builds :class:`PhysicalOp` trees during search, so it can only serve
+        models whose pricing it can reproduce exactly from cached replay
+        statistics — either through ``operator_cost_from_stats`` (heuristic
+        models) or through the packed pricing hooks
+        (:class:`~repro.core.cost_model.CleoCostModel`).  Models that
+        override the pricing formula itself opt out by returning ``False``
+        here, which routes planning back to the full scalar search.
+        """
+        return False
+
     def operator_cost(
         self,
         op: PhysicalOp,

@@ -51,24 +51,54 @@ class TunedCostModel(CostModelBase):
     #: kept the idea — production jobs still exceed it routinely.
     row_cap = 2.0e7
 
+    @property
+    def supports_replay_costing(self) -> bool:
+        """Replay-safe unless the pricing formula itself was overridden."""
+        cls = type(self)
+        return (
+            cls.operator_cost is TunedCostModel.operator_cost
+            and cls.operator_cost_from_stats is TunedCostModel.operator_cost_from_stats
+        )
+
     def operator_cost(
         self,
         op: PhysicalOp,
         estimator: CardinalityEstimator,
         partition_override: int | None = None,
     ) -> float:
-        coef = GROUND_TRUTH_COEFFICIENTS[op.op_type]
-        fudge = self._FUDGE[op.op_type]
-        partitions = float(partition_override or op.partition_count)
-        rows_in = min(estimator.estimate_input(op), self.row_cap) / partitions
-        rows_out = min(estimator.estimate(op), self.row_cap) / partitions
-        row_bytes = op.children[0].row_bytes if op.children else op.row_bytes
+        return self.operator_cost_from_stats(
+            op.op_type,
+            estimator.estimate_input(op),
+            estimator.estimate(op),
+            op.children[0].row_bytes if op.children else op.row_bytes,
+            partition_override or op.partition_count,
+        )
 
-        cost = coef.io * rows_in * row_bytes + coef.out * rows_out
+    def operator_cost_from_stats(
+        self,
+        op_type: PhysOpType,
+        estimated_input: float,
+        estimated_output: float,
+        input_row_bytes: float,
+        partition_count: int,
+    ) -> float:
+        """The tuned formula on raw statistics.
+
+        Backs :meth:`operator_cost` and the skeleton replay's stats-backed
+        costing hook (the replay feeds it the same estimates it would have
+        pulled from the estimator, so costs are bitwise identical).
+        """
+        coef = GROUND_TRUTH_COEFFICIENTS[op_type]
+        fudge = self._FUDGE[op_type]
+        partitions = float(partition_count)
+        rows_in = min(estimated_input, self.row_cap) / partitions
+        rows_out = min(estimated_output, self.row_cap) / partitions
+
+        cost = coef.io * rows_in * input_row_bytes + coef.out * rows_out
         if coef.nlogn:
             cost += coef.cpu * rows_in * math.log2(rows_in + 2.0)
         else:
             cost += coef.cpu * rows_in
-        if op.op_type in self._SETUP_AWARE:
+        if op_type in self._SETUP_AWARE:
             cost += coef.setup * partitions
         return fudge * cost + 1e-4

@@ -19,16 +19,32 @@ from repro.optimizer.partition import (
     optimize_partitions,
 )
 from repro.optimizer.planner import PlannedJob, PlannerConfig, QueryPlanner
+from repro.optimizer.replan import FleetReplanner, ReplanJob, replan_jobs
+from repro.optimizer.skeleton import (
+    SkeletonPlanner,
+    SkeletonPlannerStats,
+    materialize,
+    supports_fast_path,
+    supports_replay,
+)
 
 __all__ = [
     "AnalyticalStrategy",
     "DefaultHeuristicStrategy",
     "ExhaustiveStrategy",
+    "FleetReplanner",
     "PartitionStrategy",
     "PlannedJob",
     "PlannerConfig",
     "QueryPlanner",
+    "ReplanJob",
     "ResourceContext",
     "SamplingStrategy",
+    "SkeletonPlanner",
+    "SkeletonPlannerStats",
+    "materialize",
     "optimize_partitions",
+    "replan_jobs",
+    "supports_fast_path",
+    "supports_replay",
 ]

@@ -24,19 +24,52 @@ and shares the actual formula implementations
 the plans it produces are bit-identical to the reference planner's.  The
 parity suite (``tests/workload/test_batched_parity.py``) pins this.
 
-The fast path only engages for the stock planner configuration (plain
-:class:`DefaultCostModel`, plain :class:`CardinalityEstimator`, no partition
-strategy); anything else falls back to the reference planner.
+**Pluggable costing.**  The replay prices candidates through one of three
+backends chosen at construction from the cost model's capabilities:
+
+* *inlined* — the stock :class:`DefaultCostModel` formula, prefetched into
+  locals (the original hot path);
+* *stats* — any heuristic model exposing ``operator_cost_from_stats``
+  (retuned :class:`DefaultCostModel` subclasses,
+  :class:`~repro.cost.tuned_model.TunedCostModel`): the replay feeds it the
+  cached per-node estimates the estimator would have produced;
+* *learned* — models exposing the packed pricing hooks
+  (:class:`~repro.core.cost_model.CleoCostModel`): the replay featurizes
+  straight from incrementally-maintained per-node statistics and signature
+  bundles.  When the model also advertises ``supports_batched_pricing``,
+  ``_cost`` emits the reference planner's deferred-cost ledger
+  (:class:`~repro.optimizer.planner._DeferredCost`) and whole frontiers are
+  priced through ``price_inputs`` in single packed passes — same values,
+  same per-prediction lookup accounting, bitwise-identical plans.
+
+Models opt in through ``supports_replay_costing``
+(:class:`~repro.cost.interface.CostModelBase`); the workload runner's fast
+path additionally requires the plain :class:`CardinalityEstimator` and no
+partition strategy (:func:`supports_fast_path`).  ``replan_job`` — and the
+fleet driver in :mod:`repro.optimizer.replan` — runs the partition-strategy
+pass itself, so recurring-job replanning supports strategies too.
 """
 
 from __future__ import annotations
 
 import math
+import time
+from dataclasses import dataclass
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.common.errors import OptimizationError
+from repro.common.hashing import combine_hashes
 from repro.cost.default_model import DefaultCostModel
-from repro.optimizer.planner import PlannerConfig, jitter_factor
+from repro.cost.interface import plan_cost
+from repro.features.featurizer import FeatureInput
+from repro.optimizer.partition import optimize_partitions
+from repro.optimizer.planner import (
+    PlannedJob,
+    PlannerConfig,
+    _DeferredCost,
+    _resolve_cost,
+    jitter_factor,
+)
 from repro.plan.logical import LogicalOp, LogicalOpType
 from repro.plan.physical import (
     PARTITIONING_OPS,
@@ -45,6 +78,14 @@ from repro.plan.physical import (
     PhysicalOp,
 )
 from repro.plan.properties import Partitioning, PartitionScheme, SortOrder
+from repro.plan.signatures import (
+    SignatureBundle,
+    _approx_hash,
+    _freq_hash,
+    _own_hash,
+    input_signature_for,
+    operator_signature_for,
+)
 
 _ANY = Partitioning.any()
 _NO_SORT = SortOrder.none()
@@ -59,6 +100,14 @@ class RNode:
     estimates the search needs, without frozen-dataclass construction cost.
     ``true_card`` / ``row_bytes`` / ``est_out`` / ``est_in`` are resolved at
     construction (enforcers inherit their child's), so costing is O(1).
+
+    Under a learned cost model the replay additionally maintains, per node,
+    every derived statistic :func:`~repro.features.extract.feature_input_for`
+    and :meth:`SignatureBundle.of` would recompute by walking a
+    :class:`PhysicalOp` subtree — leaf cardinalities, normalized inputs,
+    logical-operator counts/frequencies, depth, and all four model
+    signatures — built incrementally from the children (``leaf_cards``
+    through ``bundle``; unset for heuristic backends).
     """
 
     __slots__ = (
@@ -76,6 +125,16 @@ class RNode:
         "est_out",
         "est_in",
         "primed",
+        # Learned-costing annotations (see _annotate_replay).
+        "leaf_cards",
+        "base_card",
+        "inputs",
+        "params",
+        "n_logical",
+        "depth",
+        "strict_sig",
+        "freq_incl",
+        "bundle",
     )
 
 class SkelNode:
@@ -101,14 +160,24 @@ class SkelNode:
 
 
 class TemplateSkeleton:
-    """The memoized product of one template's structure analysis."""
+    """The memoized product of one template's structure analysis.
 
-    __slots__ = ("nodes", "root_index", "node_count")
+    ``schedule`` is lazily recorded by the first replayed instance that asks
+    for it (:meth:`SkeletonPlanner.replan_job`): the memo-entry creation
+    order of the search, i.e. every ``(index, req_part, req_sort)`` frame in
+    the order it completes.  Frame order is a pure function of the template
+    structure and planner config — costs only pick winners, never which
+    frames run — so the fleet replanner can drive any number of instances
+    through the same frame sequence in lockstep.
+    """
+
+    __slots__ = ("nodes", "root_index", "node_count", "schedule")
 
     def __init__(self, nodes: list[SkelNode]) -> None:
         self.nodes = nodes
         self.root_index = len(nodes) - 1
         self.node_count = len(nodes)
+        self.schedule: tuple[tuple[int, Partitioning, SortOrder], ...] | None = None
 
 
 def _build_skeleton(root: LogicalOp) -> TemplateSkeleton:
@@ -161,15 +230,178 @@ def supports_fast_path(
 ) -> bool:
     """True when the replay search is exact for this configuration.
 
-    The replay inlines the stock cost/estimate formulas; subclasses could
-    override either, and partition strategies run a separate optimization
-    pass the replay does not model — those fall back to the reference
-    planner.
+    Cost models opt in through the ``supports_replay_costing`` capability
+    flag (see :class:`~repro.cost.interface.CostModelBase`) — heuristic
+    models whose formula the replay can reproduce from cached statistics,
+    retuned subclasses included, and learned models exposing the packed
+    pricing hooks.  The estimate formulas are the stock estimator's
+    (subclasses could override them), and partition strategies run a
+    separate optimization pass the workload engine does not model — those
+    fall back to the reference planner.  (:meth:`SkeletonPlanner.replan_job`
+    and the fleet replanner run the partition pass themselves, so the
+    strategy restriction applies only to this workload-engine gate.)
     """
     return (
-        type(cost_model) is DefaultCostModel
+        bool(getattr(cost_model, "supports_replay_costing", False))
         and type(estimator) is CardinalityEstimator
         and config.partition_strategy is None
+    )
+
+
+def supports_replay(cost_model: object, estimator: object) -> bool:
+    """True when :class:`SkeletonPlanner` itself can serve this model.
+
+    The replanning entry points (:meth:`SkeletonPlanner.replan_job`,
+    :func:`repro.optimizer.replan.replan_jobs`) gate on this — unlike
+    :func:`supports_fast_path` they handle partition strategies.
+    """
+    return bool(
+        getattr(cost_model, "supports_replay_costing", False)
+    ) and type(estimator) is CardinalityEstimator
+
+
+def _walk_replay(node: RNode):
+    """Yield the replay tree children-before-parents, like ``PhysicalOp.walk``.
+
+    Shared winner subtrees are yielded once per occurrence, matching the
+    walk of the materialized (tree-shaped) plan.
+    """
+    for child in node.children:
+        yield from _walk_replay(child)
+    yield node
+
+
+def _annotate_replay(node: RNode) -> None:
+    """Attach the learned-costing statistics, incrementally from children.
+
+    Every value matches what :func:`feature_input_for` /
+    :meth:`SignatureBundle.of` would compute on the materialized operator —
+    including float fold order (``base_card`` left-folds the leaf true
+    cardinalities in walk order, exactly like ``PhysicalOp.base_card``) and
+    the approx-signature convention that logical-operator frequencies count
+    descendants only (the node's own logical type is added *after* its
+    bundle is computed, mirroring ``compute_signature_bundles``).
+    """
+    children = node.children
+    logical = node.logical
+    op_value = node.op_type.value
+    if logical is not None:
+        inputs = logical.normalized_inputs
+        node.params = logical.params
+    else:
+        # Enforcers have exactly one child; PhysicalOp.normalized_inputs
+        # unions the children's sets, which for one child is the child's.
+        inputs = children[0].inputs
+        node.params = ()
+    node.inputs = inputs
+    if not children:
+        node.leaf_cards = (node.true_card,)
+        node.depth = 1
+        node.n_logical = 1 if logical is not None else 0
+        strict = combine_hashes([_own_hash(op_value, node.template_tag)])
+        freq_below: dict[str, int] = {}
+    elif len(children) == 1:
+        child = children[0]
+        node.leaf_cards = child.leaf_cards
+        node.depth = child.depth + 1
+        node.n_logical = child.n_logical + (1 if logical is not None else 0)
+        strict = combine_hashes(
+            [child.strict_sig, _own_hash(op_value, node.template_tag)]
+        )
+        freq_below = child.freq_incl
+    else:
+        leaf_cards: tuple[float, ...] = ()
+        depth = 0
+        n_logical = 0
+        child_sigs: list[int] = []
+        freq_below = {}
+        for child in children:
+            leaf_cards += child.leaf_cards
+            if child.depth > depth:
+                depth = child.depth
+            n_logical += child.n_logical
+            child_sigs.append(child.strict_sig)
+            for name, count in child.freq_incl.items():
+                freq_below[name] = freq_below.get(name, 0) + count
+        node.leaf_cards = leaf_cards
+        node.depth = depth + 1
+        node.n_logical = n_logical + (1 if logical is not None else 0)
+        child_sigs.append(_own_hash(op_value, node.template_tag))
+        strict = combine_hashes(child_sigs)
+    node.base_card = float(sum(node.leaf_cards))
+    node.strict_sig = strict
+    node.bundle = SignatureBundle(
+        strict=strict,
+        approx=_approx_hash(op_value, _freq_hash(freq_below), inputs),
+        input=input_signature_for(op_value, inputs),
+        operator=operator_signature_for(op_value),
+    )
+    if logical is not None:
+        freq = dict(freq_below)  # children may share the dict — copy first
+        name = logical.op_type.value
+        freq[name] = freq.get(name, 0) + 1
+        node.freq_incl = freq
+    else:
+        node.freq_incl = freq_below
+
+
+def _replay_feature_input(node: RNode) -> FeatureInput:
+    """``feature_input_for`` from the replay node's cached statistics."""
+    return FeatureInput(
+        input_card=node.est_in,
+        base_card=node.base_card,
+        output_card=node.est_out,
+        avg_row_bytes=node.row_bytes,
+        partition_count=float(node.partition_count),
+        input_enc=FeatureInput.encode_inputs(node.inputs),
+        params_enc=FeatureInput.encode_params(node.params),
+        logical_count=float(node.n_logical),
+        depth=float(node.depth),
+    )
+
+
+@dataclass(frozen=True)
+class SkeletonPlannerStats:
+    """Telemetry counters of one :class:`SkeletonPlanner`.
+
+    ``skeleton_hits``/``skeleton_builds`` split replays that reused a cached
+    skeleton from ones that had to analyze the template structure;
+    ``skeleton_evictions`` counts entries dropped by the clear-at-limit cap.
+    The per-job ``_memo`` needs no cap: it is reset at every replay (its
+    size is bounded by one template's frame count), and clearing it
+    mid-search would invalidate live deferred-cost ledger indices.
+    """
+
+    jobs_replayed: int
+    skeleton_hits: int
+    skeleton_builds: int
+    skeleton_evictions: int
+    skeletons_cached: int
+    frontier_flushes: int
+
+
+class _ReplayState:
+    """One job instance's live search state, detached from the planner.
+
+    The fleet replanner replays many instances of one template in lockstep
+    (:mod:`repro.optimizer.replan`): it prepares each instance, exports its
+    state, and swaps states in and out of the shared planner frame by frame.
+    All mutable members (memo, choices, pending, priced, jitter cache) are
+    shared by reference with the planner while loaded, so in-place mutation
+    through either handle stays coherent; ``candidates_considered`` is a
+    plain int the driver updates on the state directly.
+    """
+
+    __slots__ = (
+        "bound",
+        "salt",
+        "jitter_cache",
+        "memo",
+        "choices",
+        "pending",
+        "priced",
+        "primed",
+        "candidates_considered",
     )
 
 
@@ -183,48 +415,92 @@ class SkeletonPlanner:
     extraction).
     """
 
+    #: Clear-at-limit cap on the per-``(template_id, day)`` skeleton cache,
+    #: like the module-level signature-hash caches: wholesale clearing keeps
+    #: the common case allocation-free and the worst case bounded.
+    _SKELETON_CACHE_LIMIT = 1 << 12
+
     def __init__(
         self,
-        cost_model: DefaultCostModel,
+        cost_model,
         estimator: CardinalityEstimator,
         config: PlannerConfig | None = None,
     ) -> None:
+        if not getattr(cost_model, "supports_replay_costing", False):
+            raise OptimizationError(
+                "SkeletonPlanner requires a cost model that advertises "
+                "supports_replay_costing; "
+                f"{type(cost_model).__name__} does not (its pricing formula "
+                "is opaque to the replay)"
+            )
         self.cost_model = cost_model
         self.estimator = estimator
         self.config = config or PlannerConfig()
         self._skeletons: dict[tuple[str, int], TemplateSkeleton] = {}
         self._mb_bytes = self.config.exchange_partition_mb * 1024 * 1024
         self._estimate_logical = estimator.estimate_logical
-        # Cost-model constants, prefetched once.  id()-keyed coefficient
-        # lookup skips enum.__hash__ (a Python-level call) on the hottest
-        # dict access; enum members are singletons, so ids are stable.
-        self._inflation = cost_model.inflation
-        self._row_cap = cost_model.row_cap
-        self._coef_by_id = {
-            id(op_type): coef for op_type, coef in cost_model.coefficients.items()
-        }
-        # Per-job state, reset by plan_job.
+        # Costing backend (see module docstring): learned models price
+        # through the packed hooks (deferred ledger when they batch),
+        # DefaultCostModel keeps the inlined formula, other heuristic
+        # models go through operator_cost_from_stats.
+        self._learned = hasattr(cost_model, "price_inputs")
+        self._deferred = False
+        if self._learned:
+            self._deferred = bool(
+                getattr(cost_model, "supports_batched_pricing", False)
+            )
+            self._cost = self._cost_deferred if self._deferred else self._cost_scalar
+        elif isinstance(cost_model, DefaultCostModel):
+            # Cost-model constants, prefetched once.  id()-keyed coefficient
+            # lookup skips enum.__hash__ (a Python-level call) on the hottest
+            # dict access; enum members are singletons, so ids are stable.
+            # Retuned subclasses (constants changed, formula intact) prefetch
+            # their own values, so the inlined path serves them too.
+            self._inflation = cost_model.inflation
+            self._row_cap = cost_model.row_cap
+            self._coef_by_id = {
+                id(op_type): coef for op_type, coef in cost_model.coefficients.items()
+            }
+            self._cost = self._cost_inlined
+        elif hasattr(cost_model, "operator_cost_from_stats"):
+            self._cost = self._cost_stats
+        else:  # pragma: no cover - supports_replay_costing implies a backend
+            raise OptimizationError(
+                f"{type(cost_model).__name__} advertises replay costing but "
+                "exposes neither the packed pricing hooks nor "
+                "operator_cost_from_stats"
+            )
+        # Telemetry (see stats()).
+        self._jobs_replayed = 0
+        self._skeleton_hits = 0
+        self._skeleton_builds = 0
+        self._skeleton_evictions = 0
+        self._frontier_flushes = 0
+        # Per-job state, reset by prepare_job.
         self._bound: list[LogicalOp] = []
         self._salt = ""
         self._jitter_cache: dict[str, float] = {}
-        self._memo: dict[tuple[int, Partitioning, SortOrder], tuple[RNode, float]] = {}
+        self._memo: dict[tuple[int, int, int], tuple[RNode, object]] = {}
+        self._choices: list[int] = []
+        self._pending: list[RNode] = []
+        self._priced: list[float] = []
+        self._primed: list[float] = []
+        self._candidates_considered = 0
+        self._schedule: list[tuple[int, Partitioning, SortOrder]] | None = None
         self._skel: TemplateSkeleton | None = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
 
-    def plan_job(
+    def prepare_job(
         self, template_id: str, day: int, logical_root: LogicalOp, jitter_salt: str
-    ) -> RNode:
-        """Optimize one job instance through the memoized skeleton.
+    ) -> TemplateSkeleton:
+        """Bind one job instance to its (possibly cached) skeleton.
 
-        Also records the job's *choice key* (see :attr:`last_choice_key`): the
-        ordinal of the winning candidate at every memo entry, in entry-creation
-        order.  Entry order is a pure function of the template structure, so
-        ``(template_id, choices)`` uniquely identifies the resulting plan
-        shape — the batched execution engine keys its shape-statics cache on
-        it without fingerprinting the tree.
+        Resets all per-job search state; callers then drive the replay with
+        :meth:`_optimize` (done by :meth:`plan_job` / :meth:`replan_job`, and
+        frame-by-frame by the fleet replanner's lockstep loop).
         """
         key = (template_id, day)
         skeleton = self._skeletons.get(key)
@@ -232,14 +508,24 @@ class SkeletonPlanner:
         if skeleton is None or skeleton.node_count != len(bound):
             # node_count mismatch should be impossible (template structure is
             # instance-independent); rebuilding keeps the path correct anyway.
+            if len(self._skeletons) >= self._SKELETON_CACHE_LIMIT:
+                self._skeleton_evictions += len(self._skeletons)
+                self._skeletons.clear()
             skeleton = _build_skeleton(logical_root)
             self._skeletons[key] = skeleton
+            self._skeleton_builds += 1
+        else:
+            self._skeleton_hits += 1
         self._skel = skeleton
         self._bound = bound
         self._salt = jitter_salt
         self._jitter_cache = {}
         self._memo = {}
-        self._choices: list[int] = []
+        self._choices = []
+        self._pending = []
+        self._priced = []
+        self._candidates_considered = 0
+        self._schedule = None
         # Prime one estimate per logical node.  Any candidate whose physical
         # children all carry primed estimates shares the primed value (the
         # estimate formula sees identical inputs); only subplans containing a
@@ -253,9 +539,122 @@ class SkeletonPlanner:
                 estimate_logical(bound[i], [primed[c] for c in sn.children])
             )
         self._primed = primed
+        self._jobs_replayed += 1
+        return skeleton
+
+    def plan_job(
+        self, template_id: str, day: int, logical_root: LogicalOp, jitter_salt: str
+    ) -> RNode:
+        """Optimize one job instance through the memoized skeleton.
+
+        Also records the job's *choice key* (see :attr:`last_choice_key`): the
+        ordinal of the winning candidate at every memo entry, in entry-creation
+        order.  Entry order is a pure function of the template structure, so
+        ``(template_id, choices)`` uniquely identifies the resulting plan
+        shape — the batched execution engine keys its shape-statics cache on
+        it without fingerprinting the tree.
+        """
+        skeleton = self.prepare_job(template_id, day, logical_root, jitter_salt)
         best, _cost = self._optimize(skeleton.root_index, _ANY, _NO_SORT)
         self.last_choice_key = (template_id, tuple(self._choices))
         return best
+
+    def replan_job(
+        self, template_id: str, day: int, logical_root: LogicalOp, jitter_salt: str
+    ) -> PlannedJob:
+        """Full :meth:`QueryPlanner.plan` replacement for one recurring job.
+
+        Beyond :meth:`plan_job` it materializes the winner, runs the
+        partition-strategy pass when one is configured, and reports the total
+        plan cost — everything :class:`~repro.optimizer.planner.PlannedJob`
+        carries — bitwise identical to the reference planner.  Also records
+        the skeleton's frame :attr:`~TemplateSkeleton.schedule` on first use,
+        which the fleet replanner's lockstep loop keys on.
+        """
+        start = time.perf_counter()
+        skeleton = self.prepare_job(template_id, day, logical_root, jitter_salt)
+        record = skeleton.schedule is None
+        if record:
+            self._schedule = []
+        best, _cost = self._optimize(skeleton.root_index, _ANY, _NO_SORT)
+        if record:
+            skeleton.schedule = tuple(self._schedule)
+            self._schedule = None
+        self.last_choice_key = (template_id, tuple(self._choices))
+        if self._deferred:
+            # Align lookup accounting with the reference planner, which
+            # flushes any straggling deferred candidates after the search.
+            self._flush_pending()
+        plan, total = self._finalize(best)
+        elapsed = time.perf_counter() - start
+        return PlannedJob(plan, total, elapsed, self._candidates_considered)
+
+    def _finalize(self, win: RNode) -> tuple[PhysicalOp, float]:
+        """Materialize + partition pass + total cost, as ``plan()`` would."""
+        strategy = self.config.partition_strategy
+        if strategy is not None:
+            physical = materialize(win)
+            self.estimator.reset()
+            physical = optimize_partitions(
+                physical,
+                self.cost_model,
+                self.estimator,
+                strategy,
+                max_partitions=self.config.max_partitions,
+            )
+            return physical, plan_cost(self.cost_model, physical, self.estimator)
+        if self._learned:
+            # One packed pass over the walk, with CleoService.predict_plan's
+            # exact left-fold order (see price_plans).
+            nodes = list(_walk_replay(win))
+            inputs = [_replay_feature_input(n) for n in nodes]
+            bundles = [n.bundle for n in nodes]
+            totals = self.cost_model.price_plans(inputs, bundles, [len(nodes)])
+            return materialize(win), float(totals[0])
+        # Heuristic models: CostModelBase.plan_cost's int-0 left fold.
+        total = 0
+        for node in _walk_replay(win):
+            total = total + self._cost(node)
+        return materialize(win), float(total)
+
+    def stats(self) -> SkeletonPlannerStats:
+        """Current telemetry counters (cheap; safe to call between jobs)."""
+        return SkeletonPlannerStats(
+            jobs_replayed=self._jobs_replayed,
+            skeleton_hits=self._skeleton_hits,
+            skeleton_builds=self._skeleton_builds,
+            skeleton_evictions=self._skeleton_evictions,
+            skeletons_cached=len(self._skeletons),
+            frontier_flushes=self._frontier_flushes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-job state capture (the fleet replanner's lockstep loop)
+    # ------------------------------------------------------------------ #
+
+    def _export_state(self) -> "_ReplayState":
+        st = _ReplayState()
+        st.bound = self._bound
+        st.salt = self._salt
+        st.jitter_cache = self._jitter_cache
+        st.memo = self._memo
+        st.choices = self._choices
+        st.pending = self._pending
+        st.priced = self._priced
+        st.primed = self._primed
+        st.candidates_considered = self._candidates_considered
+        return st
+
+    def _load_state(self, st: "_ReplayState") -> None:
+        self._bound = st.bound
+        self._salt = st.salt
+        self._jitter_cache = st.jitter_cache
+        self._memo = st.memo
+        self._choices = st.choices
+        self._pending = st.pending
+        self._priced = st.priced
+        self._primed = st.primed
+        self._candidates_considered = st.candidates_considered
 
     # ------------------------------------------------------------------ #
     # Node construction (the _mk analogue)
@@ -321,14 +720,18 @@ class SkeletonPlanner:
             for child in children:
                 total += child.est_out
             node.est_in = total
+        if self._learned:
+            _annotate_replay(node)
         return node
 
-    @staticmethod
-    def _with_partitions(op: RNode, partition_count: int) -> RNode:
+    def _with_partitions(self, op: RNode, partition_count: int) -> RNode:
         """A copy of ``op`` at a different partition count.
 
         Estimates are partition-independent, so they are copied rather than
-        recomputed (used by the alignment rebuild).
+        recomputed (used by the alignment rebuild) — and so are every one of
+        the learned-costing annotations (signatures and feature statistics
+        never look at partition counts; the partition feature is read off
+        the node at pricing time).
         """
         node = RNode()
         node.op_type = op.op_type
@@ -345,9 +748,19 @@ class SkeletonPlanner:
         node.est_out = op.est_out
         node.est_in = op.est_in
         node.primed = op.primed
+        if self._learned:
+            node.leaf_cards = op.leaf_cards
+            node.base_card = op.base_card
+            node.inputs = op.inputs
+            node.params = op.params
+            node.n_logical = op.n_logical
+            node.depth = op.depth
+            node.strict_sig = op.strict_sig
+            node.freq_incl = op.freq_incl
+            node.bundle = op.bundle
         return node
 
-    def _cost(self, node: RNode) -> float:
+    def _cost_inlined(self, node: RNode) -> float:
         # Inlined DefaultCostModel.operator_cost_from_stats — expression
         # order kept identical; the parity suite pins the equivalence.
         children = node.children
@@ -365,6 +778,41 @@ class SkeletonPlanner:
         else:
             cost += cpu * rows_in
         return self._inflation * cost + 1e-4
+
+    def _cost_stats(self, node: RNode) -> float:
+        # Heuristic models beyond DefaultCostModel (e.g. TunedCostModel):
+        # hand the formula the exact statistics operator_cost would have
+        # pulled from the estimator.
+        return self.cost_model.operator_cost_from_stats(
+            node.op_type,
+            node.est_in,
+            node.est_out,
+            node.children[0].row_bytes if node.children else node.row_bytes,
+            node.partition_count,
+        )
+
+    def _cost_scalar(self, node: RNode) -> float:
+        # Learned model, scalar serving path (batched=False): one service
+        # round-trip per candidate, like QueryPlanner's operator_cost calls.
+        return self.cost_model.price_input(_replay_feature_input(node), node.bundle)
+
+    def _cost_deferred(self, node: RNode):
+        # Learned model, batched: emit the reference planner's deferred-cost
+        # ledger; whole frontiers are priced at flush time in packed passes.
+        index = len(self._priced) + len(self._pending)
+        self._pending.append(node)
+        return _DeferredCost(_DeferredCost.LEAF, index)
+
+    def _flush_pending(self) -> None:
+        """Price every pending deferred operator in one packed pass."""
+        if not self._pending:
+            return
+        nodes = self._pending
+        self._pending = []
+        inputs = [_replay_feature_input(n) for n in nodes]
+        bundles = [n.bundle for n in nodes]
+        self._priced.extend(map(float, self.cost_model.price_inputs(inputs, bundles)))
+        self._frontier_flushes += 1
 
     # ------------------------------------------------------------------ #
     # Core recursion (mirrors QueryPlanner._optimize)
@@ -390,7 +838,10 @@ class SkeletonPlanner:
                 f"no implementation for {self._bound[index].op_type.value} under "
                 f"{req_part.describe()}/{req_sort.describe()}"
             )
-        if req_part is _ANY and req_sort is _NO_SORT:
+        self._candidates_considered += len(candidates)
+        if self._deferred:
+            best, best_ordinal = self._pick_deferred(candidates, req_part, req_sort)
+        elif req_part is _ANY and req_sort is _NO_SORT:
             # Enforcement is a no-op under (ANY, unsorted): every delivered
             # partitioning satisfies ANY and every sort satisfies "none".
             best = candidates[0]
@@ -411,8 +862,49 @@ class SkeletonPlanner:
         # choice key records how many candidates were in play as well
         # (packed with the winner ordinal; counts are single-digit).
         self._choices.append(best_ordinal * 16 + len(candidates))
+        if self._schedule is not None:
+            self._schedule.append((index, req_part, req_sort))
         self._memo[key] = best
         return best
+
+    def _pick_deferred(
+        self,
+        candidates: list[tuple[RNode, object]],
+        req_part: Partitioning,
+        req_sort: SortOrder,
+    ) -> tuple[tuple[RNode, object], int]:
+        """The winner under a deferred-cost ledger.
+
+        Mirrors the reference planner's batched branch: a lone candidate is
+        stored with its cost expression unresolved (no flush — the parent
+        frontier prices it), while a genuine comparison flushes the pending
+        operators in one packed pass and resolves each expression with
+        :func:`_resolve_cost`'s bit-exact arithmetic replay before the usual
+        first-seen strict ``<`` scan.
+        """
+        if req_part is _ANY and req_sort is _NO_SORT:
+            enforced = candidates
+        else:
+            enforced = [
+                self._enforce(candidate, req_part, req_sort)
+                for candidate in candidates
+            ]
+        if len(enforced) == 1:
+            return enforced[0], 0
+        self._flush_pending()
+        priced = self._priced
+        best_op, best_cost = enforced[0]
+        best_cost = _resolve_cost(best_cost, priced)
+        best = (best_op, best_cost)
+        best_ordinal = 0
+        for ordinal in range(1, len(enforced)):
+            op, cost = enforced[ordinal]
+            cost = _resolve_cost(cost, priced)
+            if cost < best_cost:
+                best = (op, cost)
+                best_cost = cost
+                best_ordinal = ordinal
+        return best, best_ordinal
 
     def _implementations(
         self, index: int, req_part: Partitioning, req_sort: SortOrder
@@ -860,7 +1352,9 @@ def materialize(node: RNode) -> PhysicalOp:
 __all__ = [
     "RNode",
     "SkeletonPlanner",
+    "SkeletonPlannerStats",
     "TemplateSkeleton",
     "materialize",
     "supports_fast_path",
+    "supports_replay",
 ]

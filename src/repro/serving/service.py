@@ -605,6 +605,38 @@ class CleoService:
             total = total + float(value)
         return total
 
+    def predict_plan_batch(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+        lengths: Sequence[int],
+    ) -> list[float]:
+        """Total costs of several plans, priced in one packed pass.
+
+        ``inputs``/``bundles`` concatenate every plan's operators in walk
+        order; ``lengths[i]`` is how many operators plan ``i`` contributed.
+        All predictions run as a single :meth:`predict_inputs` call, then
+        each plan's total is reduced with the exact left-fold order
+        :meth:`predict_plan` uses — so fleet replanning
+        (``repro.optimizer.replan``) reports per-plan costs bitwise
+        identical to a sequential :meth:`predict_plan` loop, and this is the
+        batch what-if building block ROADMAP item 5 asks for.
+        """
+        if len(inputs) != len(bundles):
+            raise ValueError("inputs and bundles must align")
+        if sum(lengths) != len(inputs):
+            raise ValueError("lengths must partition the request sequence")
+        values = self.predict_inputs(inputs, bundles)
+        totals: list[float] = []
+        offset = 0
+        for n in lengths:
+            total = 0.0
+            for value in values[offset : offset + n]:
+                total = total + float(value)
+            totals.append(total)
+            offset += n
+        return totals
+
     def cost_model(self) -> CostModel:
         """An optimizer-facing :class:`CostModel` bound to this service."""
         from repro.core.cost_model import CleoCostModel

@@ -499,6 +499,34 @@ class ClusterClient:
             total = total + float(value)
         return total
 
+    def predict_plan_batch(
+        self,
+        inputs: Sequence[FeatureInput],
+        bundles: Sequence[SignatureBundle],
+        lengths: Sequence[int],
+    ) -> list[float]:
+        """Several plans' totals through the sharded batch path.
+
+        Same contract and left-fold reduction as
+        :meth:`~repro.serving.service.CleoService.predict_plan_batch`, so
+        fleet replanning against a sharded tier stays bitwise identical to
+        the single-process service.
+        """
+        if len(inputs) != len(bundles):
+            raise ValueError("inputs and bundles must align")
+        if sum(lengths) != len(inputs):
+            raise ValueError("lengths must partition the request sequence")
+        values = self.predict_inputs(inputs, bundles)
+        totals: list[float] = []
+        offset = 0
+        for n in lengths:
+            total = 0.0
+            for value in values[offset : offset + n]:
+                total = total + float(value)
+            totals.append(total)
+            offset += n
+        return totals
+
     def explain(
         self, features: FeatureInput, signatures: SignatureBundle
     ) -> CostExplanation:

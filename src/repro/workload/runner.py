@@ -13,8 +13,8 @@ Two execution paths produce bit-identical logs:
   features vectorized per job, rows ingested straight into the columnar
   :class:`~repro.features.table.FeatureTable`
   (:class:`~repro.execution.batch.BatchedExecutionEngine`).  Falls back to
-  the scalar path for non-stock configurations (custom cost models,
-  partition strategies).
+  the scalar path for non-stock configurations (cost models without
+  ``supports_replay_costing``, partition strategies).
 * :meth:`WorkloadRunner.run_days_reference` — the retained scalar path:
   one :meth:`run_job` per job through planner and simulator, appending one
   record at a time.  It backs the parity tests and the
@@ -117,8 +117,9 @@ class WorkloadRunner:
         self.last_run_used_batched = False
         warnings.warn(
             "WorkloadRunner.run_days: configuration is not supported by the "
-            "batched engine (custom cost model, estimator subclass, or "
-            "partition strategy); falling back to the scalar reference path",
+            "batched engine (cost model without replay costing, estimator "
+            "subclass, or partition strategy); falling back to the scalar "
+            "reference path",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -96,6 +96,34 @@ class TestPredictCommand:
         assert "combined" in out
 
 
+class TestBenchCommands:
+    def test_bench_plan_defaults(self):
+        args = build_parser().parse_args(["bench-plan"])
+        assert args.scale == "small"
+        assert args.repeats == 5
+        assert args.out == "BENCH_plan.json"
+
+    def test_bench_replan_defaults(self):
+        args = build_parser().parse_args(["bench-replan"])
+        assert args.scale == "small"
+        assert args.instances == 4
+        assert args.out == "BENCH_replan.json"
+
+    def test_bench_replan_writes_parity_checked_result(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_replan.json"
+        code = main(
+            ["bench-replan", "--scale", "tiny", "--repeats", "1",
+             "--instances", "2", "--out", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replan_throughput" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["plans_bitwise_identical"] is True
+        assert payload["lookup_accounting_identical"] is True
+        assert payload["workload"]["instances_per_job"] == 2
+
+
 class TestExperimentCommand:
     def test_list_covers_every_paper_artifact(self, capsys):
         code = main(["experiment", "--list"])

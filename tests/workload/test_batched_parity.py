@@ -150,17 +150,24 @@ def test_empty_day_set_yields_empty_log():
 
 
 def test_non_stock_config_falls_back_to_reference():
-    """A custom cost model disables the fast path, loudly, but still runs."""
+    """A formula-overriding cost model disables the fast path, loudly.
+
+    The gate is the ``supports_replay_costing`` capability, not the concrete
+    class: only models whose pricing the replay cannot reproduce fall back.
+    """
     import pytest
 
     from repro.cost.default_model import DefaultCostModel
 
-    class TweakedModel(DefaultCostModel):
-        inflation = 9.0
+    class OverriddenFormulaModel(DefaultCostModel):
+        def operator_cost(self, op, estimator, partition_override=None):
+            return 2.0 * super().operator_cost(op, estimator, partition_override)
 
     cluster = DEFAULT_CLUSTERS[3]
     generator = WorkloadGenerator(_config(cluster.name, 2))
-    runner = WorkloadRunner(cluster=cluster, seed=2, cost_model=TweakedModel())
+    runner = WorkloadRunner(
+        cluster=cluster, seed=2, cost_model=OverriddenFormulaModel()
+    )
     assert not runner.batched_supported
     assert runner.last_run_used_batched is None
     with pytest.warns(RuntimeWarning, match="falling back to the scalar"):
@@ -168,6 +175,46 @@ def test_non_stock_config_falls_back_to_reference():
     assert len(log) > 0
     assert runner._skeleton_planner is None
     assert runner.last_run_used_batched is False
+
+
+def test_retuned_subclass_keeps_fast_path_with_parity():
+    """Constants-only subclasses keep the fast path — and stay bit-exact.
+
+    The old gate (``type(cost_model) is DefaultCostModel``) silently dropped
+    any subclass to the scalar path; the capability flag keeps retuned
+    models (formula intact, constants changed) on the batched engine.
+    """
+    from repro.cost.default_model import DefaultCostModel
+
+    class TweakedModel(DefaultCostModel):
+        inflation = 9.0
+
+    cluster = DEFAULT_CLUSTERS[3]
+    scalar_runner, ref_log = _run(
+        cluster, seed=2, days=[1], reference=True, cost_model=TweakedModel()
+    )
+    batched_runner, bat_log = _run(
+        cluster, seed=2, days=[1], reference=False, cost_model=TweakedModel()
+    )
+    assert batched_runner.batched_supported
+    assert batched_runner.last_run_used_batched is True
+    assert ref_log.jobs == bat_log.jobs
+
+
+def test_tuned_cost_model_keeps_fast_path_with_parity():
+    """TunedCostModel rides the stats-backed replay hook, bit-exact."""
+    from repro.cost.tuned_model import TunedCostModel
+
+    cluster = DEFAULT_CLUSTERS[1]
+    _, ref_log = _run(
+        cluster, seed=4, days=[1, 2], reference=True, cost_model=TunedCostModel()
+    )
+    batched_runner, bat_log = _run(
+        cluster, seed=4, days=[1, 2], reference=False, cost_model=TunedCostModel()
+    )
+    assert batched_runner.batched_supported
+    assert batched_runner.last_run_used_batched is True
+    assert ref_log.jobs == bat_log.jobs
 
 
 def test_stock_config_reports_batched_path():

@@ -163,3 +163,96 @@ def test_batched_and_scalar_learned_planning_agree_across_hash_seeds():
         "batched frontier pricing and the scalar predict_operator planner "
         "diverged across processes with different PYTHONHASHSEED values"
     )
+
+
+#: Trains the same tiny Cleo, then replans the test day's jobs — each
+#: replicated into three instances under distinct jitter salts, the
+#: recurring-fleet shape — through either the fleet skeleton-replay driver
+#: (``repro.optimizer.replan``) or the reference per-job ``QueryPlanner``
+#: loop (``{mode}``), and fingerprints shapes, partition counts, estimated
+#: costs, and candidate counts.
+_REPLAN_SCRIPT = """
+import hashlib
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.core.cost_model import CleoCostModel
+from repro.core.trainer import CleoTrainer
+from repro.experiments.shared import cluster_spec, workload_config
+from repro.optimizer.planner import PlannerConfig, QueryPlanner
+from repro.optimizer.replan import ReplanJob, replan_jobs
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadRunner
+from repro.workload.templates import instantiate
+
+generator = WorkloadGenerator(workload_config("cluster4", "tiny", 0))
+runner = WorkloadRunner(cluster=cluster_spec("cluster4"), seed=0)
+log = runner.run_days(generator, days=[1, 2, 3])
+predictor = CleoTrainer().train(log, individual_days=[1, 2], combined_days=[2])
+catalog = generator.catalog_for_day(3)
+jobs = [
+    ReplanJob(
+        job.job_id if k == 0 else f"{{job.job_id}}/rep{{k}}",
+        job.template.template_id,
+        job.day,
+        instantiate(job, catalog),
+    )
+    for job in generator.jobs_for_day(3)
+    for k in range(3)
+]
+mode = "{mode}"
+if mode == "fleet":
+    planned = replan_jobs(jobs, CleoCostModel(predictor), CardinalityEstimator())
+else:
+    planner = QueryPlanner(
+        CleoCostModel(predictor), CardinalityEstimator(), PlannerConfig()
+    )
+    planned = []
+    for job in jobs:
+        planner.jitter_salt = job.salt
+        planned.append(planner.plan(job.logical))
+payload = [
+    (
+        job.job_id,
+        [(op.op_type.value, op.partition_count) for op in p.plan.walk()],
+        p.estimated_cost,
+        p.candidates_considered,
+    )
+    for job, p in zip(jobs, planned)
+]
+print(hashlib.sha256(repr(payload).encode()).hexdigest())
+"""
+
+
+def _replan_with_hash_seed(hash_seed: str, mode: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _REPLAN_SCRIPT.format(mode=mode)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_fleet_replay_identical_across_hash_seeds():
+    """Learned-cost skeleton replay is hash-seed independent."""
+    digest_a = _replan_with_hash_seed("0", mode="fleet")
+    digest_b = _replan_with_hash_seed("42", mode="fleet")
+    assert digest_a == digest_b, (
+        "fleet skeleton replay chose different plans under different "
+        "PYTHONHASHSEED values - some set/dict iteration order is leaking "
+        "into the replay's costing or lockstep batching"
+    )
+
+
+def test_fleet_replay_and_reference_agree_across_hash_seeds():
+    """The fleet replay agrees with the reference planner across processes."""
+    fleet = _replan_with_hash_seed("13", mode="fleet")
+    reference = _replan_with_hash_seed("7", mode="reference")
+    assert fleet == reference, (
+        "fleet skeleton replay and the per-job QueryPlanner loop diverged "
+        "across processes with different PYTHONHASHSEED values"
+    )
