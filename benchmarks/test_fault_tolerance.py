@@ -1,0 +1,36 @@
+"""Benchmark: serving availability under deterministic fault injection.
+
+Chaos-tests the reproduction's reliability story (ROADMAP: a serving tier
+that *contains* failures): the serving load replays through the hardened
+sharded router under each named fault scenario — shard errors, timeouts,
+corrupted outputs, latency spikes, and the combined storm — and the
+degradation ladder must answer every request with finite, non-negative
+costs (availability 1.0).  The zero-fault section pins the reliability
+layer's no-op cost: outputs bitwise identical and ``ServiceStats``
+counter-identical to the pre-ladder fail-fast router.  Drops
+``BENCH_faults.json`` under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fault_tolerance import (
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def test_fault_tolerance(benchmark, results_dir):
+    # Same workload preset as the figure/table benchmarks (conftest).
+    result = benchmark.pedantic(
+        lambda: run_benchmark(scale="small", seed=0, epochs=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result(result))
+    write_result(result, results_dir / "BENCH_faults.json")
+    assert result["zero_fault"]["predictions_bitwise_identical"]
+    assert result["zero_fault"]["stats_counter_identical"]
+    assert result["baseline_availability"] == 1.0
+    assert result["all_available"]

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Run the serving chaos benchmark and write ``BENCH_faults.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_faults.py [--scale tiny|small|full]
+        [--clusters cluster1 cluster2] [--seed 0] [--epochs 2]
+        [--shards 3] [--workers 1] [--scenarios baseline mixed_chaos ...]
+        [--max-jobs N] [--out BENCH_faults.json]
+
+Replays the deterministic serving load through the hardened sharded
+router under each named fault scenario (deterministic, seeded injection
+of shard errors, timeouts, corrupted outputs, and latency spikes),
+records availability / tail latency / degraded fraction / breaker
+activity per scenario, and pins the zero-fault path bitwise- and
+counter-identical to the fail-fast router.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.fault_tolerance import (  # noqa: E402
+    DEFAULT_SCENARIOS,
+    format_result,
+    run_benchmark,
+    write_result,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    parser.add_argument(
+        "--clusters", nargs="+", default=["cluster1", "cluster2"]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=list(DEFAULT_SCENARIOS),
+        help="named fault scenarios to replay (see repro.serving.faults)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="cap jobs per cluster (smoke runs)",
+    )
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        scale=args.scale,
+        clusters=tuple(args.clusters),
+        seed=args.seed,
+        epochs=args.epochs,
+        shards=args.shards,
+        workers=args.workers,
+        scenarios=tuple(args.scenarios),
+        max_jobs_per_cluster=args.max_jobs,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["zero_fault"]["predictions_bitwise_identical"]:
+        print("ERROR: hardened router diverged from the fail-fast fleet")
+        return 1
+    if not result["zero_fault"]["stats_counter_identical"]:
+        print("ERROR: hardened router stats diverged with faults disabled")
+        return 1
+    if not result["all_available"]:
+        print("ERROR: a fault scenario dropped below availability 1.0")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

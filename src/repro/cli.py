@@ -27,7 +27,11 @@ Eight commands cover the library's day-to-day loops without writing code:
   replicated into several live instances) through the per-job batched
   planner and the fleet skeleton-replay driver and write
   ``BENCH_replan.json`` (timings, bitwise plan parity, and per-prediction
-  lookup accounting).
+  lookup accounting);
+* ``bench-faults`` — replay the serving load through the hardened router
+  under each deterministic fault scenario and write ``BENCH_faults.json``
+  (availability, p99 under faults, degraded fraction, breaker activity,
+  zero-fault bitwise/counter parity).
 
 Every command is deterministic given ``--seed``.
 """
@@ -339,6 +343,47 @@ def cmd_bench_replan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_tolerance import (
+        format_result,
+        run_benchmark,
+        write_result,
+    )
+
+    result = run_benchmark(
+        scale=args.scale,
+        clusters=tuple(args.clusters),
+        seed=args.seed,
+        epochs=args.epochs,
+        shards=args.shards,
+        workers=args.workers,
+        scenarios=tuple(args.scenarios),
+        max_jobs_per_cluster=args.max_jobs,
+    )
+    path = write_result(result, args.out)
+    print(format_result(result))
+    print(f"wrote {path}")
+    if not result["zero_fault"]["predictions_bitwise_identical"]:
+        print(
+            "ERROR: hardened router diverged from the fail-fast fleet",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["zero_fault"]["stats_counter_identical"]:
+        print(
+            "ERROR: hardened router stats diverged with faults disabled",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["all_available"]:
+        print(
+            "ERROR: a fault scenario dropped below availability 1.0",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster", default="cluster1", help="cluster name (default: cluster1)")
     parser.add_argument("--tables", type=int, default=8, help="base tables (default: 8)")
@@ -438,6 +483,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_breplan.add_argument("--out", default="BENCH_replan.json",
                            help="output JSON path (default: BENCH_replan.json)")
     p_breplan.set_defaults(func=cmd_bench_replan)
+
+    p_faults = sub.add_parser(
+        "bench-faults",
+        help="chaos-test the hardened serving fleet, write BENCH_faults.json",
+    )
+    p_faults.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                          help="workload scale (default: small)")
+    p_faults.add_argument("--clusters", nargs="+", default=["cluster1", "cluster2"],
+                          help="clusters to serve (default: cluster1 cluster2)")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="deterministic seed (default: 0)")
+    p_faults.add_argument("--epochs", type=int, default=2,
+                          help="replay epochs per scenario (default: 2)")
+    p_faults.add_argument("--shards", type=int, default=3,
+                          help="shard count (default: 3)")
+    p_faults.add_argument("--workers", type=int, default=1,
+                          help="fan-out workers; 1 keeps breaker replay exact (default: 1)")
+    p_faults.add_argument("--scenarios", nargs="+",
+                          default=["baseline", "latency_spikes", "shard_errors",
+                                   "timeouts", "corrupt_outputs", "mixed_chaos"],
+                          help="named fault scenarios (see repro.serving.faults)")
+    p_faults.add_argument("--max-jobs", type=int, default=None,
+                          help="cap jobs per cluster (smoke runs)")
+    p_faults.add_argument("--out", default="BENCH_faults.json",
+                          help="output JSON path (default: BENCH_faults.json)")
+    p_faults.set_defaults(func=cmd_bench_faults)
 
     return parser
 

@@ -31,3 +31,25 @@ class SimulationError(CleoError):
 
 class ValidationError(CleoError):
     """An application-level API was called with inconsistent arguments."""
+
+
+class FeatureValidationError(ValidationError, ValueError):
+    """A serving request carried unusable inputs (NaN/inf features,
+    misaligned sequences, missing signature columns).
+
+    Also a ``ValueError`` so pre-existing callers that guarded the serving
+    entry points with ``except ValueError`` keep working.
+    """
+
+
+class ShardError(CleoError):
+    """A serving shard failed to answer (raised, timed out, or returned
+    corrupt predictions).  ``shard`` names the failing shard when known."""
+
+    def __init__(self, message: str, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardTimeoutError(ShardError):
+    """A serving shard exceeded its deadline."""

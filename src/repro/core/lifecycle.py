@@ -24,7 +24,9 @@ ablation benchmark sweeps.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from statistics import median
 
 from repro.common.errors import ValidationError
 from repro.core.config import CleoConfig
@@ -44,6 +46,15 @@ class RetrainPolicy:
         frequency_days: scheduled days between retrains (the paper: 10).
         drift_threshold_pct: optional early-retrain trigger — retrain the
             next morning whenever a day's median error exceeds this.
+        drift_window_days: how many trailing scored days feed the rolling
+            drift detector.
+        drift_degradation_factor: optional *relative* early-retrain
+            trigger — retrain when the rolling median of the last
+            ``drift_window_days`` daily median errors exceeds the active
+            version's baseline (its first scored day) by this factor.
+            Unlike ``drift_threshold_pct`` it needs no absolute error
+            budget, so it fires on degradation even for workloads whose
+            healthy error level is unknown up front.
         regression_factor: a freshly published version whose first-day
             median error exceeds the previous version's by more than this
             factor is rolled back (Section 6.7's pre-production gate).
@@ -52,6 +63,8 @@ class RetrainPolicy:
     window_days: int = 2
     frequency_days: int = 10
     drift_threshold_pct: float | None = None
+    drift_window_days: int = 3
+    drift_degradation_factor: float | None = None
     regression_factor: float | None = 2.0
 
     def __post_init__(self) -> None:
@@ -61,6 +74,13 @@ class RetrainPolicy:
             raise ValidationError("frequency_days must be >= 1")
         if self.drift_threshold_pct is not None and self.drift_threshold_pct <= 0:
             raise ValidationError("drift_threshold_pct must be positive")
+        if self.drift_window_days < 1:
+            raise ValidationError("drift_window_days must be >= 1")
+        if (
+            self.drift_degradation_factor is not None
+            and self.drift_degradation_factor <= 1.0
+        ):
+            raise ValidationError("drift_degradation_factor must exceed 1.0")
         if self.regression_factor is not None and self.regression_factor <= 1.0:
             raise ValidationError("regression_factor must exceed 1.0")
 
@@ -185,6 +205,20 @@ class LifecycleManager:
         self._trainer = CleoTrainer(self.config)
         self._last_train_day: int | None = None
         self._drift_pending = False
+        self._error_window: deque[float] = deque(maxlen=self.policy.drift_window_days)
+        self._baseline_error: float | None = None
+
+    @property
+    def drift_pending(self) -> bool:
+        """Whether a drift trigger has armed an early retrain."""
+        return self._drift_pending
+
+    @property
+    def rolling_median_error(self) -> float | None:
+        """Median of the last ``drift_window_days`` daily median errors."""
+        if not self._error_window:
+            return None
+        return float(median(self._error_window))
 
     # ------------------------------------------------------------------ #
     # Replay
@@ -228,6 +262,12 @@ class LifecycleManager:
             self._drift_pending = False
             retrained = True
             rolled_back = self._gate_new_version(previous, day_log)
+            if not rolled_back:
+                # A fresh version serves: its error level defines a new
+                # drift baseline, so yesterday's degraded days must not
+                # keep re-triggering retrains.
+                self._error_window.clear()
+                self._baseline_error = None
             if rolled_back:
                 # The fresh version was discarded, so the stale predecessor
                 # keeps serving.  Leave the early-retrain trigger armed:
@@ -246,6 +286,7 @@ class LifecycleManager:
             and quality.median_error_pct > self.policy.drift_threshold_pct
         ):
             self._drift_pending = True
+        self._track_drift(quality.median_error_pct)
         return DayOutcome(
             day=day,
             active_version=self.registry.active().version,
@@ -257,6 +298,25 @@ class LifecycleManager:
     # ------------------------------------------------------------------ #
     # Policy internals
     # ------------------------------------------------------------------ #
+
+    def _track_drift(self, median_error_pct: float) -> None:
+        """Feed the rolling drift detector with one scored day.
+
+        The first scored day of an active version sets the baseline (floored
+        away from zero so a perfect first day cannot make every later error
+        look like drift); once the window is full, a rolling median beyond
+        ``baseline * drift_degradation_factor`` arms an early retrain.
+        """
+        if self._baseline_error is None:
+            self._baseline_error = max(float(median_error_pct), 1e-6)
+        self._error_window.append(float(median_error_pct))
+        factor = self.policy.drift_degradation_factor
+        if factor is None:
+            return
+        if len(self._error_window) < self.policy.drift_window_days:
+            return
+        if float(median(self._error_window)) > self._baseline_error * factor:
+            self._drift_pending = True
 
     def _should_retrain(self, day: int) -> bool:
         if not self.registry.has_active or self._last_train_day is None:

@@ -132,5 +132,19 @@ class ModelQuarantine:
                 report.removed[kind] = report.removed.get(kind, 0) + 1
         return report
 
+    def quarantine(self, store: ModelStore, kind: ModelKind, signature: int) -> bool:
+        """Remove one model caught misbehaving at the serving boundary.
+
+        The statistical :meth:`audit` needs a log of observations; the
+        serving tier instead catches red-handed offenders (non-finite or
+        negative predictions) and removes them directly.  Idempotent:
+        returns ``False`` when the model is already gone, so repeated
+        repair passes never double-count a removal.
+        """
+        if store.get(kind, signature) is None:
+            return False
+        store.remove(kind, signature)
+        return True
+
     def audit_predictor(self, predictor: CleoPredictor, log: RunLog) -> QuarantineReport:
         return self.audit(predictor.store, log)

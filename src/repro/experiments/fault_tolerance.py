@@ -1,0 +1,315 @@
+"""Chaos benchmark: serving availability under deterministic fault injection.
+
+The paper's Section 6.7 regression-control story assumes the serving tier
+*contains* failures instead of propagating them.  This benchmark replays
+the PR 6 serving load (per-job batched predictions plus whole-plan
+costings, round-robin across clusters) through a hardened
+:class:`~repro.serving.shard.router.ShardedCleoRouter` under each named
+:data:`~repro.serving.faults.SCENARIOS` fault policy, and measures what
+the degradation ladder delivers:
+
+* **availability** — the fraction of requests answered with finite,
+  non-negative predictions (the ladder's contract is 1.0: a request may be
+  degraded, never dropped or poisoned);
+* **tail latency under faults** — p50/p99 across the replay;
+* **degraded fraction** — how many predictions fell below the learned
+  tier (heuristic floor / bounded default);
+* **breaker and retry activity** — ladder retries, circuit-breaker opens,
+  per-kind injected-fault counts.
+
+The **zero-fault section** pins the reliability layer's no-op cost: with
+no injector, the hardened router's outputs are bitwise identical and its
+``ServiceStats`` counter-identical to the pre-ladder fail-fast router
+(``resilience=None``) and the single-process baseline.
+
+Fault decisions are pure functions of ``(seed, shard, cluster, sub-batch,
+attempt)``, so every scenario run is exactly reproducible; the chaos
+replay defaults to one fan-out worker so breaker state transitions are
+replayable too (with threads, failure *interleaving* — and thus breaker
+trip points — depends on scheduling).
+
+Run ``python scripts/bench_faults.py`` to emit ``BENCH_faults.json``, or
+``benchmarks/test_fault_tolerance.py`` under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.shared import get_bundle
+from repro.serving.faults import SCENARIOS, FaultInjector
+from repro.serving.service import CleoService, ServiceStats
+from repro.serving.shard.health import ResilienceConfig
+from repro.serving.shard.loadgen import (
+    PlanJob,
+    ServiceBackend,
+    ServingLoad,
+    build_load,
+    run_load,
+)
+from repro.serving.shard.router import ShardedCleoRouter
+
+#: Scenario replay order: the no-fault control first, then each single
+#: fault class in isolation, then the combined storm.
+DEFAULT_SCENARIOS: tuple[str, ...] = (
+    "baseline",
+    "latency_spikes",
+    "shard_errors",
+    "timeouts",
+    "corrupt_outputs",
+    "mixed_chaos",
+)
+
+
+def _chaos_replay(backend, load: ServingLoad, epochs: int) -> dict:
+    """Replay the load, tolerating and counting per-request failures.
+
+    Unlike :func:`~repro.serving.shard.loadgen.run_load` (which lets any
+    exception abort the replay — correct for parity benchmarks), a chaos
+    replay must survive whatever the backend throws and score it: a
+    request counts as *available* only if it returned finite, non-negative
+    predictions.
+    """
+    latencies: list[float] = []
+    available = 0
+    total = 0
+    for _ in range(epochs):
+        for request in load.requests:
+            start = time.perf_counter()
+            try:
+                if isinstance(request, PlanJob):
+                    value = backend.predict_plan(
+                        request.cluster,
+                        request.root,
+                        load.fresh_estimator(request.cluster),
+                    )
+                    ok = math.isfinite(value) and value >= 0.0
+                else:
+                    values = backend.predict_batch(
+                        request.cluster, list(request.requests)
+                    )
+                    ok = bool(
+                        np.isfinite(values).all() and (values >= 0.0).all()
+                    )
+            except Exception:
+                ok = False
+            latencies.append(time.perf_counter() - start)
+            total += 1
+            if ok:
+                available += 1
+    lat = np.asarray(latencies, dtype=float)
+    return {
+        "available": available,
+        "total": total,
+        "availability": available / total if total else 1.0,
+        "latency_p50_ms": float(1e3 * np.quantile(lat, 0.50)),
+        "latency_p99_ms": float(1e3 * np.quantile(lat, 0.99)),
+    }
+
+
+def _zero_fault_section(
+    predictors: dict,
+    load: ServingLoad,
+    capacity: int,
+    shards: int,
+    workers: int,
+    epochs: int,
+    resilience: ResilienceConfig,
+) -> dict:
+    """Pin the reliability layer's zero-fault parity contract."""
+    baseline_services = {
+        cluster: CleoService(predictor, prediction_cache_size=capacity)
+        for cluster, predictor in predictors.items()
+    }
+    baseline = run_load(ServiceBackend(baseline_services), load, epochs=epochs)
+
+    with ShardedCleoRouter(
+        predictors,
+        n_shards=shards,
+        n_workers=workers,
+        prediction_cache_size=capacity,
+        resilience=resilience,
+    ) as hardened_router:
+        hardened = run_load(hardened_router, load, epochs=epochs)
+        hardened_stats = hardened_router.stats()
+
+    with ShardedCleoRouter(
+        predictors,
+        n_shards=shards,
+        n_workers=workers,
+        prediction_cache_size=capacity,
+        resilience=None,
+    ) as legacy_router:
+        legacy = run_load(legacy_router, load, epochs=epochs)
+        legacy_stats = legacy_router.stats()
+
+    bitwise = bool(
+        len(hardened.predictions) == len(baseline.predictions)
+        and all(
+            np.array_equal(a, b)
+            for a, b in zip(baseline.predictions, hardened.predictions)
+        )
+        and hardened.plan_totals == baseline.plan_totals
+        and all(
+            np.array_equal(a, b)
+            for a, b in zip(legacy.predictions, hardened.predictions)
+        )
+        and hardened.plan_totals == legacy.plan_totals
+    )
+    return {
+        "predictions_bitwise_identical": bitwise,
+        "stats_counter_identical": hardened_stats == legacy_stats,
+        "retries": hardened_stats.retries,
+        "breaker_opens": hardened_stats.breaker_opens,
+        "degraded_predictions": hardened_stats.degraded_predictions,
+    }
+
+
+def run_benchmark(
+    scale: str = "small",
+    clusters: tuple[str, ...] = ("cluster1", "cluster2"),
+    seed: int = 0,
+    epochs: int = 2,
+    shards: int = 3,
+    workers: int = 1,
+    scenarios: tuple[str, ...] = DEFAULT_SCENARIOS,
+    cache_fraction: float = 0.5,
+    max_jobs_per_cluster: int | None = None,
+) -> dict:
+    """Replay the serving load under every fault scenario; JSON-ready dict."""
+    unknown = [name for name in scenarios if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown fault scenarios {unknown}; have {sorted(SCENARIOS)}")
+    bundles = {
+        cluster: get_bundle(cluster, scale=scale, seed=seed) for cluster in clusters
+    }
+    load: ServingLoad = build_load(bundles, max_jobs_per_cluster=max_jobs_per_cluster)
+    capacity = load.suggested_cache_capacity(cache_fraction)
+    predictors = {cluster: bundle.predictor() for cluster, bundle in bundles.items()}
+    resilience = ResilienceConfig()
+
+    zero_fault = _zero_fault_section(
+        predictors, load, capacity, shards, workers, epochs, resilience
+    )
+
+    scenario_rows: list[dict] = []
+    for name in scenarios:
+        policy = replace(SCENARIOS[name], seed=seed)
+        injector = FaultInjector(policy)
+        with ShardedCleoRouter(
+            predictors,
+            n_shards=shards,
+            n_workers=workers,
+            prediction_cache_size=capacity,
+            resilience=resilience,
+            fault_injector=injector,
+        ) as router:
+            measures = _chaos_replay(router, load, epochs)
+            stats = router.stats()
+            health = router.resilience_stats()
+            injected = router.fault_stats()
+        predictions_issued = stats.predictions or 1
+        scenario_rows.append(
+            {
+                "scenario": name,
+                "policy": {
+                    "error_rate": policy.error_rate,
+                    "timeout_rate": policy.timeout_rate,
+                    "corrupt_rate": policy.corrupt_rate,
+                    "latency_rate": policy.latency_rate,
+                    "seed": policy.seed,
+                },
+                "availability": round(measures["availability"], 6),
+                "latency_p50_ms": round(measures["latency_p50_ms"], 4),
+                "latency_p99_ms": round(measures["latency_p99_ms"], 4),
+                "injected_faults": injected,
+                "retries": stats.retries,
+                "breaker_opens": stats.breaker_opens,
+                "degraded_predictions": stats.degraded_predictions,
+                "degraded_fraction": round(
+                    stats.degraded_predictions / predictions_issued, 6
+                ),
+                "breaker_states": [h.state.value for h in health],
+                "shard_failure_rates": [
+                    round(h.window_failure_rate, 4) for h in health
+                ],
+            }
+        )
+
+    baseline_rows = [r for r in scenario_rows if r["scenario"] == "baseline"]
+    return {
+        "benchmark": "fault_tolerance",
+        "workload": {
+            "clusters": list(load.clusters),
+            "scale": scale,
+            "seed": seed,
+            "epochs": epochs,
+            "shards": shards,
+            "workers": workers,
+            "requests_per_epoch": len(load.requests),
+            "predictions_per_epoch": load.n_predictions,
+            "per_shard_cache_capacity": capacity,
+        },
+        "resilience": {
+            "max_retries": resilience.max_retries,
+            "failure_threshold": resilience.failure_threshold,
+            "window": resilience.window,
+            "cooldown_calls": resilience.cooldown_calls,
+            "deadline_s": resilience.deadline_s,
+        },
+        "zero_fault": zero_fault,
+        "scenarios": scenario_rows,
+        "baseline_availability": (
+            baseline_rows[0]["availability"] if baseline_rows else None
+        ),
+        "all_available": all(r["availability"] == 1.0 for r in scenario_rows),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def write_result(result: dict, path: str | Path) -> Path:
+    """Write the benchmark result as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def format_result(result: dict) -> str:
+    """Human summary: one line per scenario plus the parity headline."""
+    workload = result["workload"]
+    lines = [
+        f"fault_tolerance [{'+'.join(workload['clusters'])} "
+        f"scale={workload['scale']} seed={workload['seed']} "
+        f"epochs={workload['epochs']}, {workload['shards']} shard(s) x "
+        f"{workload['workers']} worker(s)]: "
+        f"{workload['predictions_per_epoch']} predictions per epoch"
+    ]
+    zero = result["zero_fault"]
+    lines.append(
+        f"  zero-fault: bitwise={zero['predictions_bitwise_identical']}, "
+        f"stats identical to fail-fast router="
+        f"{zero['stats_counter_identical']}"
+    )
+    for row in result["scenarios"]:
+        injected = row["injected_faults"].get("total", 0)
+        lines.append(
+            f"  {row['scenario']}: availability {row['availability']:.4f}, "
+            f"{injected} faults injected, {row['retries']} retries, "
+            f"{row['breaker_opens']} breaker opens, "
+            f"degraded {row['degraded_fraction']:.4f}, "
+            f"p99 {row['latency_p99_ms']:.2f} ms"
+        )
+    lines.append(f"  all scenarios fully available: {result['all_available']}")
+    return "\n".join(lines)

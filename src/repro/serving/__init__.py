@@ -7,6 +7,14 @@ cached, the way the paper's production deployment consults them
 """
 
 from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.faults import (
+    SCENARIOS,
+    FaultInjector,
+    FaultKind,
+    FaultPolicy,
+    InjectedFaultError,
+    InjectedTimeoutError,
+)
 from repro.serving.service import (
     CleoService,
     PredictionRequest,
@@ -17,8 +25,14 @@ from repro.serving.service import (
 __all__ = [
     "CacheStats",
     "CleoService",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPolicy",
+    "InjectedFaultError",
+    "InjectedTimeoutError",
     "LRUCache",
     "PredictionRequest",
+    "SCENARIOS",
     "ServiceStats",
     "as_cost_model",
 ]

@@ -33,6 +33,7 @@ Serving-grade mechanics:
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,18 +42,20 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.cardinality.estimator import CardinalityEstimator
+from repro.common.errors import FeatureValidationError
 from repro.core.combined import build_meta_matrix, build_meta_matrix_reference
-from repro.core.config import CleoConfig, ModelKind
+from repro.core.config import SPECIFICITY_ORDER, CleoConfig, ModelKind
 from repro.core.packed import predict_most_specific, resource_profiles_most_specific
-from repro.core.learned_model import ResourceProfile
+from repro.core.learned_model import _MAX_PREDICT_SECONDS, ResourceProfile
 from repro.core.lifecycle import ModelRegistry, ModelVersion
 from repro.core.model_store import ModelStore, signature_for
 from repro.core.predictor import CleoPredictor
+from repro.core.regression_control import ModelQuarantine
 from repro.core.trainer import CleoTrainer
 from repro.cost.interface import CostExplanation, CostModel
 from repro.execution.runtime_log import OperatorRecord, RunLog
 from repro.features.extract import feature_input_for
-from repro.features.featurizer import FeatureInput
+from repro.features.featurizer import COLUMN_NAMES, FeatureInput
 from repro.features.table import FeatureTable
 from repro.plan.physical import PhysicalOp
 from repro.plan.signatures import SignatureBundle
@@ -64,6 +67,19 @@ DEFAULT_PREDICTION_CACHE = 65_536
 
 #: Default bundle-cache capacity: a few hundred plans' worth of operators.
 DEFAULT_BUNDLE_CACHE = 8_192
+
+#: The answer of last resort when even the repair path produced garbage.
+_BOUNDED_DEFAULT_COST = 1.0
+
+#: Serializes quarantine-and-reprice across services sharing a store: a
+#: ``ModelStore.remove`` while another thread walks the model dicts (packed
+#: bank recompilation) would mutate them mid-iteration.
+_REPAIR_LOCK = threading.Lock()
+
+
+def _value_ok(value: float) -> bool:
+    """A serveable prediction: finite and non-negative."""
+    return math.isfinite(value) and value >= 0.0
 
 
 @dataclass(frozen=True)
@@ -107,6 +123,15 @@ class ServiceStats:
     #: Batch requests answered by deduplication against an identical request
     #: in the *same* batch (computed once, reused without a cache entry).
     in_batch_reuses: int
+    #: Ring-successor retries the sharded router issued (router-level).
+    retries: int = 0
+    #: Circuit-breaker CLOSED -> OPEN transitions across the fleet.
+    breaker_opens: int = 0
+    #: Requests answered below the learned tier: the router's heuristic /
+    #: bounded-default floor, or the service's quarantine-and-reprice path.
+    degraded_predictions: int = 0
+    #: Models removed by boundary output validation (the bank recompiles).
+    quarantined_models: int = 0
 
     @property
     def model_calls(self) -> int:
@@ -140,10 +165,14 @@ class ServiceStats:
             combined_model_calls=sum(p.combined_model_calls for p in parts),
             fallback_predictions=sum(p.fallback_predictions for p in parts),
             in_batch_reuses=sum(p.in_batch_reuses for p in parts),
+            retries=sum(p.retries for p in parts),
+            breaker_opens=sum(p.breaker_opens for p in parts),
+            degraded_predictions=sum(p.degraded_predictions for p in parts),
+            quarantined_models=sum(p.quarantined_models for p in parts),
         )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.predictions} predictions "
             f"({self.batches} batches, {self.scalar_predictions} scalar), "
             f"cache {self.cache.hits}/{self.cache.requests} hits "
@@ -153,6 +182,15 @@ class ServiceStats:
             f"{self.combined_model_calls} combined vectorized model calls, "
             f"{self.fallback_predictions} global fallbacks"
         )
+        if self.retries or self.breaker_opens or self.degraded_predictions:
+            text += (
+                f"; reliability: {self.retries} retries, "
+                f"{self.breaker_opens} breaker opens, "
+                f"{self.degraded_predictions} degraded"
+            )
+        if self.quarantined_models:
+            text += f", {self.quarantined_models} models quarantined"
+        return text
 
 
 class CleoService:
@@ -167,6 +205,15 @@ class CleoService:
         bundle_cache_size: LRU capacity of the per-operator signature-bundle
             cache used by the optimizer-facing path.
         registry: versioned deployment registry; a fresh one when omitted.
+        validate_inputs: reject requests carrying non-finite feature values
+            with :class:`~repro.common.errors.FeatureValidationError`
+            instead of pricing garbage.
+        validate_outputs: check every prediction leaving the service for
+            non-finite / negative values; offenders trigger the
+            quarantine-and-reprice repair path.
+        quarantine: the :class:`~repro.core.regression_control.
+            ModelQuarantine` used by the repair path; a default one when
+            omitted.
     """
 
     def __init__(
@@ -176,12 +223,18 @@ class CleoService:
         prediction_cache_size: int = DEFAULT_PREDICTION_CACHE,
         bundle_cache_size: int = DEFAULT_BUNDLE_CACHE,
         registry: ModelRegistry | None = None,
+        validate_inputs: bool = True,
+        validate_outputs: bool = True,
+        quarantine: ModelQuarantine | None = None,
     ) -> None:
         self.config = config or CleoConfig()
         self._prediction_cache = LRUCache(prediction_cache_size)
         self._bundle_cache = LRUCache(bundle_cache_size)
         self._predictor = predictor
         self.registry = registry or ModelRegistry()
+        self._validate_inputs = bool(validate_inputs)
+        self._validate_outputs = bool(validate_outputs)
+        self._model_quarantine = quarantine or ModelQuarantine()
         # Guards every serving counter (including the predictor's
         # lookup_count, whose `+=` is a read-modify-write): the sharded tier
         # fans batches across threads, and torn increments would corrupt the
@@ -194,6 +247,8 @@ class CleoService:
         self._combined_calls = 0
         self._fallbacks = 0
         self._batch_reuses = 0
+        self._degraded = 0
+        self._quarantined = 0
 
     @property
     def predictor(self) -> CleoPredictor:
@@ -275,7 +330,11 @@ class CleoService:
             with self._stats_lock:
                 self._scalar_predictions += 1
             return cached
+        if self._validate_inputs:
+            self._check_features(features)
         value = self.predictor.predict(features, signatures)
+        if self._validate_outputs and not _value_ok(value):
+            value = float(self._repair_rows([features], [signatures])[0])
         is_fallback = self._is_fallback(signatures)
         self._prediction_cache.put(key, value)
         with self._stats_lock:
@@ -369,6 +428,10 @@ class CleoService:
             if cached is not None:
                 out[i] = cached
             else:
+                if self._validate_inputs:
+                    # Only first-seen uncached keys pay the check: cached
+                    # entries already passed it before insertion.
+                    self._check_features(request.features)
                 pending[key] = [i]
                 uncached += 1
 
@@ -393,6 +456,10 @@ class CleoService:
             values = self._compute_batch(
                 keys, [len(pending[k]) for k in keys], reference
             )
+            if self._validate_outputs:
+                values = self._validated_values(
+                    values, [k[0] for k in keys], [k[1] for k in keys]
+                )
             for key, value in zip(keys, values):
                 scalar = float(value)
                 self._prediction_cache.put(key, scalar)
@@ -429,8 +496,16 @@ class CleoService:
         match a **cache-disabled** :meth:`predict_batch` exactly.
         """
         if not table.has_signatures:
-            raise ValueError("predict_table requires a table with signature columns")
+            raise FeatureValidationError(
+                "predict_table requires a table with signature columns"
+            )
         n = len(table)
+        if self._validate_inputs and n:
+            for name in COLUMN_NAMES:
+                if not np.isfinite(getattr(table, name)).all():
+                    raise FeatureValidationError(
+                        f"non-finite values in feature column {name!r}"
+                    )
         predictor = self._predictor
         with self._stats_lock:
             self._batches += 1
@@ -450,13 +525,16 @@ class CleoService:
             with self._stats_lock:
                 self._individual_calls += calls
                 self._combined_calls += 1
-            return combined.predict_rows(rows)
-        values, n_groups, n_fallbacks = predict_most_specific(
-            predictor.store, table, predictor.fallback_cost
-        )
-        with self._stats_lock:
-            self._individual_calls += n_groups
-            self._fallbacks += n_fallbacks
+            values = combined.predict_rows(rows)
+        else:
+            values, n_groups, n_fallbacks = predict_most_specific(
+                predictor.store, table, predictor.fallback_cost
+            )
+            with self._stats_lock:
+                self._individual_calls += n_groups
+                self._fallbacks += n_fallbacks
+        if self._validate_outputs:
+            values = self._validated_table(table, values)
         return values
 
     def predict_inputs(
@@ -476,7 +554,7 @@ class CleoService:
         exactly.  Values are bitwise identical either way.
         """
         if len(inputs) != len(bundles):
-            raise ValueError("inputs and bundles must align")
+            raise FeatureValidationError("inputs and bundles must align")
         if self.prediction_cache_enabled:
             requests = [
                 PredictionRequest(features, bundle)
@@ -564,6 +642,124 @@ class CleoService:
         return rows
 
     # ------------------------------------------------------------------ #
+    # Boundary validation and repair
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_features(features: FeatureInput) -> None:
+        for name in COLUMN_NAMES:
+            if not math.isfinite(getattr(features, name)):
+                raise FeatureValidationError(
+                    f"non-finite feature {name}={getattr(features, name)!r} "
+                    "in serving request"
+                )
+
+    def _validated_values(
+        self,
+        values: np.ndarray,
+        features: "list[FeatureInput]",
+        bundles: "list[SignatureBundle]",
+    ) -> np.ndarray:
+        """Repair any non-finite / negative predictions in a batch result."""
+        values = np.asarray(values, dtype=float)
+        bad = ~(np.isfinite(values) & (values >= 0.0))
+        if not bad.any():
+            return values
+        idx = np.flatnonzero(bad)
+        out = values.copy()
+        out[idx] = self._repair_rows(
+            [features[i] for i in idx], [bundles[i] for i in idx]
+        )
+        return out
+
+    def _validated_table(self, table: FeatureTable, values: np.ndarray) -> np.ndarray:
+        """Table-path output validation: rebuild offending rows and repair."""
+        values = np.asarray(values, dtype=float)
+        bad = ~(np.isfinite(values) & (values >= 0.0))
+        if not bad.any():
+            return values
+        idx = np.flatnonzero(bad)
+        inputs = [
+            FeatureInput(
+                **{name: float(getattr(table, name)[i]) for name in COLUMN_NAMES}
+            )
+            for i in idx
+        ]
+        bundles = [
+            SignatureBundle(
+                strict=int(table.signatures["strict"][i]),
+                approx=int(table.signatures["approx"][i]),
+                input=int(table.signatures["input"][i]),
+                operator=int(table.signatures["operator"][i]),
+            )
+            for i in idx
+        ]
+        out = values.copy()
+        out[idx] = self._repair_rows(inputs, bundles)
+        return out
+
+    def _repair_rows(
+        self,
+        inputs: "list[FeatureInput]",
+        bundles: "list[SignatureBundle]",
+    ) -> np.ndarray:
+        """Quarantine the models behind corrupt predictions and re-price.
+
+        Every ``(row, model kind)`` pair is probed — a model can be finite
+        on one row and NaN on another, so first-bad-occurrence shortcuts
+        would leave corruption in the bank.  Offenders are removed through
+        :class:`ModelQuarantine` (``ModelStore.remove`` bumps the version,
+        recompiling the packed bank lazily), then the rows are re-priced
+        down the remaining chain: combined model, most-specific survivor,
+        global fallback, bounded default.
+        """
+        predictor = self.predictor
+        store = predictor.store
+        with _REPAIR_LOCK:
+            offenders: dict[tuple[ModelKind, int], None] = {}
+            for features, bundle in zip(inputs, bundles):
+                for kind in SPECIFICITY_ORDER:
+                    signature = signature_for(kind, bundle)
+                    if (kind, signature) in offenders:
+                        continue
+                    model = store.get(kind, signature)
+                    if model is None:
+                        continue
+                    if not _value_ok(model.predict_one(features)):
+                        offenders[(kind, signature)] = None
+            removed = sum(
+                1
+                for kind, signature in offenders
+                if self._model_quarantine.quarantine(store, kind, signature)
+            )
+            combined = predictor.combined
+            out = np.empty(len(inputs), dtype=float)
+            for i, (features, bundle) in enumerate(zip(inputs, bundles)):
+                value: float | None = None
+                if combined is not None and combined.is_fitted:
+                    candidate = float(combined.predict_one(features, bundle))
+                    if _value_ok(candidate):
+                        value = candidate
+                if value is None:
+                    best = store.most_specific(bundle)
+                    if best is not None:
+                        candidate = float(best[1].predict_one(features))
+                        if _value_ok(candidate):
+                            value = candidate
+                if value is None or not _value_ok(value):
+                    value = float(predictor.fallback_cost)
+                if not _value_ok(value):
+                    value = _BOUNDED_DEFAULT_COST
+                out[i] = min(value, _MAX_PREDICT_SECONDS)
+        if removed:
+            # Drop predictions the quarantined models may have produced.
+            self._prediction_cache.clear()
+        with self._stats_lock:
+            self._quarantined += removed
+            self._degraded += len(inputs)
+        return out
+
+    # ------------------------------------------------------------------ #
     # Operator / plan entry points (optimizer-facing)
     # ------------------------------------------------------------------ #
 
@@ -623,9 +819,9 @@ class CleoService:
         batch what-if building block ROADMAP item 5 asks for.
         """
         if len(inputs) != len(bundles):
-            raise ValueError("inputs and bundles must align")
+            raise FeatureValidationError("inputs and bundles must align")
         if sum(lengths) != len(inputs):
-            raise ValueError("lengths must partition the request sequence")
+            raise FeatureValidationError("lengths must partition the request sequence")
         values = self.predict_inputs(inputs, bundles)
         totals: list[float] = []
         offset = 0
@@ -750,6 +946,8 @@ class CleoService:
                 combined_model_calls=self._combined_calls,
                 fallback_predictions=self._fallbacks,
                 in_batch_reuses=self._batch_reuses,
+                degraded_predictions=self._degraded,
+                quarantined_models=self._quarantined,
             )
 
     def reset_stats(self) -> None:
@@ -762,6 +960,8 @@ class CleoService:
             self._combined_calls = 0
             self._fallbacks = 0
             self._batch_reuses = 0
+            self._degraded = 0
+            self._quarantined = 0
         self._prediction_cache.reset_stats()
         self._bundle_cache.reset_stats()
 

@@ -17,15 +17,27 @@ Section 5.1):
   predict/plan request stream behind the serving load test.
 """
 
+from repro.serving.shard.health import (
+    DEFAULT_RESILIENCE,
+    BreakerState,
+    ResilienceConfig,
+    ShardHealth,
+    ShardHealthStats,
+)
 from repro.serving.shard.loadgen import LoadResult, ServingLoad, build_load
 from repro.serving.shard.router import ClusterClient, ShardedCleoRouter
 from repro.serving.shard.routing import HashRing, route_key
 
 __all__ = [
+    "BreakerState",
     "ClusterClient",
+    "DEFAULT_RESILIENCE",
     "HashRing",
     "LoadResult",
+    "ResilienceConfig",
     "ServingLoad",
+    "ShardHealth",
+    "ShardHealthStats",
     "ShardedCleoRouter",
     "build_load",
     "route_key",

@@ -1,0 +1,216 @@
+"""Per-shard health tracking and circuit breaking for the serving fleet.
+
+Each shard of a :class:`~repro.serving.shard.router.ShardedCleoRouter`
+gets a :class:`ShardHealth` tracker: a rolling window of recent call
+outcomes plus a three-state circuit breaker.
+
+* **CLOSED** — the shard serves traffic.  ``allow()`` is a pure read in
+  this state (no mutation), so the zero-fault serving path stays free of
+  shared-state writes and remains bitwise deterministic under fan-out.
+* **OPEN** — after ``failure_threshold`` consecutive failures the breaker
+  trips: calls are rejected (the router walks the degradation ladder
+  instead) for ``cooldown_calls`` logical calls.  Cooldowns are counted in
+  calls, not seconds, so chaos runs replay identically at any speed.
+* **HALF_OPEN** — after the cooldown, exactly one probe call is admitted;
+  success closes the breaker, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from threading import Lock
+
+from repro.common.errors import ValidationError
+
+
+class BreakerState(str, Enum):
+    """Circuit-breaker states for one shard."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the router's retry / breaker / degradation ladder.
+
+    ``max_retries`` bounds ring-successor retries per sub-batch,
+    ``deadline_s`` is the wall-clock budget for the whole ladder walk
+    (once exceeded, the router drops straight to the heuristic floor),
+    and ``validate_outputs`` controls whether shard answers are checked
+    for non-finite / negative values at the router boundary.
+    """
+
+    max_retries: int = 2
+    failure_threshold: int = 3
+    window: int = 64
+    cooldown_calls: int = 16
+    deadline_s: float = 0.25
+    validate_outputs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be non-negative")
+        if self.failure_threshold < 1:
+            raise ValidationError("failure_threshold must be at least 1")
+        if self.window < 1:
+            raise ValidationError("window must be at least 1")
+        if self.cooldown_calls < 1:
+            raise ValidationError("cooldown_calls must be at least 1")
+        if self.deadline_s <= 0.0:
+            raise ValidationError("deadline_s must be positive")
+
+
+#: The router's default posture: resilience on, no fault injection.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+@dataclass(frozen=True)
+class ShardHealthStats:
+    """Point-in-time health snapshot for one shard."""
+
+    shard: int
+    state: BreakerState
+    calls: int
+    failures: int
+    timeouts: int
+    consecutive_failures: int
+    window_failure_rate: float
+    breaker_opens: int
+    breaker_closes: int
+    rejected: int
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard}: {self.state.value}, {self.calls} calls, "
+            f"{self.failures} failures ({self.timeouts} timeouts), "
+            f"window failure rate {self.window_failure_rate:.1%}, "
+            f"{self.breaker_opens} opens / {self.breaker_closes} closes, "
+            f"{self.rejected} rejected"
+        )
+
+
+class ShardHealth:
+    """Thread-safe health tracker + circuit breaker for one shard."""
+
+    def __init__(self, shard: int, config: ResilienceConfig) -> None:
+        self.shard = shard
+        self.config = config
+        self._lock = Lock()
+        self._state = BreakerState.CLOSED
+        self._window: deque[bool] = deque(maxlen=config.window)
+        self._calls = 0
+        self._failures = 0
+        self._timeouts = 0
+        self._consecutive = 0
+        self._opens = 0
+        self._closes = 0
+        self._rejected = 0
+        self._cooldown_remaining = 0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    # Breaker protocol
+    # ------------------------------------------------------------------ #
+
+    def allow(self) -> bool:
+        """Whether the shard may be called right now.
+
+        CLOSED answers without taking the lock or mutating anything —
+        the hot path must not serialize concurrent fan-out workers.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._cooldown_remaining > 0:
+                    self._cooldown_remaining -= 1
+                    self._rejected += 1
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                self._rejected += 1
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._calls += 1
+            self._window.append(True)
+            self._consecutive = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._probe_in_flight = False
+                self._closes += 1
+
+    def record_failure(self, timeout: bool = False) -> None:
+        with self._lock:
+            self._calls += 1
+            self._failures += 1
+            if timeout:
+                self._timeouts += 1
+            self._window.append(False)
+            self._consecutive += 1
+            if self._state is BreakerState.HALF_OPEN:
+                # The probe failed: re-open for another cooldown.
+                self._state = BreakerState.OPEN
+                self._probe_in_flight = False
+                self._opens += 1
+                self._cooldown_remaining = self.config.cooldown_calls
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive >= self.config.failure_threshold
+            ):
+                self._state = BreakerState.OPEN
+                self._opens += 1
+                self._cooldown_remaining = self.config.cooldown_calls
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def breaker_opens(self) -> int:
+        return self._opens
+
+    def stats(self) -> ShardHealthStats:
+        with self._lock:
+            window = list(self._window)
+            rate = (
+                (len(window) - sum(window)) / len(window) if window else 0.0
+            )
+            return ShardHealthStats(
+                shard=self.shard,
+                state=self._state,
+                calls=self._calls,
+                failures=self._failures,
+                timeouts=self._timeouts,
+                consecutive_failures=self._consecutive,
+                window_failure_rate=rate,
+                breaker_opens=self._opens,
+                breaker_closes=self._closes,
+                rejected=self._rejected,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters; breaker state and window are preserved."""
+        with self._lock:
+            self._calls = 0
+            self._failures = 0
+            self._timeouts = 0
+            self._opens = 0
+            self._closes = 0
+            self._rejected = 0

@@ -28,22 +28,31 @@ the paper's optimizer-facing deployment does (Section 5.1), but scaled out:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace as dataclass_replace
 from threading import Lock
 from typing import Callable, Iterator, Mapping, Sequence, TypeVar
 
 import numpy as np
 
 from repro.cardinality.estimator import CardinalityEstimator
-from repro.core.learned_model import ResourceProfile
+from repro.common.errors import (
+    FeatureValidationError,
+    ShardError,
+    ShardTimeoutError,
+)
+from repro.core.learned_model import _MAX_PREDICT_SECONDS, ResourceProfile
 from repro.core.predictor import CleoPredictor
+from repro.cost.default_model import DefaultCostModel
 from repro.cost.interface import CostExplanation, CostModel
 from repro.features.extract import feature_input_for
 from repro.features.featurizer import FeatureInput
 from repro.features.table import FeatureTable
-from repro.plan.physical import PhysicalOp
+from repro.plan.physical import PhysicalOp, PhysOpType
 from repro.plan.signatures import SignatureBundle
 from repro.serving.cache import LRUCache
+from repro.serving.faults import FaultInjector
 from repro.serving.service import (
     DEFAULT_BUNDLE_CACHE,
     DEFAULT_PREDICTION_CACHE,
@@ -51,9 +60,18 @@ from repro.serving.service import (
     PredictionRequest,
     ServiceStats,
 )
+from repro.serving.shard.health import (
+    DEFAULT_RESILIENCE,
+    ResilienceConfig,
+    ShardHealth,
+    ShardHealthStats,
+)
 from repro.serving.shard.routing import DEFAULT_REPLICAS, HashRing, route_key
 
 _T = TypeVar("_T")
+
+#: The ladder's last rung when even the heuristic produced garbage.
+_BOUNDED_DEFAULT_COST = 1.0
 
 
 class ShardedCleoRouter:
@@ -70,6 +88,21 @@ class ShardedCleoRouter:
             shard node brings its own cache memory; total capacity grows
             with the fleet).  ``0`` disables caching on every shard.
         bundle_cache_size: per-shard (and per-client) bundle-LRU capacity.
+        resilience: retry / circuit-breaker / degradation-ladder knobs.
+            ``None`` disables the reliability layer entirely (the pre-ladder
+            fail-fast router: one shard exception aborts the fan-out).
+        fault_injector: deterministic chaos injection around every shard
+            call (see :mod:`repro.serving.faults`); ``None`` disables it.
+
+    With ``resilience`` enabled, every prediction walks a degradation
+    ladder until something answers: the owning shard's packed learned
+    prediction, then up to ``max_retries`` ring-successor shards (skipping
+    shards whose circuit breaker is open, within ``deadline_s``), then a
+    heuristic :class:`~repro.cost.default_model.DefaultCostModel` floor,
+    then a bounded default.  Shard answers are validated (finite,
+    non-negative) before being accepted.  With no faults injected the
+    ladder's first rung always answers, so outputs and ``ServiceStats``
+    stay bitwise/counter-identical to the fail-fast router.
     """
 
     def __init__(
@@ -80,6 +113,8 @@ class ShardedCleoRouter:
         replicas: int = DEFAULT_REPLICAS,
         prediction_cache_size: int = DEFAULT_PREDICTION_CACHE,
         bundle_cache_size: int = DEFAULT_BUNDLE_CACHE,
+        resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if not predictors:
             raise ValueError("a router needs at least one cluster")
@@ -122,6 +157,17 @@ class ShardedCleoRouter:
         self._route_cache: dict[tuple[str, int], int] = {}
         self._route_lock = Lock()
         self._clients: dict[str, ClusterClient] = {}
+        self._resilience = resilience
+        self._injector = fault_injector
+        self._health: list[ShardHealth] | None = (
+            [ShardHealth(s, resilience) for s in range(self.ring.n_shards)]
+            if resilience is not None
+            else None
+        )
+        self._heuristic = DefaultCostModel()
+        self._ladder_lock = Lock()
+        self._retries = 0
+        self._degraded = 0
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=self.n_workers, thread_name_prefix="cleo-shard"
@@ -188,11 +234,195 @@ class ShardedCleoRouter:
     # Fan-out
     # ------------------------------------------------------------------ #
 
-    def _fan_out(self, tasks: "Sequence[Callable[[], _T]]") -> list[_T]:
-        """Run shard tasks, on the pool when it exists and helps."""
+    def _fan_out(
+        self,
+        tasks: "Sequence[Callable[[], _T]]",
+        shards: "Sequence[int] | None" = None,
+    ) -> list[_T]:
+        """Run shard tasks, on the pool when it exists and helps.
+
+        A failing task no longer leaves sibling futures running
+        unobserved: the remaining futures are cancelled (or awaited if
+        already running) before the first failure propagates, wrapped in
+        a :class:`~repro.common.errors.ShardError` naming the failing
+        shard.  ``shards[i]`` is the shard behind ``tasks[i]``.
+        """
         if self._executor is None or len(tasks) <= 1:
-            return [task() for task in tasks]
-        return [f.result() for f in [self._executor.submit(t) for t in tasks]]
+            results: list[_T] = []
+            for pos, task in enumerate(tasks):
+                try:
+                    results.append(task())
+                except (ShardError, FeatureValidationError):
+                    # Shard failures keep their shard id; validation errors
+                    # are the caller's bug, not a shard's.
+                    raise
+                except Exception as exc:
+                    raise self._fan_out_error(exc, shards, pos) from exc
+            return results
+        futures = [self._executor.submit(task) for task in tasks]
+        results = []
+        first_error: Exception | None = None
+        first_pos = -1
+        for pos, future in enumerate(futures):
+            if first_error is not None:
+                # First failure wins; stragglers are cancelled if still
+                # queued, otherwise awaited so no future outlives the call.
+                future.cancel()
+                try:
+                    future.result()
+                except Exception:
+                    pass
+                continue
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                first_error = exc
+                first_pos = pos
+        if first_error is not None:
+            if isinstance(first_error, (ShardError, FeatureValidationError)):
+                raise first_error
+            raise self._fan_out_error(first_error, shards, first_pos) from first_error
+        return results
+
+    @staticmethod
+    def _fan_out_error(
+        exc: Exception, shards: "Sequence[int] | None", pos: int
+    ) -> ShardError:
+        shard = int(shards[pos]) if shards is not None else None
+        where = f"shard {shard}" if shard is not None else "a shard task"
+        return ShardError(f"{where} failed during fan-out: {exc}", shard=shard)
+
+    # ------------------------------------------------------------------ #
+    # Degradation ladder
+    # ------------------------------------------------------------------ #
+
+    def _attempt_order(self, shard: int) -> list[int]:
+        """The owning shard, then its ring successors, bounded by retries."""
+        if self._resilience is None:
+            return [shard]
+        n = self.ring.n_shards
+        budget = min(self._resilience.max_retries, n - 1)
+        return [(shard + k) % n for k in range(budget + 1)]
+
+    def _call_shard(
+        self,
+        shard: int,
+        cluster: str,
+        token: tuple[int, int],
+        attempt: int,
+        call: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        if self._injector is None:
+            return call()
+        return self._injector.invoke(shard, cluster, token, attempt, call)
+
+    @staticmethod
+    def _values_ok(values: np.ndarray) -> bool:
+        return bool(np.isfinite(values).all() and (values >= 0.0).all())
+
+    def _bounded(self, values: np.ndarray) -> np.ndarray:
+        out = np.asarray(values, dtype=float)
+        out = np.where(np.isfinite(out), out, _BOUNDED_DEFAULT_COST)
+        return np.clip(out, 0.0, _MAX_PREDICT_SECONDS)
+
+    def _guarded(
+        self,
+        cluster: str,
+        shard: int,
+        compute: Callable[[int], np.ndarray],
+        token: tuple[int, int],
+        heuristic: Callable[[], np.ndarray],
+        n_rows: int,
+    ) -> np.ndarray:
+        """Walk the degradation ladder for one sub-batch.
+
+        ``compute(s)`` prices the sub-batch on shard ``s``; ``heuristic()``
+        produces the :class:`DefaultCostModel` floor for the same rows.
+        Rungs: owning shard -> ring-successor retries (breaker- and
+        deadline-gated) -> heuristic floor -> bounded default.  Input
+        validation errors are the caller's bug, not a shard failure, and
+        re-raise immediately.
+        """
+        resilience = self._resilience
+        if resilience is None and self._injector is None:
+            return compute(shard)
+        if resilience is None:
+            # Chaos without the safety net (used to measure the blast
+            # radius of the pre-ladder router): faults propagate.
+            return self._call_shard(shard, cluster, token, 0, lambda: compute(shard))
+        deadline = time.perf_counter() + resilience.deadline_s
+        for attempt, target in enumerate(self._attempt_order(shard)):
+            health = self._health[target] if self._health is not None else None
+            if attempt > 0:
+                if time.perf_counter() > deadline:
+                    break
+                if health is not None and not health.allow():
+                    continue
+                with self._ladder_lock:
+                    self._retries += 1
+            elif health is not None and not health.allow():
+                continue
+            try:
+                values = self._call_shard(
+                    target, cluster, token, attempt, lambda t=target: compute(t)
+                )
+            except FeatureValidationError:
+                raise
+            except Exception as exc:
+                if health is not None:
+                    health.record_failure(
+                        timeout=isinstance(exc, ShardTimeoutError)
+                    )
+                continue
+            if resilience.validate_outputs and not self._values_ok(values):
+                if health is not None:
+                    health.record_failure()
+                continue
+            if health is not None:
+                health.record_success()
+            return values
+        # Every learned rung failed: heuristic floor, then bounded default.
+        values = self._bounded(heuristic())
+        with self._ladder_lock:
+            self._degraded += n_rows
+        return values
+
+    def _token(self, n_rows: int, approx: int) -> tuple[int, int]:
+        """A deterministic sub-batch identity for fault decisions."""
+        return (int(n_rows), int(approx))
+
+    def _heuristic_inputs(self, inputs: Sequence[FeatureInput]) -> np.ndarray:
+        """DefaultCostModel floor for a row sequence (COMPUTE coefficients)."""
+        cost = self._heuristic.operator_cost_from_stats
+        return np.array(
+            [
+                cost(
+                    PhysOpType.COMPUTE,
+                    float(f.input_card),
+                    float(f.output_card),
+                    float(f.avg_row_bytes),
+                    max(1, int(f.partition_count)),
+                )
+                for f in inputs
+            ],
+            dtype=float,
+        )
+
+    def _heuristic_table(self, table: FeatureTable) -> np.ndarray:
+        cost = self._heuristic.operator_cost_from_stats
+        return np.array(
+            [
+                cost(
+                    PhysOpType.COMPUTE,
+                    float(table.input_card[i]),
+                    float(table.output_card[i]),
+                    float(table.avg_row_bytes[i]),
+                    max(1, int(table.partition_count[i])),
+                )
+                for i in range(len(table))
+            ],
+            dtype=float,
+        )
 
     # ------------------------------------------------------------------ #
     # Prediction entry points (cluster-scoped)
@@ -203,7 +433,24 @@ class ShardedCleoRouter:
     ) -> float:
         """One operator instance, served by its owning shard."""
         shard = self.shard_for(cluster, signatures.approx)
-        return self._shards[shard][cluster].predict(features, signatures)
+        if self._resilience is None and self._injector is None:
+            return self._shards[shard][cluster].predict(features, signatures)
+
+        def compute(s: int) -> np.ndarray:
+            return np.array(
+                [self._shards[s][cluster].predict(features, signatures)],
+                dtype=float,
+            )
+
+        values = self._guarded(
+            cluster,
+            shard,
+            compute,
+            self._token(1, signatures.approx),
+            lambda: self._heuristic_inputs([features]),
+            1,
+        )
+        return float(values[0])
 
     def predict_batch(
         self, cluster: str, requests: Sequence[PredictionRequest]
@@ -220,12 +467,19 @@ class ShardedCleoRouter:
         out = np.empty(len(requests), dtype=float)
 
         def price(shard: int, idx: list[int]) -> np.ndarray:
-            return self._shards[shard][cluster].predict_batch(
-                [requests[i] for i in idx]
+            sub = [requests[i] for i in idx]
+            return self._guarded(
+                cluster,
+                shard,
+                lambda s: self._shards[s][cluster].predict_batch(sub),
+                self._token(len(sub), sub[0].signatures.approx),
+                lambda: self._heuristic_inputs([r.features for r in sub]),
+                len(sub),
             )
 
         tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in groups]
-        for (_, idx), values in zip(groups, self._fan_out(tasks)):
+        shards = [shard for shard, _ in groups]
+        for (_, idx), values in zip(groups, self._fan_out(tasks, shards)):
             out[np.asarray(idx, dtype=np.int64)] = values
         return out
 
@@ -237,18 +491,28 @@ class ShardedCleoRouter:
     ) -> np.ndarray:
         """Parallel (features, signatures) sequences, sharded and merged."""
         if len(inputs) != len(bundles):
-            raise ValueError("inputs and bundles must align")
+            raise FeatureValidationError("inputs and bundles must align")
         self._check_cluster(cluster)
         groups = self._group_bundles(cluster, bundles)
         out = np.empty(len(inputs), dtype=float)
 
         def price(shard: int, idx: list[int]) -> np.ndarray:
-            return self._shards[shard][cluster].predict_inputs(
-                [inputs[i] for i in idx], [bundles[i] for i in idx]
+            sub_inputs = [inputs[i] for i in idx]
+            sub_bundles = [bundles[i] for i in idx]
+            return self._guarded(
+                cluster,
+                shard,
+                lambda s: self._shards[s][cluster].predict_inputs(
+                    sub_inputs, sub_bundles
+                ),
+                self._token(len(sub_inputs), sub_bundles[0].approx),
+                lambda: self._heuristic_inputs(sub_inputs),
+                len(sub_inputs),
             )
 
         tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in groups]
-        for (_, idx), values in zip(groups, self._fan_out(tasks)):
+        shards = [shard for shard, _ in groups]
+        for (_, idx), values in zip(groups, self._fan_out(tasks, shards)):
             out[np.asarray(idx, dtype=np.int64)] = values
         return out
 
@@ -256,22 +520,37 @@ class ShardedCleoRouter:
         """A whole signature-bearing table, split by shard with array ops."""
         self._check_cluster(cluster)
         if not table.has_signatures:
-            raise ValueError("predict_table requires a table with signature columns")
+            raise FeatureValidationError(
+                "predict_table requires a table with signature columns"
+            )
         n = len(table)
         if n == 0:
             return self._shards[0][cluster].predict_table(table)
         owners = self._shards_for_column(cluster, table.signature_column("approx"))
         shards = np.unique(owners)
         if len(shards) == 1:
-            return self._shards[int(shards[0])][cluster].predict_table(table)
-        splits = [(int(s), np.flatnonzero(owners == s)) for s in shards]
+            splits = [(int(shards[0]), np.arange(n, dtype=np.int64))]
+        else:
+            splits = [(int(s), np.flatnonzero(owners == s)) for s in shards]
+        approx = table.signature_column("approx")
 
         def price(shard: int, idx: np.ndarray) -> np.ndarray:
-            return self._shards[shard][cluster].predict_table(table.take(idx))
+            sub = table if len(idx) == n else table.take(idx)
+            return self._guarded(
+                cluster,
+                shard,
+                lambda s: self._shards[s][cluster].predict_table(sub),
+                self._token(len(idx), int(approx[idx[0]])),
+                lambda: self._heuristic_table(sub),
+                len(idx),
+            )
 
+        if len(splits) == 1:
+            return price(*splits[0])
         out = np.empty(n, dtype=float)
         tasks = [(lambda s=shard, i=idx: price(s, i)) for shard, idx in splits]
-        for (_, idx), values in zip(splits, self._fan_out(tasks)):
+        task_shards = [shard for shard, _ in splits]
+        for (_, idx), values in zip(splits, self._fan_out(tasks, task_shards)):
             out[idx] = values
         return out
 
@@ -289,7 +568,7 @@ class ShardedCleoRouter:
     ) -> list[ResourceProfile | None]:
         """Batched Section-5.3 profiles, sharded and merged in input order."""
         if len(inputs) != len(bundles):
-            raise ValueError("inputs and bundles must align")
+            raise FeatureValidationError("inputs and bundles must align")
         self._check_cluster(cluster)
         groups = self._group_bundles(cluster, bundles)
         out: list[ResourceProfile | None] = [None] * len(inputs)
@@ -300,7 +579,8 @@ class ShardedCleoRouter:
             )
 
         tasks = [(lambda s=shard, i=idx: profile(s, i)) for shard, idx in groups]
-        for (_, idx), profiles in zip(groups, self._fan_out(tasks)):
+        shards = [shard for shard, _ in groups]
+        for (_, idx), profiles in zip(groups, self._fan_out(tasks, shards)):
             for i, value in zip(idx, profiles):
                 out[i] = value
         return out
@@ -360,8 +640,41 @@ class ShardedCleoRouter:
             yield from shard.values()
 
     def stats(self) -> ServiceStats:
-        """Aggregated counters across every shard and cluster."""
-        return ServiceStats.aggregate(s.stats() for s in self._services())
+        """Aggregated counters across every shard and cluster.
+
+        Router-level reliability counters (ladder retries, breaker opens,
+        degraded floor predictions) are merged in.  When all of them are
+        zero the aggregate object is exactly what the fail-fast router
+        reported — the counter-parity contract of the zero-fault path.
+        """
+        base = ServiceStats.aggregate(s.stats() for s in self._services())
+        with self._ladder_lock:
+            retries, degraded = self._retries, self._degraded
+        opens = (
+            sum(h.breaker_opens for h in self._health)
+            if self._health is not None
+            else 0
+        )
+        if not (retries or degraded or opens):
+            return base
+        return dataclass_replace(
+            base,
+            retries=base.retries + retries,
+            breaker_opens=base.breaker_opens + opens,
+            degraded_predictions=base.degraded_predictions + degraded,
+        )
+
+    def resilience_stats(self) -> list[ShardHealthStats]:
+        """Per-shard health snapshots (empty when resilience is disabled)."""
+        if self._health is None:
+            return []
+        return [health.stats() for health in self._health]
+
+    def fault_stats(self) -> dict[str, int]:
+        """Injected-fault counts by kind (empty without an injector)."""
+        if self._injector is None:
+            return {}
+        return self._injector.stats()
 
     def stats_for(self, cluster: str) -> ServiceStats:
         self._check_cluster(cluster)
@@ -386,6 +699,14 @@ class ShardedCleoRouter:
         for service in self._services():
             service.reset_stats()
             service.predictor.reset_lookup_count()
+        with self._ladder_lock:
+            self._retries = 0
+            self._degraded = 0
+        if self._health is not None:
+            for health in self._health:
+                health.reset_stats()
+        if self._injector is not None:
+            self._injector.reset_stats()
 
     def clear_caches(self) -> None:
         for service in self._services():
@@ -404,9 +725,15 @@ class ShardedCleoRouter:
         self.close()
 
     def describe(self) -> str:
+        extras = []
+        if self._resilience is not None:
+            extras.append("resilient")
+        if self._injector is not None:
+            extras.append(self._injector.policy.name)
+        suffix = f", {'+'.join(extras)}" if extras else ""
         return (
             f"ShardedCleoRouter({len(self._base)} clusters x "
-            f"{self.ring.n_shards} shards, {self.n_workers} workers)"
+            f"{self.ring.n_shards} shards, {self.n_workers} workers{suffix})"
         )
 
 

@@ -32,6 +32,9 @@ class TestRetrainPolicy:
             {"frequency_days": 0},
             {"drift_threshold_pct": -5.0},
             {"regression_factor": 1.0},
+            {"drift_window_days": 0},
+            {"drift_degradation_factor": 1.0},
+            {"drift_degradation_factor": 0.5},
         ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
@@ -87,6 +90,21 @@ class TestModelRegistry:
         registry.rollback()
         assert registry.version_count == 2
         assert len(registry.history()) == 2
+
+    def test_rollback_then_publish_keeps_history_ordered(self):
+        """Publishing after a rollback appends — it never truncates the
+        discarded version, and numbering continues past it."""
+        registry = ModelRegistry()
+        registry.publish(make_dummy_predictor(), day=1, window=(0,))
+        second = registry.publish(make_dummy_predictor(), day=2, window=(1,))
+        registry.rollback()
+        third = registry.publish(make_dummy_predictor(), day=3, window=(2,))
+        assert registry.active() is third
+        assert third.version == 3
+        assert [v.version for v in registry.history()] == [1, 2, 3]
+        assert registry.get(2) is second  # the rolled-back one is inspectable
+        # A rollback from v3 lands on v2 (list order, not activation order).
+        assert registry.rollback() is second
 
     def test_describe(self):
         version = ModelVersion(
@@ -232,3 +250,115 @@ class TestRollbackRearmsRetrain:
         # must be armed so the very next day tries again.
         assert manager._drift_pending is True
         assert manager._should_retrain(days[2] + 1)
+
+
+class TestRollingDriftTrigger:
+    """The relative (error-degradation) drift trigger, chaos-tested.
+
+    A workload whose runtimes shift 50x mid-stream must arm an early
+    retrain from the *relative* degradation of the rolling median error —
+    no absolute ``drift_threshold_pct`` budget is configured — and the
+    fresh version (trained on post-shift data) must pass the Section 6.7
+    pre-production gate and recover the error level.
+    """
+
+    @staticmethod
+    def _restamped(jobs, day, factor=1.0, tag=""):
+        """Jobs re-stamped onto ``day`` with latencies scaled ``factor``x."""
+        from dataclasses import replace as dc_replace
+
+        out = []
+        for job in jobs:
+            ops = tuple(
+                dc_replace(
+                    op, day=day, actual_latency=op.actual_latency * factor
+                )
+                for op in job.operators
+            )
+            out.append(
+                dc_replace(
+                    job,
+                    job_id=f"{job.job_id}{tag}",
+                    day=day,
+                    latency_seconds=job.latency_seconds * factor,
+                    operators=ops,
+                )
+            )
+        return out
+
+    @pytest.fixture(scope="class")
+    def drifted_log(self, tiny_bundle):
+        """Days 1-2 clean; from day 3 on every runtime is 50x slower."""
+        from repro.execution.runtime_log import RunLog
+
+        days = tiny_bundle.log.days
+        d1 = tiny_bundle.log.filter(days=[days[0]]).jobs
+        d2 = tiny_bundle.log.filter(days=[days[1]]).jobs
+        d3 = tiny_bundle.log.filter(days=[days[2]]).jobs
+        return RunLog(
+            jobs=[
+                *d1,
+                *d2,
+                *self._restamped(d3, days[2], factor=50.0, tag="-drift"),
+                *self._restamped(d2, days[2] + 1, factor=50.0, tag="-after"),
+            ]
+        )
+
+    def test_degradation_arms_and_recovers(self, drifted_log):
+        manager = LifecycleManager(
+            policy=RetrainPolicy(
+                window_days=1,
+                frequency_days=100,  # schedule alone would never retrain
+                drift_window_days=1,
+                drift_degradation_factor=1.5,
+            )
+        )
+        days = drifted_log.days
+        first = manager.step(drifted_log, days[1])  # clean day: baseline
+        assert first.retrained
+        assert not manager.drift_pending
+        baseline_error = first.median_error_pct
+
+        shifted = manager.step(drifted_log, days[2])  # 50x day
+        assert not shifted.retrained  # schedule says no...
+        assert manager.drift_pending  # ...but the rolling trigger armed
+        assert shifted.median_error_pct > baseline_error * 1.5
+        assert manager.rolling_median_error == pytest.approx(
+            shifted.median_error_pct
+        )
+
+        recovered = manager.step(drifted_log, days[3])
+        assert recovered.retrained  # the armed trigger fired
+        assert not recovered.rolled_back  # fresh version passed the gate
+        assert manager.registry.version_count == 2
+        # Trained on post-shift data, the fresh version recovers.
+        assert recovered.median_error_pct < shifted.median_error_pct
+        assert not manager.drift_pending  # new version, new baseline
+
+    def test_stable_workload_never_arms(self, tiny_bundle):
+        manager = LifecycleManager(
+            policy=RetrainPolicy(
+                window_days=1,
+                frequency_days=100,
+                drift_window_days=1,
+                drift_degradation_factor=10.0,  # generous degradation budget
+            )
+        )
+        outcomes = manager.run(tiny_bundle.log)
+        assert [o.retrained for o in outcomes] == [True, False]
+        assert not manager.drift_pending
+
+    def test_window_must_fill_before_arming(self, drifted_log):
+        """One bad day inside a 3-day window is noise, not drift."""
+        manager = LifecycleManager(
+            policy=RetrainPolicy(
+                window_days=1,
+                frequency_days=100,
+                drift_window_days=3,
+                drift_degradation_factor=1.5,
+            )
+        )
+        days = drifted_log.days
+        manager.step(drifted_log, days[1])
+        manager.step(drifted_log, days[2])  # 50x day, window not full yet
+        assert not manager.drift_pending

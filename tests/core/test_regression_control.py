@@ -87,3 +87,49 @@ class TestModelQuarantine:
         predictor = tiny_bundle.predictor()
         report = ModelQuarantine().audit(predictor.store, tiny_bundle.test_log())
         assert report.inspected == tiny_bundle.test_log().operator_count
+
+    def test_audit_second_pass_is_idempotent(self, tiny_bundle):
+        """Once the offenders are gone, a re-audit removes nothing more."""
+        import copy
+
+        import numpy as np
+
+        from repro.core.learned_model import LearnedCostModel
+        from repro.core.model_store import signature_for
+
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        record = next(tiny_bundle.test_log().operator_records())
+        signature = signature_for(ModelKind.OP_SUBGRAPH, record.signatures)
+        broken = LearnedCostModel(include_context=False)
+        broken.fit(
+            [record.features] * 6,
+            np.full(6, record.actual_latency * 1e4 + 1e3),
+        )
+        store.add(ModelKind.OP_SUBGRAPH, signature, broken)
+
+        quarantine = ModelQuarantine(tolerance_factor=10.0, min_observations=1)
+        first = quarantine.audit(store, tiny_bundle.test_log())
+        assert first.total_removed >= 1
+        second = quarantine.audit(store, tiny_bundle.test_log())
+        assert second.total_removed == 0
+        assert second.inspected == first.inspected
+
+    def test_boundary_quarantine_is_idempotent(self, tiny_bundle):
+        """The serving-boundary entry removes once and reports repeats."""
+        import copy
+
+        from repro.core.model_store import signature_for
+
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        record = next(tiny_bundle.test_log().operator_records())
+        kind, _ = store.most_specific(record.signatures)
+        signature = signature_for(kind, record.signatures)
+        before = store.count()
+
+        quarantine = ModelQuarantine()
+        assert quarantine.quarantine(store, kind, signature) is True
+        assert store.get(kind, signature) is None
+        assert store.count() == before - 1
+        # Second pass: the model is already gone, nothing double-counts.
+        assert quarantine.quarantine(store, kind, signature) is False
+        assert store.count() == before - 1

@@ -1,0 +1,579 @@
+"""Tests for the serving reliability layer (faults, breakers, the ladder).
+
+Three contracts:
+
+* **Determinism** — fault decisions are pure functions of ``(seed, shard,
+  cluster, token, attempt)``; the same chaos run replays bitwise.
+* **Zero-fault parity** — with no injector, the hardened router's outputs
+  and ``ServiceStats`` are bitwise/counter-identical to the pre-ladder
+  fail-fast router (``resilience=None``) and the single-process service.
+* **Availability** — with faults injected, every request is answered with
+  finite, non-negative values: learned retries first, then the heuristic
+  floor; poisoned models never leak NaN/inf/negative costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError, replace
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShardError, ValidationError
+from repro.serving import CleoService, PredictionRequest
+from repro.serving.faults import (
+    SCENARIOS,
+    FaultInjector,
+    FaultKind,
+    FaultPolicy,
+    InjectedFaultError,
+    InjectedTimeoutError,
+)
+from repro.serving.shard import ShardedCleoRouter
+from repro.serving.shard.health import (
+    BreakerState,
+    ResilienceConfig,
+    ShardHealth,
+)
+
+# ------------------------------------------------------------------ #
+# Fixtures
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture(scope="module")
+def records(tiny_bundle):
+    records = list(tiny_bundle.log.operator_records())[:400]
+    assert len(records) == 400
+    return records
+
+
+@pytest.fixture(scope="module")
+def requests(records):
+    return [PredictionRequest.for_record(r) for r in records]
+
+
+@pytest.fixture()
+def baseline(tiny_predictor):
+    return CleoService(tiny_predictor)
+
+
+def make_router(tiny_predictor, **kwargs) -> ShardedCleoRouter:
+    return ShardedCleoRouter({"cluster1": tiny_predictor}, **kwargs)
+
+
+# ------------------------------------------------------------------ #
+# FaultPolicy
+# ------------------------------------------------------------------ #
+
+
+class TestFaultPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"error_rate": -0.1},
+            {"timeout_rate": 1.5},
+            {"error_rate": 0.6, "corrupt_rate": 0.6},  # sum > 1
+            {"latency_spike_s": -1.0},
+            {"corrupt_mode": "zero"},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            FaultPolicy(**kwargs)
+
+    def test_noop_detection(self):
+        assert FaultPolicy().is_noop
+        assert not FaultPolicy(error_rate=0.01).is_noop
+
+    def test_policy_is_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            FaultPolicy().error_rate = 0.5
+
+    def test_scenarios_are_named_consistently(self):
+        for name, policy in SCENARIOS.items():
+            assert policy.name == name
+        assert SCENARIOS["baseline"].is_noop
+        assert not SCENARIOS["mixed_chaos"].is_noop
+
+    def test_describe(self):
+        text = FaultPolicy(name="x", error_rate=0.1, shards=(0, 2)).describe()
+        assert "error=10%" in text and "shards [0, 2]" in text
+
+
+# ------------------------------------------------------------------ #
+# FaultInjector decisions
+# ------------------------------------------------------------------ #
+
+
+class TestInjectorDecisions:
+    def test_decide_is_pure(self):
+        policy = FaultPolicy(name="t", error_rate=0.2, corrupt_rate=0.2)
+        a = FaultInjector(policy)
+        b = FaultInjector(policy)
+        for token in [(5, 123), (8, 999), (1, 0)]:
+            for attempt in range(3):
+                assert a.decide(1, "c", token, attempt) == b.decide(
+                    1, "c", token, attempt
+                )
+
+    def test_seed_rekeys_every_draw(self):
+        base = FaultPolicy(name="t", error_rate=0.5)
+        a = FaultInjector(base)
+        b = FaultInjector(replace(base, seed=99))
+        decisions_a = [a.decide(0, "c", (1, t), 0) for t in range(200)]
+        decisions_b = [b.decide(0, "c", (1, t), 0) for t in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_retry_is_a_fresh_draw(self):
+        injector = FaultInjector(FaultPolicy(name="t", error_rate=0.5))
+        decisions = {
+            injector.decide(0, "c", (4, 77), attempt) for attempt in range(8)
+        }
+        assert len(decisions) > 1  # not stuck repeating attempt 0's fate
+
+    def test_shard_targeting(self):
+        injector = FaultInjector(
+            FaultPolicy(name="t", error_rate=1.0, shards=(1,))
+        )
+        assert injector.decide(0, "c", (1, 1), 0) is None
+        assert injector.decide(1, "c", (1, 1), 0) is FaultKind.ERROR
+
+    def test_rates_are_approximately_honored(self):
+        injector = FaultInjector(
+            FaultPolicy(name="t", error_rate=0.1, latency_rate=0.1)
+        )
+        kinds = [injector.decide(0, "c", (1, t), 0) for t in range(2000)]
+        error_frac = sum(k is FaultKind.ERROR for k in kinds) / len(kinds)
+        latency_frac = sum(k is FaultKind.LATENCY for k in kinds) / len(kinds)
+        assert 0.05 < error_frac < 0.2
+        assert 0.05 < latency_frac < 0.2
+
+    def test_invoke_raises_and_counts(self):
+        injector = FaultInjector(FaultPolicy(name="t", error_rate=1.0))
+        with pytest.raises(InjectedFaultError) as err:
+            injector.invoke(3, "c", (1, 1), 0, lambda: np.ones(1))
+        assert err.value.shard == 3
+        assert isinstance(err.value, ShardError)
+        assert injector.stats()["error"] == 1
+        assert injector.stats()["total"] == 1
+        injector.reset_stats()
+        assert injector.stats()["total"] == 0
+
+    def test_injected_timeout_is_a_timeout(self):
+        injector = FaultInjector(FaultPolicy(name="t", timeout_rate=1.0))
+        with pytest.raises(InjectedTimeoutError):
+            injector.invoke(0, "c", (1, 1), 0, lambda: np.ones(1))
+
+    def test_corrupt_poisons_one_row_of_a_copy(self):
+        injector = FaultInjector(
+            FaultPolicy(name="t", corrupt_rate=1.0, corrupt_mode="nan")
+        )
+        values = np.ones(16)
+        out = injector.corrupt(values, 0, "c", (16, 5))
+        assert np.all(values == 1.0)  # original untouched
+        assert np.isnan(out).sum() == 1
+        again = injector.corrupt(values, 0, "c", (16, 5))
+        assert np.array_equal(
+            np.isnan(out), np.isnan(again)
+        )  # same deterministic row
+
+    @pytest.mark.parametrize(
+        "mode,check",
+        [
+            ("nan", lambda v: np.isnan(v)),
+            ("inf", lambda v: np.isposinf(v)),
+            ("negative", lambda v: v < 0),
+        ],
+    )
+    def test_corrupt_modes(self, mode, check):
+        injector = FaultInjector(
+            FaultPolicy(name="t", corrupt_rate=1.0, corrupt_mode=mode)
+        )
+        out = injector.corrupt(np.ones(8), 0, "c", (8, 1))
+        assert sum(check(v) for v in out) == 1
+
+
+# ------------------------------------------------------------------ #
+# ShardHealth / circuit breaker state machine
+# ------------------------------------------------------------------ #
+
+
+class TestResilienceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"failure_threshold": 0},
+            {"window": 0},
+            {"cooldown_calls": 0},
+            {"deadline_s": 0.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ResilienceConfig(**kwargs)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs) -> ShardHealth:
+        config = ResilienceConfig(
+            failure_threshold=2, cooldown_calls=3, window=8, **kwargs
+        )
+        return ShardHealth(0, config)
+
+    def test_opens_after_consecutive_failures(self):
+        health = self.make()
+        assert health.allow() and health.state is BreakerState.CLOSED
+        health.record_failure()
+        assert health.state is BreakerState.CLOSED
+        health.record_failure()
+        assert health.state is BreakerState.OPEN
+        assert health.breaker_opens == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        health = self.make()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        assert health.state is BreakerState.CLOSED
+
+    def test_cooldown_counts_calls_then_probes(self):
+        health = self.make()
+        health.record_failure()
+        health.record_failure()
+        # OPEN: exactly cooldown_calls rejections before the probe.
+        assert [health.allow() for _ in range(3)] == [False, False, False]
+        assert health.allow()  # the half-open probe
+        assert health.state is BreakerState.HALF_OPEN
+        assert not health.allow()  # one probe at a time
+        health.record_success()
+        assert health.state is BreakerState.CLOSED
+        assert health.stats().breaker_closes == 1
+
+    def test_failed_probe_reopens(self):
+        health = self.make()
+        health.record_failure()
+        health.record_failure()
+        for _ in range(3):
+            health.allow()
+        assert health.allow()
+        health.record_failure()
+        assert health.state is BreakerState.OPEN
+        assert health.breaker_opens == 2
+
+    def test_stats_snapshot(self):
+        health = self.make()
+        health.record_success()
+        health.record_failure(timeout=True)
+        stats = health.stats()
+        assert stats.calls == 2
+        assert stats.failures == 1
+        assert stats.timeouts == 1
+        assert stats.window_failure_rate == 0.5
+        assert "shard 0" in stats.describe()
+
+    def test_reset_preserves_breaker_state(self):
+        health = self.make()
+        health.record_failure()
+        health.record_failure()
+        health.reset_stats()
+        assert health.state is BreakerState.OPEN
+        assert health.stats().failures == 0
+
+
+# ------------------------------------------------------------------ #
+# Zero-fault parity: the reliability layer must cost nothing when idle
+# ------------------------------------------------------------------ #
+
+CONFIGS = [(1, 1), (2, 1), (3, 2), (4, 4)]
+
+
+class TestZeroFaultParity:
+    @pytest.mark.parametrize("shards,workers", CONFIGS)
+    def test_bitwise_and_counter_identical(
+        self, tiny_predictor, requests, baseline, shards, workers
+    ):
+        expected = baseline.predict_batch(requests)
+        with make_router(
+            tiny_predictor, n_shards=shards, n_workers=workers
+        ) as hardened:
+            hardened_values = hardened.predict_batch("cluster1", requests)
+            hardened_stats = hardened.stats()
+        with make_router(
+            tiny_predictor, n_shards=shards, n_workers=workers, resilience=None
+        ) as legacy:
+            legacy_values = legacy.predict_batch("cluster1", requests)
+            legacy_stats = legacy.stats()
+        assert np.array_equal(hardened_values, expected)
+        assert np.array_equal(legacy_values, expected)
+        assert hardened_stats == legacy_stats
+        assert hardened_stats.retries == 0
+        assert hardened_stats.breaker_opens == 0
+        assert hardened_stats.degraded_predictions == 0
+
+    def test_scalar_parity(self, tiny_predictor, requests, baseline):
+        with make_router(tiny_predictor, n_shards=3) as router:
+            for request in requests[:40]:
+                assert router.predict(
+                    "cluster1", request.features, request.signatures
+                ) == baseline.predict(request.features, request.signatures)
+
+    def test_noop_injector_is_still_bitwise(
+        self, tiny_predictor, requests, baseline
+    ):
+        """A wired-up injector whose policy is all-zeros changes nothing."""
+        expected = baseline.predict_batch(requests)
+        injector = FaultInjector(SCENARIOS["baseline"])
+        with make_router(
+            tiny_predictor, n_shards=3, fault_injector=injector
+        ) as router:
+            assert np.array_equal(
+                router.predict_batch("cluster1", requests), expected
+            )
+            assert router.fault_stats()["total"] == 0
+
+    def test_describe_flags_the_reliability_layer(self, tiny_predictor):
+        with make_router(tiny_predictor, n_shards=2) as router:
+            assert "resilient" in router.describe()
+        with make_router(tiny_predictor, n_shards=2, resilience=None) as router:
+            assert "resilient" not in router.describe()
+
+
+# ------------------------------------------------------------------ #
+# The degradation ladder under injected faults
+# ------------------------------------------------------------------ #
+
+
+def _shard_spread(router, requests):
+    owners = [
+        router.shard_for("cluster1", r.signatures.approx) for r in requests
+    ]
+    return set(owners)
+
+
+class TestDegradationLadder:
+    def test_successor_serves_the_failed_shards_rows_bitwise(
+        self, tiny_predictor, requests, baseline
+    ):
+        """Shard 0 always fails -> ring successors answer from the shared
+        model bank, so values still match the single-process service."""
+        expected = baseline.predict_batch(requests)
+        injector = FaultInjector(
+            FaultPolicy(name="kill0", error_rate=1.0, shards=(0,))
+        )
+        with make_router(
+            tiny_predictor, n_shards=3, fault_injector=injector
+        ) as router:
+            assert 0 in _shard_spread(router, requests)
+            values = router.predict_batch("cluster1", requests)
+            stats = router.stats()
+        assert np.array_equal(values, expected)
+        assert stats.retries > 0
+        assert stats.degraded_predictions == 0
+
+    def test_corrupt_outputs_are_caught_and_retried(
+        self, tiny_predictor, requests, baseline
+    ):
+        """Router-boundary output validation treats a poisoned answer as a
+        shard failure; the clean successor's values win."""
+        expected = baseline.predict_batch(requests)
+        injector = FaultInjector(
+            FaultPolicy(name="poison0", corrupt_rate=1.0, shards=(0,))
+        )
+        with make_router(
+            tiny_predictor, n_shards=3, fault_injector=injector
+        ) as router:
+            values = router.predict_batch("cluster1", requests)
+            health = router.resilience_stats()
+        assert np.array_equal(values, expected)
+        assert health[0].failures > 0
+
+    def test_total_failure_degrades_to_the_heuristic_floor(
+        self, tiny_predictor, requests
+    ):
+        injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+        with make_router(
+            tiny_predictor, n_shards=2, fault_injector=injector
+        ) as router:
+            values = router.predict_batch("cluster1", requests)
+            stats = router.stats()
+            floor = router._bounded(
+                router._heuristic_inputs([r.features for r in requests])
+            )
+        assert np.isfinite(values).all() and (values >= 0.0).all()
+        assert np.array_equal(values, floor)
+        assert stats.degraded_predictions == len(requests)
+
+    def test_scalar_predict_walks_the_ladder(
+        self, tiny_predictor, requests, baseline
+    ):
+        injector = FaultInjector(
+            FaultPolicy(name="kill0", error_rate=1.0, shards=(0,))
+        )
+        with make_router(
+            tiny_predictor, n_shards=3, fault_injector=injector
+        ) as router:
+            for request in requests[:40]:
+                value = router.predict(
+                    "cluster1", request.features, request.signatures
+                )
+                assert value == baseline.predict(
+                    request.features, request.signatures
+                )
+
+    def test_predict_table_survives_chaos(self, tiny_predictor, requests, baseline):
+        from repro.features.table import FeatureTable
+
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests], [r.signatures for r in requests]
+        )
+        expected = baseline.predict_table(table)
+        injector = FaultInjector(
+            FaultPolicy(name="kill0", error_rate=1.0, shards=(0,))
+        )
+        with make_router(
+            tiny_predictor, n_shards=3, fault_injector=injector
+        ) as router:
+            assert np.array_equal(router.predict_table("cluster1", table), expected)
+
+    def test_timeouts_are_classified(self, tiny_predictor, requests):
+        injector = FaultInjector(
+            FaultPolicy(name="slow0", timeout_rate=1.0, shards=(0,))
+        )
+        with make_router(
+            tiny_predictor, n_shards=2, fault_injector=injector
+        ) as router:
+            router.predict_batch("cluster1", requests)
+            health = router.resilience_stats()
+        assert health[0].timeouts > 0
+        assert health[0].timeouts == health[0].failures
+
+    def test_chaos_replay_is_deterministic(self, tiny_predictor, requests):
+        def run_once():
+            injector = FaultInjector(SCENARIOS["mixed_chaos"])
+            with make_router(
+                tiny_predictor, n_shards=3, fault_injector=injector
+            ) as router:
+                values = router.predict_batch("cluster1", requests)
+                return values, router.fault_stats(), router.stats()
+
+        values_a, faults_a, stats_a = run_once()
+        values_b, faults_b, stats_b = run_once()
+        assert np.array_equal(values_a, values_b)
+        assert faults_a == faults_b
+        assert stats_a == stats_b
+
+    def test_persistent_failure_opens_the_breaker(self, tiny_predictor, requests):
+        injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+        resilience = ResilienceConfig(failure_threshold=3, cooldown_calls=64)
+        with make_router(
+            tiny_predictor,
+            n_shards=1,
+            resilience=resilience,
+            fault_injector=injector,
+        ) as router:
+            for i in range(10):
+                router.predict_batch("cluster1", requests[i * 4 : i * 4 + 4])
+            stats = router.stats()
+            health = router.resilience_stats()
+        assert stats.breaker_opens >= 1
+        assert health[0].state is BreakerState.OPEN
+        assert health[0].rejected > 0
+        # Breaker-rejected calls degrade without consulting the injector:
+        # far fewer injected faults than calls issued.
+        assert router.fault_stats()["error"] < 10
+
+    def test_reset_stats_clears_the_reliability_counters(
+        self, tiny_predictor, requests
+    ):
+        injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+        with make_router(
+            tiny_predictor, n_shards=2, fault_injector=injector
+        ) as router:
+            router.predict_batch("cluster1", requests[:40])
+            assert router.stats().degraded_predictions > 0
+            router.reset_stats()
+            stats = router.stats()
+            assert stats.degraded_predictions == 0
+            assert stats.retries == 0
+            assert router.fault_stats()["total"] == 0
+
+    def test_fail_fast_router_propagates_faults(self, tiny_predictor, requests):
+        """resilience=None measures the pre-ladder blast radius: the
+        injected fault escapes as a ShardError naming its shard."""
+        injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+        with make_router(
+            tiny_predictor, n_shards=2, resilience=None, fault_injector=injector
+        ) as router:
+            with pytest.raises(ShardError) as err:
+                router.predict_batch("cluster1", requests)
+            assert err.value.shard is not None
+
+
+# ------------------------------------------------------------------ #
+# Fan-out failure semantics (no orphaned stragglers, shard id attached)
+# ------------------------------------------------------------------ #
+
+
+class TestFanOutFailure:
+    @pytest.fixture()
+    def boom(self):
+        def _raise(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        return _raise
+
+    def _owner(self, router, requests):
+        return router.shard_for("cluster1", requests[0].signatures.approx)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_failure_names_the_shard(
+        self, tiny_predictor, requests, boom, monkeypatch, workers
+    ):
+        with make_router(
+            tiny_predictor, n_shards=4, n_workers=workers, resilience=None
+        ) as router:
+            shard = self._owner(router, requests)
+            monkeypatch.setattr(
+                router.service_for("cluster1", shard), "predict_batch", boom
+            )
+            with pytest.raises(ShardError) as err:
+                router.predict_batch("cluster1", requests)
+            assert err.value.shard == shard
+            assert "fan-out" in str(err.value)
+            assert err.value.__cause__ is not None
+
+    def test_pool_failure_leaves_the_router_usable(
+        self, tiny_predictor, requests, baseline, boom, monkeypatch
+    ):
+        """After a failed fan-out every straggler was awaited; the next
+        call on the same pool still merges bitwise-correct results."""
+        expected = baseline.predict_batch(requests)
+        with make_router(
+            tiny_predictor, n_shards=4, n_workers=2, resilience=None
+        ) as router:
+            shard = self._owner(router, requests)
+            service = router.service_for("cluster1", shard)
+            original = service.predict_batch
+            monkeypatch.setattr(service, "predict_batch", boom)
+            with pytest.raises(ShardError):
+                router.predict_batch("cluster1", requests)
+            monkeypatch.setattr(service, "predict_batch", original)
+            assert np.array_equal(
+                router.predict_batch("cluster1", requests), expected
+            )
+
+    def test_ladder_contains_what_fan_out_would_propagate(
+        self, tiny_predictor, requests, baseline, boom, monkeypatch
+    ):
+        """The same dead shard that aborts the fail-fast router is absorbed
+        by the hardened router's ladder."""
+        expected = baseline.predict_batch(requests)
+        with make_router(tiny_predictor, n_shards=4, n_workers=2) as router:
+            shard = self._owner(router, requests)
+            monkeypatch.setattr(
+                router.service_for("cluster1", shard), "predict_batch", boom
+            )
+            values = router.predict_batch("cluster1", requests)
+        assert np.array_equal(values, expected)

@@ -110,3 +110,51 @@ def test_sharded_serving_identical_across_hash_seeds():
         "sharded serving produced different shard assignments or merged "
         "predictions under different PYTHONHASHSEED values"
     )
+
+
+#: Chaos replay: the hardened router under the mixed_chaos fault scenario.
+#: Fault decisions are content-keyed through stable hashing, so the
+#: injected faults, the ladder's answers, and the reliability counters
+#: must be identical in every process regardless of the hash seed.
+_CHAOS_SCRIPT = """
+import hashlib
+import numpy as np
+from repro.experiments.shared import get_bundle
+from repro.serving import PredictionRequest
+from repro.serving.faults import SCENARIOS, FaultInjector
+from repro.serving.shard import ShardedCleoRouter
+
+bundle = get_bundle("cluster1", scale="tiny", seed=0)
+predictor = bundle.predictor()
+records = list(bundle.log.operator_records())[:300]
+requests = [PredictionRequest.for_record(r) for r in records]
+lines = []
+for n_shards in (2, 3):
+    injector = FaultInjector(SCENARIOS["mixed_chaos"])
+    with ShardedCleoRouter(
+        {"cluster1": predictor}, n_shards=n_shards, fault_injector=injector
+    ) as router:
+        values = router.predict_batch("cluster1", requests)
+        stats = router.stats()
+        faults = router.fault_stats()
+    assert np.isfinite(values).all() and (values >= 0.0).all()
+    lines.append(
+        values.tobytes().hex()
+        + repr(sorted(faults.items()))
+        + repr((stats.retries, stats.degraded_predictions))
+    )
+print(hashlib.sha256("\\n".join(lines).encode()).hexdigest())
+"""
+
+
+def test_chaos_replay_identical_across_hash_seeds():
+    """Injected faults and ladder outcomes replay bitwise across
+    processes: no builtin hash(), RNG state, or wall clock in the fault
+    path."""
+    digest_a = _run_with_hash_seed(_CHAOS_SCRIPT, "0")
+    digest_b = _run_with_hash_seed(_CHAOS_SCRIPT, "42")
+    assert digest_a == digest_b, (
+        "chaos injection produced different faults or degraded answers "
+        "under different PYTHONHASHSEED values - a salted hash or RNG "
+        "leaked into the fault-decision path"
+    )

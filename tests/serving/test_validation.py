@@ -1,0 +1,262 @@
+"""Tests for serving-boundary validation and model quarantine.
+
+Input side: requests carrying non-finite features (or misaligned
+sequences) are rejected with a typed
+:class:`~repro.common.errors.FeatureValidationError` — which is also a
+``ValueError``, so pre-existing ``except ValueError`` callers keep
+working — instead of being priced into garbage.
+
+Output side: a model that emits NaN/inf/negative predictions is caught
+red-handed at the service boundary, removed from the
+:class:`~repro.core.model_store.ModelStore` via
+:class:`~repro.core.regression_control.ModelQuarantine` (the bank
+recompiles without it), and the offending rows are repriced through the
+fallback chain — the caller always receives finite, non-negative costs.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FeatureValidationError, ValidationError
+from repro.core.model_store import signature_for
+from repro.core.predictor import CleoPredictor
+from repro.features.table import FeatureTable
+from repro.serving import CleoService, PredictionRequest
+from repro.serving.shard import ShardedCleoRouter
+
+# ------------------------------------------------------------------ #
+# Fixtures
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture(scope="module")
+def records(tiny_bundle):
+    return list(tiny_bundle.log.operator_records())[:200]
+
+
+@pytest.fixture(scope="module")
+def requests(records):
+    return [PredictionRequest.for_record(r) for r in records]
+
+
+def corrupt_most_specific(store, bundle):
+    """NaN-poison and republish the store's most specific model for
+    ``bundle``, so the packed bank recompiles with the bad parameters —
+    the way a model broken at training time actually reaches serving."""
+    kind, model = store.most_specific(bundle)
+    model._net.coef_ = np.full_like(model._net.coef_, np.nan)
+    signature = signature_for(kind, bundle)
+    store.add(kind, signature, model)
+    return kind, signature
+
+
+@pytest.fixture()
+def corrupt_service(tiny_bundle, records):
+    """A store-only service whose most specific model for record 0 is NaN.
+
+    Store-only (no combined meta-ensemble) because tree ensembles route
+    NaN features to finite leaves — the combined model would mask the
+    poisoned individual model instead of exposing it.
+    """
+    store = copy.deepcopy(tiny_bundle.predictor().store)
+    kind, signature = corrupt_most_specific(store, records[0].signatures)
+    service = CleoService(CleoPredictor(store=store, combined=None))
+    return service, store, kind, signature
+
+
+# ------------------------------------------------------------------ #
+# Input validation
+# ------------------------------------------------------------------ #
+
+
+class TestInputValidation:
+    def test_error_type_is_both_validation_and_value_error(self):
+        assert issubclass(FeatureValidationError, ValidationError)
+        assert issubclass(FeatureValidationError, ValueError)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_scalar_predict_rejects_non_finite_features(
+        self, tiny_predictor, requests, bad
+    ):
+        service = CleoService(tiny_predictor)
+        request = requests[0]
+        poisoned = replace(request.features, input_card=bad)
+        with pytest.raises(FeatureValidationError):
+            service.predict(poisoned, request.signatures)
+
+    def test_batch_rejects_non_finite_features(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        poisoned = PredictionRequest(
+            replace(requests[3].features, avg_row_bytes=float("nan")),
+            requests[3].signatures,
+        )
+        with pytest.raises(FeatureValidationError):
+            service.predict_batch([*requests[:3], poisoned])
+
+    def test_table_rejects_non_finite_features(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests[:10]],
+            [r.signatures for r in requests[:10]],
+        )
+        table.output_card[4] = float("inf")
+        with pytest.raises(FeatureValidationError):
+            service.predict_table(table)
+
+    def test_table_requires_signatures(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        bare = FeatureTable.from_inputs([r.features for r in requests[:5]])
+        with pytest.raises(FeatureValidationError):
+            service.predict_table(bare)
+
+    def test_misaligned_sequences_rejected(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        with pytest.raises(FeatureValidationError):
+            service.predict_inputs(
+                [r.features for r in requests[:4]],
+                [r.signatures for r in requests[:3]],
+            )
+
+    def test_plan_batch_misalignment_rejected(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        inputs = [r.features for r in requests[:4]]
+        bundles = [r.signatures for r in requests[:4]]
+        with pytest.raises(FeatureValidationError):
+            service.predict_plan_batch(inputs, bundles, lengths=[3])
+
+    def test_validation_can_be_disabled(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor, validate_inputs=False)
+        request = requests[0]
+        poisoned = replace(request.features, input_card=float("nan"))
+        # No raise: the request is priced (garbage in, *bounded* garbage
+        # out — output validation still guards the result).
+        value = service.predict(poisoned, request.signatures)
+        assert math.isfinite(value)
+
+    def test_router_propagates_validation_errors(self, tiny_predictor, requests):
+        """The ladder must re-raise caller bugs, not degrade them."""
+        poisoned = PredictionRequest(
+            replace(requests[0].features, input_card=float("nan")),
+            requests[0].signatures,
+        )
+        with ShardedCleoRouter({"cluster1": tiny_predictor}, n_shards=2) as router:
+            with pytest.raises(FeatureValidationError):
+                router.predict_batch("cluster1", [poisoned])
+            with pytest.raises(FeatureValidationError):
+                router.predict_inputs(
+                    "cluster1",
+                    [r.features for r in requests[:2]],
+                    [r.signatures for r in requests[:3]],
+                )
+            stats = router.stats()
+        assert stats.degraded_predictions == 0
+        assert stats.retries == 0
+
+
+# ------------------------------------------------------------------ #
+# Output validation and quarantine
+# ------------------------------------------------------------------ #
+
+
+class TestOutputValidationAndQuarantine:
+    def test_unvalidated_service_leaks_nan(self, corrupt_service, records):
+        service, _, _, _ = corrupt_service
+        leaky = CleoService(
+            service.predictor, validate_inputs=False, validate_outputs=False
+        )
+        value = leaky.predict(records[0].features, records[0].signatures)
+        assert not math.isfinite(value)
+
+    def test_scalar_repair_quarantines_the_offender(
+        self, corrupt_service, records
+    ):
+        service, store, kind, signature = corrupt_service
+        assert store.get(kind, signature) is not None
+        value = service.predict(records[0].features, records[0].signatures)
+        assert math.isfinite(value) and value >= 0.0
+        assert store.get(kind, signature) is None
+        stats = service.stats()
+        assert stats.quarantined_models == 1
+        assert stats.degraded_predictions >= 1
+        assert "quarantined" in stats.describe()
+
+    def test_batch_repair_keeps_every_row_finite(self, corrupt_service, requests):
+        service, store, kind, signature = corrupt_service
+        values = service.predict_batch(requests)
+        assert np.isfinite(values).all() and (values >= 0.0).all()
+        assert store.get(kind, signature) is None
+        assert service.stats().quarantined_models == 1
+
+    def test_table_repair_keeps_every_row_finite(self, corrupt_service, requests):
+        service, _, _, _ = corrupt_service
+        table = FeatureTable.from_inputs(
+            [r.features for r in requests], [r.signatures for r in requests]
+        )
+        values = service.predict_table(table)
+        assert np.isfinite(values).all() and (values >= 0.0).all()
+        assert service.stats().quarantined_models == 1
+
+    def test_second_pass_is_idempotent(self, corrupt_service, requests):
+        """After the quarantine the bank recompiles without the offender:
+        replaying the batch neither re-quarantines nor re-degrades."""
+        service, _, _, _ = corrupt_service
+        first = service.predict_batch(requests)
+        after_first = service.stats()
+        second = service.predict_batch(requests)
+        after_second = service.stats()
+        assert np.array_equal(first, second)
+        assert after_second.quarantined_models == after_first.quarantined_models
+        assert (
+            after_second.degraded_predictions == after_first.degraded_predictions
+        )
+
+    def test_clean_models_are_never_quarantined(self, tiny_predictor, requests):
+        service = CleoService(tiny_predictor)
+        before = tiny_predictor.store.count()
+        service.predict_batch(requests)
+        assert service.stats().quarantined_models == 0
+        assert service.stats().degraded_predictions == 0
+        assert tiny_predictor.store.count() == before
+
+    def test_sharded_router_contains_a_poisoned_model(
+        self, tiny_bundle, records, requests
+    ):
+        """End to end: a NaN model behind one shard of the fleet is
+        quarantined by that shard's service and every answer stays
+        finite."""
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        corrupt_most_specific(store, records[0].signatures)
+        predictor = CleoPredictor(store=store, combined=None)
+        with ShardedCleoRouter({"cluster1": predictor}, n_shards=3) as router:
+            values = router.predict_batch("cluster1", requests)
+            stats = router.stats()
+        assert np.isfinite(values).all() and (values >= 0.0).all()
+        assert stats.quarantined_models >= 1
+
+    def test_negative_predictions_also_trigger_repair(
+        self, tiny_bundle, requests
+    ):
+        """Output validation rejects negative costs, not just non-finite
+        ones.  The stock regressors clamp at zero, so a negative value can
+        only reach serving through a foreign/corrupted transport — drive
+        the repair helper with one directly."""
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        service = CleoService(CleoPredictor(store=store, combined=None))
+        values = np.array([1.0, -5.0, 2.0])
+        repaired = service._validated_values(
+            values,
+            [r.features for r in requests[:3]],
+            [r.signatures for r in requests[:3]],
+        )
+        assert repaired[0] == 1.0 and repaired[2] == 2.0
+        assert math.isfinite(repaired[1]) and repaired[1] >= 0.0
+        stats = service.stats()
+        assert stats.degraded_predictions == 1
+        # No model actually misbehaved, so nothing was quarantined.
+        assert stats.quarantined_models == 0
