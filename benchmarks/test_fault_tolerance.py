@@ -7,7 +7,11 @@ corrupted outputs, latency spikes, and the combined storm — and the
 degradation ladder must answer every request with finite, non-negative
 costs (availability 1.0).  The zero-fault section pins the reliability
 layer's no-op cost: outputs bitwise identical and ``ServiceStats``
-counter-identical to the pre-ladder fail-fast router.  Drops
+counter-identical to the pre-ladder fail-fast router.  The hedging
+section pins the latency-SLO story: hedged latency_spikes serving must
+answer bitwise-identically while actually firing hedges; the pipeline
+section replays run-log poisoning, mid-retrain crashes, and a
+quarantined planner, all of which must fully recover.  Drops
 ``BENCH_faults.json`` under ``benchmarks/results/``.
 """
 
@@ -34,3 +38,17 @@ def test_fault_tolerance(benchmark, results_dir):
     assert result["zero_fault"]["stats_counter_identical"]
     assert result["baseline_availability"] == 1.0
     assert result["all_available"]
+    hedging = result["hedging"]
+    assert hedging["predictions_bitwise_identical"]
+    assert hedging["hedges"] > 0
+    assert hedging["availability"] == 1.0
+    pipeline = {row["scenario"]: row for row in result["pipeline"]}
+    assert set(pipeline) == {
+        "poisoned_runlog",
+        "retrain_crash",
+        "quarantined_planner",
+    }
+    for row in pipeline.values():
+        assert row["availability"] == 1.0
+        assert row["recovery"], row["scenario"]
+    assert result["pipeline_all_recovered"]

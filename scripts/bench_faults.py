@@ -26,8 +26,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.fault_tolerance import (  # noqa: E402
     DEFAULT_SCENARIOS,
+    PIPELINE_SCENARIOS,
     format_result,
+    list_scenarios,
     run_benchmark,
+    select_scenarios,
     write_result,
 )
 
@@ -46,7 +49,27 @@ def main(argv: list[str] | None = None) -> int:
         "--scenarios",
         nargs="+",
         default=list(DEFAULT_SCENARIOS),
-        help="named fault scenarios to replay (see repro.serving.faults)",
+        help="named serving fault scenarios to replay (see repro.serving.faults)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this scenario (repeatable; serving or pipeline names; "
+        "overrides --scenarios)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list every serving and pipeline chaos scenario, then exit",
+    )
+    parser.add_argument(
+        "--hedge-threshold",
+        type=float,
+        default=0.001,
+        metavar="SECONDS",
+        help="latency SLO for hedged requests; 0 disables hedging (default: 0.001)",
     )
     parser.add_argument(
         "--max-jobs",
@@ -57,6 +80,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_faults.json")
     args = parser.parse_args(argv)
 
+    if args.list_scenarios:
+        print(list_scenarios())
+        return 0
+
+    if args.scenario:
+        try:
+            serving, pipeline = select_scenarios(args.scenario)
+        except ValueError as exc:
+            print(f"ERROR: {exc}")
+            return 2
+    else:
+        serving, pipeline = tuple(args.scenarios), PIPELINE_SCENARIOS
+
     result = run_benchmark(
         scale=args.scale,
         clusters=tuple(args.clusters),
@@ -64,8 +100,10 @@ def main(argv: list[str] | None = None) -> int:
         epochs=args.epochs,
         shards=args.shards,
         workers=args.workers,
-        scenarios=tuple(args.scenarios),
+        scenarios=serving,
         max_jobs_per_cluster=args.max_jobs,
+        pipeline_scenarios=pipeline,
+        hedge_threshold_s=args.hedge_threshold or None,
     )
     path = write_result(result, args.out)
     print(format_result(result))
@@ -78,6 +116,16 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not result["all_available"]:
         print("ERROR: a fault scenario dropped below availability 1.0")
+        return 1
+    if result["pipeline_all_recovered"] is False:
+        print("ERROR: a pipeline chaos scenario failed to recover")
+        return 1
+    hedging = result["hedging"]
+    if hedging is not None and not hedging["predictions_bitwise_identical"]:
+        print("ERROR: hedged serving diverged from the unhedged replay")
+        return 1
+    if hedging is not None and hedging["hedges"] == 0:
+        print("ERROR: hedging enabled but no request was hedged")
         return 1
     return 0
 

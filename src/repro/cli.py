@@ -345,10 +345,26 @@ def cmd_bench_replan(args: argparse.Namespace) -> int:
 
 def cmd_bench_faults(args: argparse.Namespace) -> int:
     from repro.experiments.fault_tolerance import (
+        PIPELINE_SCENARIOS,
         format_result,
+        list_scenarios,
         run_benchmark,
+        select_scenarios,
         write_result,
     )
+
+    if args.list_scenarios:
+        print(list_scenarios())
+        return 0
+
+    if args.scenario:
+        try:
+            serving, pipeline = select_scenarios(args.scenario)
+        except ValueError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
+    else:
+        serving, pipeline = tuple(args.scenarios), PIPELINE_SCENARIOS
 
     result = run_benchmark(
         scale=args.scale,
@@ -357,8 +373,10 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         shards=args.shards,
         workers=args.workers,
-        scenarios=tuple(args.scenarios),
+        scenarios=serving,
         max_jobs_per_cluster=args.max_jobs,
+        pipeline_scenarios=pipeline,
+        hedge_threshold_s=args.hedge_threshold or None,
     )
     path = write_result(result, args.out)
     print(format_result(result))
@@ -378,6 +396,25 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
     if not result["all_available"]:
         print(
             "ERROR: a fault scenario dropped below availability 1.0",
+            file=sys.stderr,
+        )
+        return 1
+    if result["pipeline_all_recovered"] is False:
+        print(
+            "ERROR: a pipeline chaos scenario failed to recover",
+            file=sys.stderr,
+        )
+        return 1
+    hedging = result["hedging"]
+    if hedging is not None and not hedging["predictions_bitwise_identical"]:
+        print(
+            "ERROR: hedged serving diverged from the unhedged replay",
+            file=sys.stderr,
+        )
+        return 1
+    if hedging is not None and hedging["hedges"] == 0:
+        print(
+            "ERROR: hedging enabled but no request was hedged",
             file=sys.stderr,
         )
         return 1
@@ -503,7 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--scenarios", nargs="+",
                           default=["baseline", "latency_spikes", "shard_errors",
                                    "timeouts", "corrupt_outputs", "mixed_chaos"],
-                          help="named fault scenarios (see repro.serving.faults)")
+                          help="named serving fault scenarios (see repro.serving.faults)")
+    p_faults.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                          help="run only this scenario (repeatable; serving or "
+                               "pipeline names; overrides --scenarios)")
+    p_faults.add_argument("--list-scenarios", action="store_true",
+                          help="list every serving and pipeline chaos scenario, then exit")
+    p_faults.add_argument("--hedge-threshold", type=float, default=0.001,
+                          metavar="SECONDS",
+                          help="latency SLO for hedged requests; 0 disables (default: 0.001)")
     p_faults.add_argument("--max-jobs", type=int, default=None,
                           help="cap jobs per cluster (smoke runs)")
     p_faults.add_argument("--out", default="BENCH_faults.json",

@@ -42,6 +42,25 @@ class FeatureValidationError(ValidationError, ValueError):
     """
 
 
+class DataQualityError(ValidationError):
+    """A training input was rejected by the data-quality gate.
+
+    Raised when sanitization of a run-log table (NaN/absurd latencies,
+    non-finite features, double-appended rows) leaves nothing to train on —
+    the typed signal that a poisoned ingestion day needs operator
+    attention, as opposed to silently fitting models to garbage.
+    """
+
+
+class InjectedCrashError(CleoError):
+    """A deterministic mid-pipeline crash produced by chaos injection.
+
+    Models a process death (OOM kill, node loss) at a chosen pipeline
+    point; recovery code must treat it as fatal to the in-memory state and
+    resume from durable state only.
+    """
+
+
 class ShardError(CleoError):
     """A serving shard failed to answer (raised, timed out, or returned
     corrupt predictions).  ``shard`` names the failing shard when known."""

@@ -24,11 +24,17 @@ ablation benchmark sweeps.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from statistics import median
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.chaos import PipelineChaos
 from repro.core.config import CleoConfig
 from repro.core.predictor import CleoPredictor
 from repro.core.robustness import ModelQuality, evaluate_predictor_on_log
@@ -195,11 +201,24 @@ class LifecycleManager:
     version, and then scores the active version on the day's fresh jobs.
     Day scoring is strictly out-of-sample: the active version never saw
     the day it is scored on.
+
+    With ``state_path`` set, the manager is **durable**: after every
+    completed step the full lifecycle state (registry versions + active
+    pointer, last train day, armed drift trigger, rolling error window,
+    baseline) is committed with an atomic temp-file-then-rename write.
+    A crash at *any* point mid-step — including between the in-memory
+    publish and the gate — leaves the previous step's state on disk, so a
+    restarted manager (:meth:`resume`) never observes a half-published
+    version: it simply retries the whole day, and the retry's retrain is
+    the only one the durable registry ever records.  ``chaos`` injects
+    deterministic crashes at named step points to prove exactly that.
     """
 
     policy: RetrainPolicy = field(default_factory=RetrainPolicy)
     config: CleoConfig | None = None
     registry: ModelRegistry = field(default_factory=ModelRegistry)
+    state_path: str | Path | None = None
+    chaos: "PipelineChaos | None" = None
 
     def __post_init__(self) -> None:
         self._trainer = CleoTrainer(self.config)
@@ -207,6 +226,42 @@ class LifecycleManager:
         self._drift_pending = False
         self._error_window: deque[float] = deque(maxlen=self.policy.drift_window_days)
         self._baseline_error: float | None = None
+        if self.state_path is not None:
+            self.state_path = Path(self.state_path)
+
+    @classmethod
+    def resume(
+        cls,
+        state_path: str | Path,
+        policy: RetrainPolicy | None = None,
+        config: CleoConfig | None = None,
+        chaos: "PipelineChaos | None" = None,
+    ) -> "LifecycleManager":
+        """A manager resumed from durable state (fresh when none exists).
+
+        The restart half of the crash-recovery contract: whatever the dead
+        process had durably committed — published versions, the active
+        pointer (including a gate rollback), an armed drift trigger, the
+        rolling error window — is exactly what the resumed manager serves
+        and decides from.
+        """
+        manager = cls(
+            policy=policy or RetrainPolicy(),
+            config=config,
+            state_path=state_path,
+            chaos=chaos,
+        )
+        path = Path(state_path)
+        if path.exists():
+            from repro.core.serialization import lifecycle_state_apply
+
+            lifecycle_state_apply(manager, json.loads(path.read_text()), config)
+        return manager
+
+    @property
+    def trainer(self) -> CleoTrainer:
+        """The manager's trainer (exposes the data-quality audit trail)."""
+        return self._trainer
 
     @property
     def drift_pending(self) -> bool:
@@ -250,12 +305,14 @@ class LifecycleManager:
         retrained = False
         rolled_back = False
         if self._should_retrain(day):
+            self._crash_check("retrain_start", day)
             window = self._window_for(log, day)
             predictor = self._trainer.train(
                 log.filter(days=list(window)),
                 individual_days=list(window),
                 combined_days=[window[-1]],
             )
+            self._crash_check("pre_publish", day)
             previous = self.registry.active() if self.registry.has_active else None
             self.registry.publish(predictor, day, window)
             self._last_train_day = day
@@ -277,6 +334,7 @@ class LifecycleManager:
                 # model serve for up to frequency_days — the opposite of
                 # the "self-correct on the next cycle" contract.
                 self._drift_pending = True
+            self._crash_check("post_publish", day)
 
         quality = evaluate_predictor_on_log(
             self.registry.active().predictor, day_log, name=f"day{day}"
@@ -287,6 +345,7 @@ class LifecycleManager:
         ):
             self._drift_pending = True
         self._track_drift(quality.median_error_pct)
+        self._persist()
         return DayOutcome(
             day=day,
             active_version=self.registry.active().version,
@@ -294,6 +353,31 @@ class LifecycleManager:
             retrained=retrained,
             rolled_back=rolled_back,
         )
+
+    # ------------------------------------------------------------------ #
+    # Durability and chaos hooks
+    # ------------------------------------------------------------------ #
+
+    def _crash_check(self, point: str, day: int) -> None:
+        """Raise an injected crash at a named step point, if armed.
+
+        The hooks deliberately run *before* any durable write for their
+        point, so a crash can never leave a torn commit — the worst case is
+        redoing a day's work, never observing half of it.
+        """
+        if self.chaos is not None:
+            self.chaos.check(point, day)
+
+    def _persist(self) -> None:
+        """Commit the full lifecycle state atomically (end of step only)."""
+        if self.state_path is None:
+            return
+        from repro.core.serialization import (
+            lifecycle_state_to_dict,
+            save_json_atomic,
+        )
+
+        save_json_atomic(lifecycle_state_to_dict(self), Path(self.state_path))
 
     # ------------------------------------------------------------------ #
     # Policy internals

@@ -56,10 +56,19 @@ class ModelStore:
         self.models[kind][signature] = model
         self._invalidate()
 
-    def remove(self, kind: ModelKind, signature: int) -> None:
-        """Drop one model (quarantine path); derived caches recompile."""
+    def remove(self, kind: ModelKind, signature: int) -> bool:
+        """Drop one model (quarantine path); derived caches recompile.
+
+        Removing a signature that was never added — or was already removed
+        — is an idempotent no-op returning ``False``: replaying a persisted
+        quarantine ledger over a freshly loaded store must never raise,
+        and a no-op removal leaves the compiled bank valid.
+        """
+        if signature not in self.models[kind]:
+            return False
         del self.models[kind][signature]
         self._invalidate()
+        return True
 
     def _invalidate(self) -> None:
         self.version += 1

@@ -97,6 +97,15 @@ class ModelQuarantine:
     (e.g. 4.0 means "persistently off by more than 4x").  Removal is safe:
     the fallback chain and the combined model's coverage flags degrade
     gracefully, and the next training cycle can re-learn the template.
+
+    Every removal is also recorded in an ordered **ledger** of
+    ``(kind, signature)`` pairs, so quarantine decisions survive a process
+    restart: persist the ledger (see :func:`repro.core.serialization.
+    quarantine_to_dict`), then :meth:`replay` it over a freshly loaded
+    store.  Replay is idempotent — already-absent signatures are no-ops —
+    and a retrained model re-adding a ledgered signature is dropped again
+    on the next replay, which is the conservative posture until
+    :meth:`clear_ledger` forgives it.
     """
 
     def __init__(self, tolerance_factor: float = 4.0, min_observations: int = 5) -> None:
@@ -104,6 +113,42 @@ class ModelQuarantine:
             raise ValueError("tolerance_factor must exceed 1.0")
         self.tolerance_factor = tolerance_factor
         self.min_observations = min_observations
+        #: Ordered set of quarantined (kind, signature) pairs.
+        self._ledger: dict[tuple[ModelKind, int], None] = {}
+
+    # ------------------------------------------------------------------ #
+    # Durable ledger
+    # ------------------------------------------------------------------ #
+
+    def ledger(self) -> tuple[tuple[ModelKind, int], ...]:
+        """Every quarantined (kind, signature), in quarantine order."""
+        return tuple(self._ledger)
+
+    def record(self, kind: ModelKind, signature: int) -> None:
+        """Ledger one quarantine decision (idempotent)."""
+        self._ledger[(kind, int(signature))] = None
+
+    def restore_ledger(
+        self, entries: "list[tuple[ModelKind, int]] | tuple[tuple[ModelKind, int], ...]"
+    ) -> None:
+        """Replace the ledger with persisted entries (restart path)."""
+        self._ledger = {(kind, int(signature)): None for kind, signature in entries}
+
+    def clear_ledger(self) -> None:
+        """Forgive every ledgered signature (e.g. after a clean retrain)."""
+        self._ledger = {}
+
+    def replay(self, store: ModelStore) -> int:
+        """Re-apply the ledger to a store; returns how many were removed.
+
+        Safe to run on every restart: removals of absent signatures are
+        idempotent no-ops (:meth:`ModelStore.remove` returns ``False``).
+        """
+        removed = 0
+        for kind, signature in self._ledger:
+            if store.remove(kind, signature):
+                removed += 1
+        return removed
 
     def audit(self, store: ModelStore, log: RunLog) -> QuarantineReport:
         """Remove persistently wrong models, returning what was dropped."""
@@ -129,6 +174,7 @@ class ModelQuarantine:
                 continue
             if float(np.median(values)) > threshold:
                 store.remove(kind, signature)
+                self.record(kind, signature)
                 report.removed[kind] = report.removed.get(kind, 0) + 1
         return report
 
@@ -144,6 +190,7 @@ class ModelQuarantine:
         if store.get(kind, signature) is None:
             return False
         store.remove(kind, signature)
+        self.record(kind, signature)
         return True
 
     def audit_predictor(self, predictor: CleoPredictor, log: RunLog) -> QuarantineReport:

@@ -16,6 +16,8 @@ tree ensemble.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -29,6 +31,42 @@ from repro.core.predictor import CleoPredictor
 from repro.ml.gbm import FastTreeRegressor
 
 FORMAT_VERSION = 1
+
+
+def save_json_atomic(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write JSON durably: a temp file in the target directory, fsynced,
+    then ``os.replace``d over the destination.
+
+    The write-ahead primitive behind every piece of durable reliability
+    state: a crash at any instant leaves either the old file or the new
+    one on disk, never a torn half-write — the invariant the lifecycle
+    manager's "no half-published version" recovery contract rests on.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _check_format(payload: dict[str, Any]) -> dict[str, Any]:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    return payload
 
 
 # --------------------------------------------------------------------- #
@@ -237,3 +275,92 @@ def save_registry(registry: "ModelRegistry", path: str | Path) -> None:
 def load_registry(path: str | Path, config: CleoConfig | None = None) -> "ModelRegistry":
     """Load a registry previously written by :func:`save_registry`."""
     return registry_from_dict(json.loads(Path(path).read_text()), config)
+
+
+# --------------------------------------------------------------------- #
+# Reliability state: quarantine ledger, breaker snapshots, lifecycle
+# --------------------------------------------------------------------- #
+
+
+def quarantine_to_dict(quarantine: "ModelQuarantine") -> dict[str, Any]:
+    """Serializable form of a quarantine policy plus its removal ledger."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "tolerance_factor": quarantine.tolerance_factor,
+        "min_observations": quarantine.min_observations,
+        "ledger": [
+            [kind.value, str(signature)] for kind, signature in quarantine.ledger()
+        ],
+    }
+
+
+def quarantine_from_dict(payload: dict[str, Any]) -> "ModelQuarantine":
+    """Inverse of :func:`quarantine_to_dict`; replay the ledger with
+    :meth:`~repro.core.regression_control.ModelQuarantine.replay`."""
+    from repro.core.regression_control import ModelQuarantine  # local: cycle
+
+    _check_format(payload)
+    quarantine = ModelQuarantine(
+        tolerance_factor=float(payload["tolerance_factor"]),
+        min_observations=int(payload["min_observations"]),
+    )
+    quarantine.restore_ledger(
+        [(ModelKind(kind), int(signature)) for kind, signature in payload["ledger"]]
+    )
+    return quarantine
+
+
+def health_state_to_dict(snapshots: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Versioned envelope over per-shard breaker snapshots
+    (:meth:`~repro.serving.shard.health.ShardHealth.snapshot`)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "n_shards": len(snapshots),
+        "shards": list(snapshots),
+    }
+
+
+def health_state_from_dict(payload: dict[str, Any]) -> "list[dict[str, Any]]":
+    """The per-shard snapshots a router restores breakers from."""
+    _check_format(payload)
+    shards = list(payload["shards"])
+    if len(shards) != int(payload["n_shards"]):
+        raise ValueError("health state is torn: shard count mismatch")
+    return shards
+
+
+def lifecycle_state_to_dict(manager: "LifecycleManager") -> dict[str, Any]:
+    """Full durable state of a lifecycle manager: the versioned registry
+    plus the retrain/drift control state (last train day, armed drift
+    trigger, rolling error window, baseline)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "registry": registry_to_dict(manager.registry),
+        "last_train_day": manager._last_train_day,
+        "drift_pending": manager._drift_pending,
+        "error_window": [float(e) for e in manager._error_window],
+        "baseline_error": manager._baseline_error,
+    }
+
+
+def lifecycle_state_apply(
+    manager: "LifecycleManager",
+    payload: dict[str, Any],
+    config: CleoConfig | None = None,
+) -> "LifecycleManager":
+    """Restore persisted lifecycle state into a fresh manager.
+
+    The registry is rebuilt version by version (active pointer included),
+    and the drift machinery resumes exactly where the dead process left
+    it: an armed early-retrain trigger or a gate rollback survives the
+    restart instead of silently disarming.
+    """
+    _check_format(payload)
+    manager.registry = registry_from_dict(payload["registry"], config)
+    manager._last_train_day = payload["last_train_day"]
+    manager._drift_pending = bool(payload["drift_pending"])
+    manager._error_window.clear()
+    manager._error_window.extend(float(e) for e in payload["error_window"])
+    baseline = payload["baseline_error"]
+    manager._baseline_error = None if baseline is None else float(baseline)
+    return manager

@@ -21,8 +21,11 @@ benchmark's before/after comparison.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.common.errors import DataQualityError
 from repro.core.combined import CombinedModel, build_meta_matrix, build_meta_row
 from repro.core.config import CleoConfig, ModelKind
 from repro.core.learned_model import LearnedCostModel, fit_models_batched
@@ -30,14 +33,112 @@ from repro.core.model_store import SIGNATURE_FIELDS, ModelStore, signature_for
 from repro.core.predictor import CleoPredictor
 from repro.execution.runtime_log import RunLog
 from repro.features.featurizer import FeatureInput, feature_names
+from repro.features.table import FeatureTable
 from repro.ml.base import Regressor
 
 
-class CleoTrainer:
-    """Trains the model store and the combined meta-model from run logs."""
+@dataclass(frozen=True)
+class TrainingAudit:
+    """What the trainer's data-quality gate saw and excised.
 
-    def __init__(self, config: CleoConfig | None = None) -> None:
+    One audit accumulates across the sanitization passes of a full
+    :meth:`CleoTrainer.train` run (individual + combined slices); counts
+    are raw per-rule tallies, so a row failing several rules appears in
+    each of its rules but only once in ``rows_dropped``.
+    """
+
+    rows_seen: int = 0
+    rows_kept: int = 0
+    nonfinite_features: int = 0
+    invalid_latency: int = 0
+    duplicate_rows: int = 0
+
+    @property
+    def rows_dropped(self) -> int:
+        return self.rows_seen - self.rows_kept
+
+    @property
+    def is_clean(self) -> bool:
+        return self.rows_dropped == 0
+
+    def merge(self, other: "TrainingAudit") -> "TrainingAudit":
+        return TrainingAudit(
+            rows_seen=self.rows_seen + other.rows_seen,
+            rows_kept=self.rows_kept + other.rows_kept,
+            nonfinite_features=self.nonfinite_features + other.nonfinite_features,
+            invalid_latency=self.invalid_latency + other.invalid_latency,
+            duplicate_rows=self.duplicate_rows + other.duplicate_rows,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"TrainingAudit({self.rows_kept}/{self.rows_seen} rows kept; "
+            f"{self.nonfinite_features} non-finite features, "
+            f"{self.invalid_latency} invalid latencies, "
+            f"{self.duplicate_rows} duplicates)"
+        )
+
+
+class CleoTrainer:
+    """Trains the model store and the combined meta-model from run logs.
+
+    ``sanitize`` (default on) runs every training table through the
+    data-quality gate (:meth:`~repro.features.table.FeatureTable.
+    sanitize_mask`): rows with non-finite features, NaN / negative / absurd
+    latencies, or double-appended adjacency duplicates are excised before
+    fitting, with per-rule counts accumulated in :attr:`last_audit`.  Clean
+    tables short-circuit to the original object, so sanitized training is
+    bitwise-identical to unsanitized training on healthy data.  A table
+    that sanitizes to *zero* rows raises :class:`~repro.common.errors.
+    DataQualityError` — the typed signal that an ingestion day is rotten,
+    never a silent fit to garbage.  The scalar reference paths stay
+    unsanitized: they are the pinned pre-gate baseline.
+    """
+
+    def __init__(self, config: CleoConfig | None = None, sanitize: bool = True) -> None:
         self.config = config or CleoConfig()
+        self.sanitize = sanitize
+        #: Merged audit of every sanitization pass since ``reset_audit``
+        #: (``train`` / ``train_reference`` reset it on entry).
+        self.last_audit: TrainingAudit | None = None
+
+    # ------------------------------------------------------------------ #
+    # Data-quality gate
+    # ------------------------------------------------------------------ #
+
+    def reset_audit(self) -> None:
+        self.last_audit = None
+
+    def _record_audit(self, audit: TrainingAudit) -> None:
+        self.last_audit = (
+            audit if self.last_audit is None else self.last_audit.merge(audit)
+        )
+
+    def _sanitized(self, table: FeatureTable) -> FeatureTable:
+        """The gated view of a training table (the table itself when clean)."""
+        if not self.sanitize or len(table) == 0 or not len(table.latency):
+            return table
+        keep, counts = table.sanitize_mask()
+        kept = int(keep.sum())
+        self._record_audit(
+            TrainingAudit(
+                rows_seen=len(table),
+                rows_kept=kept,
+                nonfinite_features=counts["nonfinite_features"],
+                invalid_latency=counts["invalid_latency"],
+                duplicate_rows=counts["duplicate_rows"],
+            )
+        )
+        if kept == len(table):
+            return table
+        if kept == 0:
+            raise DataQualityError(
+                f"all {len(table)} training rows failed sanitization "
+                f"({counts['nonfinite_features']} non-finite features, "
+                f"{counts['invalid_latency']} invalid latencies, "
+                f"{counts['duplicate_rows']} duplicates)"
+            )
+        return table.take(np.flatnonzero(keep))
 
     # ------------------------------------------------------------------ #
     # Individual models
@@ -52,7 +153,7 @@ class CleoTrainer:
         models are fitted in one batched optimization pass — bitwise
         identical to :meth:`train_individual_reference`.
         """
-        table = log.to_table()
+        table = self._sanitized(log.to_table())
         store = ModelStore()
         if len(table) == 0:
             return store
@@ -135,7 +236,7 @@ class CleoTrainer:
         vectorized prediction (:func:`~repro.core.combined.build_meta_matrix`)
         instead of one scalar ``build_meta_row`` call per record.
         """
-        table = log.to_table()
+        table = self._sanitized(log.to_table())
         if len(table) == 0:
             raise ValueError("no operator records to train the combined model on")
         combined = CombinedModel(store, config=self.config, regressor=regressor)
@@ -206,6 +307,7 @@ class CleoTrainer:
         combined_days: list[int] | None = None,
     ) -> CleoPredictor:
         """Full pipeline over the columnar path."""
+        self.reset_audit()
         individual_days, combined_days = self._day_split(
             log, individual_days, combined_days
         )
@@ -220,6 +322,7 @@ class CleoTrainer:
         combined_days: list[int] | None = None,
     ) -> CleoPredictor:
         """Full pipeline over the scalar reference path (for benchmarks)."""
+        self.reset_audit()
         individual_days, combined_days = self._day_split(
             log, individual_days, combined_days
         )

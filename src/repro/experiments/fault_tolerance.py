@@ -38,6 +38,7 @@ import json
 import math
 import os
 import platform
+import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -68,21 +69,38 @@ DEFAULT_SCENARIOS: tuple[str, ...] = (
     "mixed_chaos",
 )
 
+#: Pipeline-chaos scenario order: poisoned telemetry first, then the
+#: mid-retrain crash, then serving with quarantined models.
+PIPELINE_SCENARIOS: tuple[str, ...] = (
+    "poisoned_runlog",
+    "retrain_crash",
+    "quarantined_planner",
+)
 
-def _chaos_replay(backend, load: ServingLoad, epochs: int) -> dict:
+#: The lifecycle rows replay a longer single-cluster log so a crash can
+#: land on a mid-sequence retrain with history on both sides of it.
+_LIFECYCLE_DAYS: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+def _chaos_replay(
+    backend, load: ServingLoad, epochs: int, collect: bool = False
+) -> dict:
     """Replay the load, tolerating and counting per-request failures.
 
     Unlike :func:`~repro.serving.shard.loadgen.run_load` (which lets any
     exception abort the replay — correct for parity benchmarks), a chaos
     replay must survive whatever the backend throws and score it: a
     request counts as *available* only if it returned finite, non-negative
-    predictions.
+    predictions.  With ``collect`` the per-request answers come back too,
+    so two replays can be compared bitwise (the hedging parity check).
     """
     latencies: list[float] = []
+    values_out: list = []
     available = 0
     total = 0
     for _ in range(epochs):
         for request in load.requests:
+            answer = None
             start = time.perf_counter()
             try:
                 if isinstance(request, PlanJob):
@@ -92,6 +110,7 @@ def _chaos_replay(backend, load: ServingLoad, epochs: int) -> dict:
                         load.fresh_estimator(request.cluster),
                     )
                     ok = math.isfinite(value) and value >= 0.0
+                    answer = value
                 else:
                     values = backend.predict_batch(
                         request.cluster, list(request.requests)
@@ -99,19 +118,33 @@ def _chaos_replay(backend, load: ServingLoad, epochs: int) -> dict:
                     ok = bool(
                         np.isfinite(values).all() and (values >= 0.0).all()
                     )
+                    answer = values
             except Exception:
                 ok = False
             latencies.append(time.perf_counter() - start)
             total += 1
+            if collect:
+                values_out.append(answer)
             if ok:
                 available += 1
     lat = np.asarray(latencies, dtype=float)
-    return {
+    result = {
         "available": available,
         "total": total,
         "availability": available / total if total else 1.0,
         "latency_p50_ms": float(1e3 * np.quantile(lat, 0.50)),
         "latency_p99_ms": float(1e3 * np.quantile(lat, 0.99)),
+    }
+    if collect:
+        result["values"] = values_out
+    return result
+
+
+def _latency_columns(durations: list[float]) -> dict:
+    lat = np.asarray(durations, dtype=float)
+    return {
+        "latency_p50_ms": round(float(1e3 * np.quantile(lat, 0.50)), 4),
+        "latency_p99_ms": round(float(1e3 * np.quantile(lat, 0.99)), 4),
     }
 
 
@@ -173,6 +206,222 @@ def _zero_fault_section(
     }
 
 
+def _hedging_section(
+    predictors: dict,
+    load: ServingLoad,
+    capacity: int,
+    shards: int,
+    workers: int,
+    epochs: int,
+    seed: int,
+    resilience: ResilienceConfig,
+    hedge_threshold_s: float,
+) -> dict:
+    """Latency-spike replay with and without hedged requests.
+
+    The hedged pass must answer every request bitwise-identically to the
+    unhedged pass (the ring successor reads the same shared bank) — the
+    only thing hedging is allowed to change is who pays the spike.
+    """
+    policy = replace(SCENARIOS["latency_spikes"], seed=seed)
+    rows: dict[str, dict] = {}
+    answers: dict[str, list] = {}
+    configs = {
+        "unhedged": resilience,
+        "hedged": replace(resilience, hedge_threshold_s=hedge_threshold_s),
+    }
+    for mode, config in configs.items():
+        with ShardedCleoRouter(
+            predictors,
+            n_shards=shards,
+            n_workers=workers,
+            prediction_cache_size=capacity,
+            resilience=config,
+            fault_injector=FaultInjector(policy),
+        ) as router:
+            measures = _chaos_replay(router, load, epochs, collect=True)
+            hedge = router.hedge_stats()
+        answers[mode] = measures.pop("values")
+        rows[mode] = {**measures, **hedge}
+    bitwise = len(answers["unhedged"]) == len(answers["hedged"]) and all(
+        (a is None and b is None)
+        or (a is not None and b is not None and np.array_equal(a, b))
+        for a, b in zip(answers["unhedged"], answers["hedged"])
+    )
+    unhedged_p99 = rows["unhedged"]["latency_p99_ms"]
+    hedged_p99 = rows["hedged"]["latency_p99_ms"]
+    return {
+        "scenario": "latency_spikes",
+        "hedge_threshold_s": hedge_threshold_s,
+        "spike_s": policy.latency_spike_s,
+        "unhedged_p99_ms": round(unhedged_p99, 4),
+        "hedged_p99_ms": round(hedged_p99, 4),
+        "unhedged_p50_ms": round(rows["unhedged"]["latency_p50_ms"], 4),
+        "hedged_p50_ms": round(rows["hedged"]["latency_p50_ms"], 4),
+        "p99_speedup": round(unhedged_p99 / hedged_p99, 3) if hedged_p99 else None,
+        "hedges": rows["hedged"]["hedges"],
+        "hedge_wins": rows["hedged"]["hedge_wins"],
+        "unhedged_hedges": rows["unhedged"]["hedges"],
+        "availability": round(rows["hedged"]["availability"], 6),
+        "predictions_bitwise_identical": bitwise,
+    }
+
+
+def _poisoned_runlog_row(scale: str, seed: int) -> dict:
+    """Train-through-poison recovery: NaNs, outliers, duplicated and
+    dropped telemetry rows injected into the run log; the training gate
+    must excise them and every day must still be scored."""
+    from repro.common.chaos import POISON_SCENARIOS, RunLogPoisoner
+    from repro.core.lifecycle import LifecycleManager, RetrainPolicy
+
+    bundle = get_bundle("cluster1", scale=scale, days=_LIFECYCLE_DAYS, seed=seed)
+    policy = replace(
+        POISON_SCENARIOS["poisoned_runlog"], days=_LIFECYCLE_DAYS[:-1], seed=seed
+    )
+    poisoned, injected = RunLogPoisoner(policy).poison(bundle.log)
+    manager = LifecycleManager(policy=RetrainPolicy(window_days=2, frequency_days=2))
+    days = list(_LIFECYCLE_DAYS[2:])
+    durations: list[float] = []
+    excised = {"rows_dropped": 0, "invalid_latency": 0, "duplicate_rows": 0}
+    scored = 0
+    for day in days:
+        start = time.perf_counter()
+        outcome = manager.step(poisoned, day)
+        durations.append(time.perf_counter() - start)
+        scored += 1
+        audit = manager.trainer.last_audit
+        if outcome.retrained and audit is not None:
+            excised["rows_dropped"] += audit.rows_dropped
+            excised["invalid_latency"] += audit.invalid_latency
+            excised["duplicate_rows"] += audit.duplicate_rows
+    return {
+        "scenario": "poisoned_runlog",
+        "policy": policy.describe(),
+        "injected": injected,
+        "excised": excised,
+        "days_scored": scored,
+        "days_total": len(days),
+        "availability": scored / len(days) if days else 1.0,
+        "recovery": scored == len(days) and excised["rows_dropped"] > 0,
+        **_latency_columns(durations),
+    }
+
+
+def _retrain_crash_row(scale: str, seed: int, tmpdir: str) -> dict:
+    """Mid-retrain crash recovery: a deterministic crash lands between
+    training and publish; the durable manager resumes, retries the day,
+    and the whole replay must end bitwise-identical to a crash-free run
+    with no half-published version ever visible."""
+    from repro.common.chaos import CrashPolicy, PipelineChaos
+    from repro.common.errors import InjectedCrashError
+    from repro.core.lifecycle import LifecycleManager, RetrainPolicy
+
+    bundle = get_bundle("cluster1", scale=scale, days=_LIFECYCLE_DAYS, seed=seed)
+    log = bundle.log
+    days = list(_LIFECYCLE_DAYS[2:])
+    crash_day = days[1]
+    retrain = RetrainPolicy(window_days=2, frequency_days=1)
+    state_path = Path(tmpdir) / "lifecycle_state.json"
+    chaos = PipelineChaos(
+        CrashPolicy(
+            name="retrain_crash",
+            points=("pre_publish",),
+            days=(crash_day,),
+            seed=seed,
+        )
+    )
+    manager = LifecycleManager(policy=retrain, state_path=state_path, chaos=chaos)
+    outcomes = []
+    durations: list[float] = []
+    crashes = 0
+    pending = list(days)
+    while pending:
+        day = pending[0]
+        start = time.perf_counter()
+        try:
+            outcomes.append(manager.step(log, day))
+        except InjectedCrashError:
+            crashes += 1
+            durations.append(time.perf_counter() - start)
+            # The old process is dead; a new one resumes from disk and
+            # retries the same day (the chaos injector models a transient
+            # condition: the retry is allowed through).
+            manager = LifecycleManager.resume(
+                state_path, policy=retrain, chaos=chaos
+            )
+            continue
+        durations.append(time.perf_counter() - start)
+        pending.pop(0)
+
+    clean = LifecycleManager(policy=retrain)
+    clean_outcomes = [clean.step(log, day) for day in days]
+    identical = len(outcomes) == len(clean_outcomes) and all(
+        a.day == b.day
+        and a.active_version == b.active_version
+        and a.median_error_pct == b.median_error_pct
+        for a, b in zip(clean_outcomes, outcomes)
+    )
+    return {
+        "scenario": "retrain_crash",
+        "crash_point": "pre_publish",
+        "crash_day": crash_day,
+        "crashes_injected": crashes,
+        "days_scored": len(outcomes),
+        "days_total": len(days),
+        "availability": len(outcomes) / len(days) if days else 1.0,
+        "versions_published": manager.registry.version_count,
+        "versions_clean_run": clean.registry.version_count,
+        "replay_bitwise_identical": identical,
+        "recovery": identical
+        and crashes == 1
+        and manager.registry.version_count == clean.registry.version_count,
+        **_latency_columns(durations),
+    }
+
+
+def _quarantined_planner_row(
+    bundles: dict, load: ServingLoad, capacity: int
+) -> dict:
+    """Serving with quarantined models: a replayed quarantine ledger
+    removes a slice of each cluster's specialized models; the predictor
+    ladder must absorb the gap with availability 1.0."""
+    from repro.core.config import ModelKind
+    from repro.core.regression_control import ModelQuarantine
+    from repro.core.serialization import predictor_from_dict, predictor_to_dict
+
+    quarantine = ModelQuarantine()
+    services = {}
+    removed = 0
+    replay_idempotent = True
+    for cluster, bundle in bundles.items():
+        # Deep-copy via the serialization round-trip: the bundle's cached
+        # predictor also backs the serving sections and must stay intact.
+        predictor = predictor_from_dict(predictor_to_dict(bundle.predictor()))
+        signatures = sorted(predictor.store.models[ModelKind.OP_SUBGRAPH])
+        for signature in signatures[: max(1, len(signatures) // 10)]:
+            quarantine.record(ModelKind.OP_SUBGRAPH, signature)
+        removed += quarantine.replay(predictor.store)
+        # Replaying an already-applied ledger must be a typed no-op.
+        replay_idempotent = replay_idempotent and (
+            quarantine.replay(predictor.store) == 0
+        )
+        services[cluster] = CleoService(predictor, prediction_cache_size=capacity)
+
+    measures = _chaos_replay(ServiceBackend(services), load, epochs=1)
+    return {
+        "scenario": "quarantined_planner",
+        "ledger_entries": len(quarantine.ledger()),
+        "models_removed": removed,
+        "replay_idempotent": replay_idempotent,
+        "availability": round(measures["availability"], 6),
+        "recovery": measures["availability"] == 1.0
+        and removed > 0
+        and replay_idempotent,
+        "latency_p50_ms": round(measures["latency_p50_ms"], 4),
+        "latency_p99_ms": round(measures["latency_p99_ms"], 4),
+    }
+
+
 def run_benchmark(
     scale: str = "small",
     clusters: tuple[str, ...] = ("cluster1", "cluster2"),
@@ -183,11 +432,18 @@ def run_benchmark(
     scenarios: tuple[str, ...] = DEFAULT_SCENARIOS,
     cache_fraction: float = 0.5,
     max_jobs_per_cluster: int | None = None,
+    pipeline_scenarios: tuple[str, ...] = PIPELINE_SCENARIOS,
+    hedge_threshold_s: float | None = 0.001,
 ) -> dict:
     """Replay the serving load under every fault scenario; JSON-ready dict."""
     unknown = [name for name in scenarios if name not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown fault scenarios {unknown}; have {sorted(SCENARIOS)}")
+    unknown = [n for n in pipeline_scenarios if n not in PIPELINE_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown pipeline scenarios {unknown}; have {list(PIPELINE_SCENARIOS)}"
+        )
     bundles = {
         cluster: get_bundle(cluster, scale=scale, seed=seed) for cluster in clusters
     }
@@ -244,6 +500,33 @@ def run_benchmark(
             }
         )
 
+    hedging = None
+    if hedge_threshold_s is not None and "latency_spikes" in scenarios:
+        hedging = _hedging_section(
+            predictors,
+            load,
+            capacity,
+            shards,
+            workers,
+            epochs,
+            seed,
+            resilience,
+            hedge_threshold_s,
+        )
+
+    pipeline_rows: list[dict] = []
+    if pipeline_scenarios:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            for name in pipeline_scenarios:
+                if name == "poisoned_runlog":
+                    pipeline_rows.append(_poisoned_runlog_row(scale, seed))
+                elif name == "retrain_crash":
+                    pipeline_rows.append(_retrain_crash_row(scale, seed, tmpdir))
+                elif name == "quarantined_planner":
+                    pipeline_rows.append(
+                        _quarantined_planner_row(bundles, load, capacity)
+                    )
+
     baseline_rows = [r for r in scenario_rows if r["scenario"] == "baseline"]
     return {
         "benchmark": "fault_tolerance",
@@ -267,6 +550,13 @@ def run_benchmark(
         },
         "zero_fault": zero_fault,
         "scenarios": scenario_rows,
+        "hedging": hedging,
+        "pipeline": pipeline_rows,
+        "pipeline_all_recovered": (
+            all(r["availability"] == 1.0 and r["recovery"] for r in pipeline_rows)
+            if pipeline_rows
+            else None
+        ),
         "baseline_availability": (
             baseline_rows[0]["availability"] if baseline_rows else None
         ),
@@ -277,6 +567,58 @@ def run_benchmark(
             "cpu_count": os.cpu_count(),
         },
     }
+
+
+#: One-line docs for the pipeline-chaos rows (shown by ``--list-scenarios``).
+_PIPELINE_DOCS: dict[str, str] = {
+    "poisoned_runlog": (
+        "NaN/outlier latencies, duplicated and dropped telemetry rows "
+        "injected into the run log; the training gate excises them"
+    ),
+    "retrain_crash": (
+        "deterministic crash between training and publish; the durable "
+        "lifecycle manager resumes with no half-published version"
+    ),
+    "quarantined_planner": (
+        "a replayed quarantine ledger removes specialized models; the "
+        "predictor ladder serves through the gap"
+    ),
+}
+
+
+def list_scenarios() -> str:
+    """Human-readable catalogue of every chaos scenario (CLI helper)."""
+    from repro.common.chaos import POISON_SCENARIOS
+
+    lines = ["serving scenarios (deterministic fault injection):"]
+    for name in DEFAULT_SCENARIOS:
+        lines.append(f"  {name}: {SCENARIOS[name].describe()}")
+    lines.append("pipeline scenarios (training/lifecycle chaos):")
+    for name in PIPELINE_SCENARIOS:
+        lines.append(f"  {name}: {_PIPELINE_DOCS[name]}")
+    lines.append("run-log poison policies (repro.common.chaos):")
+    for name, policy in POISON_SCENARIOS.items():
+        lines.append(f"  {name}: {policy.describe()}")
+    return "\n".join(lines)
+
+
+def select_scenarios(names: list[str]) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Split a ``--scenario`` filter into (serving, pipeline) selections.
+
+    Order follows the canonical replay order, not the order given; unknown
+    names raise ``ValueError`` listing what exists.
+    """
+    unknown = [
+        n for n in names if n not in SCENARIOS and n not in PIPELINE_SCENARIOS
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios {unknown}; serving: {sorted(SCENARIOS)}, "
+            f"pipeline: {list(PIPELINE_SCENARIOS)}"
+        )
+    serving = tuple(n for n in DEFAULT_SCENARIOS if n in names)
+    pipeline = tuple(n for n in PIPELINE_SCENARIOS if n in names)
+    return serving, pipeline
 
 
 def write_result(result: dict, path: str | Path) -> Path:
@@ -310,6 +652,24 @@ def format_result(result: dict) -> str:
             f"{row['breaker_opens']} breaker opens, "
             f"degraded {row['degraded_fraction']:.4f}, "
             f"p99 {row['latency_p99_ms']:.2f} ms"
+        )
+    hedging = result.get("hedging")
+    if hedging is not None:
+        lines.append(
+            f"  hedging (latency_spikes, SLO {1e3 * hedging['hedge_threshold_s']:.1f} ms): "
+            f"p99 {hedging['unhedged_p99_ms']:.2f} -> {hedging['hedged_p99_ms']:.2f} ms, "
+            f"{hedging['hedges']} hedges ({hedging['hedge_wins']} wins), "
+            f"bitwise={hedging['predictions_bitwise_identical']}"
+        )
+    for row in result.get("pipeline", []):
+        lines.append(
+            f"  pipeline/{row['scenario']}: availability {row['availability']:.4f}, "
+            f"recovery={row['recovery']}, "
+            f"p50 {row['latency_p50_ms']:.2f} ms, p99 {row['latency_p99_ms']:.2f} ms"
+        )
+    if result.get("pipeline_all_recovered") is not None:
+        lines.append(
+            f"  pipeline chaos fully recovered: {result['pipeline_all_recovered']}"
         )
     lines.append(f"  all scenarios fully available: {result['all_available']}")
     return "\n".join(lines)

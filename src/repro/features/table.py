@@ -36,6 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Signature column names, mirroring SignatureBundle's fields.
 SIGNATURE_NAMES: tuple[str, ...] = ("strict", "approx", "input", "operator")
 
+#: The longest latency a single operator row can legitimately report,
+#: mirroring the serving layer's prediction clamp (``_MAX_PREDICT_SECONDS``
+#: in :mod:`repro.core.learned_model`, ~116 days).  Anything beyond it is
+#: telemetry corruption (a unit bug, a stuck clock), not a slow operator.
+MAX_SANE_LATENCY_S = 1e7
+
 
 def _empty_f8() -> np.ndarray:
     return np.empty(0, dtype=float)
@@ -214,6 +220,81 @@ class FeatureTable:
             column[order], return_index=True, return_counts=True
         )
         return uniques, order, starts, counts
+
+    # ------------------------------------------------------------------ #
+    # Data-quality gates (training-path sanitization)
+    # ------------------------------------------------------------------ #
+
+    def adjacent_duplicate_mask(self) -> np.ndarray:
+        """True for rows bitwise-identical to their immediate predecessor.
+
+        The shape an at-least-once telemetry writer produces when it
+        retries an append: the copy lands right after the original.  The
+        rule is deliberately *adjacency*-scoped — recurring workloads can
+        legitimately contain identical rows far apart (the same template
+        instance re-executed within a day), and those must survive so the
+        clean-data path stays bitwise-identical to the unsanitized one.
+        Float columns compare by bit pattern, so double-appended NaN rows
+        are caught too.
+        """
+        n = len(self)
+        duplicate = np.zeros(n, dtype=bool)
+        if n < 2:
+            return duplicate
+        same = np.ones(n - 1, dtype=bool)
+        for name in COLUMN_NAMES:
+            bits = np.ascontiguousarray(
+                getattr(self, name), dtype=np.float64
+            ).view(np.uint64)
+            same &= bits[1:] == bits[:-1]
+        for column in self.signatures.values():
+            same &= column[1:] == column[:-1]
+        if len(self.latency):
+            bits = np.ascontiguousarray(self.latency, dtype=np.float64).view(
+                np.uint64
+            )
+            same &= bits[1:] == bits[:-1]
+        if len(self.day):
+            same &= self.day[1:] == self.day[:-1]
+        if len(self.is_adhoc):
+            same &= self.is_adhoc[1:] == self.is_adhoc[:-1]
+        if self.cluster:
+            names = np.asarray(self.cluster)
+            same &= names[1:] == names[:-1]
+        duplicate[1:] = same
+        return duplicate
+
+    def sanitize_mask(self) -> tuple[np.ndarray, dict[str, int]]:
+        """Rows safe to train on, plus per-rule excision counts.
+
+        A row is kept when every feature column is finite, its latency is
+        finite, non-negative, and below :data:`MAX_SANE_LATENCY_S`, and it
+        is not an adjacent duplicate.  On clean data the mask is all-True,
+        so callers can short-circuit to the original table and keep the
+        sanitized path bitwise-identical to the unsanitized one.
+        """
+        n = len(self)
+        feature_ok = np.ones(n, dtype=bool)
+        for name in COLUMN_NAMES:
+            feature_ok &= np.isfinite(getattr(self, name))
+        if len(self.latency):
+            with np.errstate(invalid="ignore"):
+                latency_ok = (
+                    np.isfinite(self.latency)
+                    & (self.latency >= 0.0)
+                    & (self.latency <= MAX_SANE_LATENCY_S)
+                )
+        else:
+            latency_ok = np.ones(n, dtype=bool)
+        duplicate = self.adjacent_duplicate_mask()
+        keep = feature_ok & latency_ok & ~duplicate
+        counts = {
+            "nonfinite_features": int((~feature_ok).sum()),
+            "invalid_latency": int((~latency_ok).sum()),
+            "duplicate_rows": int(duplicate.sum()),
+            "rows_dropped": int((~keep).sum()),
+        }
+        return keep, counts
 
     def describe(self) -> str:
         parts = [f"{len(self)} rows"]

@@ -132,6 +132,8 @@ class ServiceStats:
     degraded_predictions: int = 0
     #: Models removed by boundary output validation (the bank recompiles).
     quarantined_models: int = 0
+    #: Requests the router hedged to a ring successor under a latency SLO.
+    hedged_requests: int = 0
 
     @property
     def model_calls(self) -> int:
@@ -169,6 +171,7 @@ class ServiceStats:
             breaker_opens=sum(p.breaker_opens for p in parts),
             degraded_predictions=sum(p.degraded_predictions for p in parts),
             quarantined_models=sum(p.quarantined_models for p in parts),
+            hedged_requests=sum(p.hedged_requests for p in parts),
         )
 
     def describe(self) -> str:
@@ -188,6 +191,8 @@ class ServiceStats:
                 f"{self.breaker_opens} breaker opens, "
                 f"{self.degraded_predictions} degraded"
             )
+        if self.hedged_requests:
+            text += f", {self.hedged_requests} hedged"
         if self.quarantined_models:
             text += f", {self.quarantined_models} models quarantined"
         return text

@@ -42,6 +42,13 @@ class ResilienceConfig:
     (once exceeded, the router drops straight to the heuristic floor),
     and ``validate_outputs`` controls whether shard answers are checked
     for non-finite / negative values at the router boundary.
+
+    ``hedge_threshold_s`` is the latency SLO for hedged requests: when the
+    owning shard's injected latency spike would exceed it, the router
+    fires the sub-batch at the ring successor *first* (the shared
+    read-only bank makes the successor's answer bitwise what the owner's
+    would be) instead of waiting out the spike.  ``None`` (the default)
+    disables hedging, preserving the PR 8 ladder exactly.
     """
 
     max_retries: int = 2
@@ -50,6 +57,7 @@ class ResilienceConfig:
     cooldown_calls: int = 16
     deadline_s: float = 0.25
     validate_outputs: bool = True
+    hedge_threshold_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -62,6 +70,8 @@ class ResilienceConfig:
             raise ValidationError("cooldown_calls must be at least 1")
         if self.deadline_s <= 0.0:
             raise ValidationError("deadline_s must be positive")
+        if self.hedge_threshold_s is not None and self.hedge_threshold_s <= 0.0:
+            raise ValidationError("hedge_threshold_s must be positive")
 
 
 #: The router's default posture: resilience on, no fault injection.
@@ -214,3 +224,51 @@ class ShardHealth:
             self._opens = 0
             self._closes = 0
             self._rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # Durable state
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for persistence across process restarts."""
+        with self._lock:
+            return {
+                "shard": self.shard,
+                "state": self._state.value,
+                "window": [bool(ok) for ok in self._window],
+                "calls": self._calls,
+                "failures": self._failures,
+                "timeouts": self._timeouts,
+                "consecutive_failures": self._consecutive,
+                "breaker_opens": self._opens,
+                "breaker_closes": self._closes,
+                "rejected": self._rejected,
+                "cooldown_remaining": self._cooldown_remaining,
+            }
+
+    def restore(self, payload: dict) -> None:
+        """Resume from a :meth:`snapshot` taken before a restart.
+
+        Breaker state, cooldown countdown, outcome window, and counters
+        all come back; a HALF_OPEN probe that died with the old process is
+        *not* restored as in-flight, so the restarted shard re-admits
+        exactly one fresh probe instead of deadlocking half-open.
+        """
+        if int(payload["shard"]) != self.shard:
+            raise ValidationError(
+                f"snapshot is for shard {payload['shard']}, not {self.shard}"
+            )
+        with self._lock:
+            self._state = BreakerState(payload["state"])
+            self._window = deque(
+                (bool(ok) for ok in payload["window"]), maxlen=self.config.window
+            )
+            self._calls = int(payload["calls"])
+            self._failures = int(payload["failures"])
+            self._timeouts = int(payload["timeouts"])
+            self._consecutive = int(payload["consecutive_failures"])
+            self._opens = int(payload["breaker_opens"])
+            self._closes = int(payload["breaker_closes"])
+            self._rejected = int(payload["rejected"])
+            self._cooldown_remaining = int(payload["cooldown_remaining"])
+            self._probe_in_flight = False

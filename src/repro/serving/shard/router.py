@@ -51,8 +51,9 @@ from repro.features.featurizer import FeatureInput
 from repro.features.table import FeatureTable
 from repro.plan.physical import PhysicalOp, PhysOpType
 from repro.plan.signatures import SignatureBundle
+from repro.core.serialization import health_state_from_dict, health_state_to_dict
 from repro.serving.cache import LRUCache
-from repro.serving.faults import FaultInjector
+from repro.serving.faults import FaultInjector, FaultKind
 from repro.serving.service import (
     DEFAULT_BUNDLE_CACHE,
     DEFAULT_PREDICTION_CACHE,
@@ -168,6 +169,8 @@ class ShardedCleoRouter:
         self._ladder_lock = Lock()
         self._retries = 0
         self._degraded = 0
+        self._hedges = 0
+        self._hedge_wins = 0
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=self.n_workers, thread_name_prefix="cleo-shard"
@@ -351,6 +354,11 @@ class ShardedCleoRouter:
             # radius of the pre-ladder router): faults propagate.
             return self._call_shard(shard, cluster, token, 0, lambda: compute(shard))
         deadline = time.perf_counter() + resilience.deadline_s
+        hedge_target = self._hedge_target(cluster, shard, token)
+        if hedge_target is not None:
+            values = self._hedge(cluster, hedge_target, compute, token)
+            if values is not None:
+                return values
         for attempt, target in enumerate(self._attempt_order(shard)):
             health = self._health[target] if self._health is not None else None
             if attempt > 0:
@@ -385,6 +393,76 @@ class ShardedCleoRouter:
         values = self._bounded(heuristic())
         with self._ladder_lock:
             self._degraded += n_rows
+        return values
+
+    def _hedge_target(
+        self, cluster: str, shard: int, token: tuple[int, int]
+    ) -> int | None:
+        """The ring successor to hedge to, when the owner would blow the SLO.
+
+        Hedging fires only when a latency budget is configured, an injector
+        is active (the zero-fault path must stay untouched), the fleet has
+        a successor to ask, and the *pure* fault decision says the owning
+        shard's attempt-0 call will sleep longer than the budget.  Keying
+        the decision off :meth:`FaultInjector.decide` instead of a wall
+        clock keeps hedged chaos runs bitwise replayable.
+        """
+        resilience = self._resilience
+        injector = self._injector
+        if (
+            resilience is None
+            or resilience.hedge_threshold_s is None
+            or injector is None
+            or self.ring.n_shards < 2
+        ):
+            return None
+        if injector.policy.latency_spike_s <= resilience.hedge_threshold_s:
+            return None
+        if injector.decide(shard, cluster, token, 0) is not FaultKind.LATENCY:
+            return None
+        return (shard + 1) % self.ring.n_shards
+
+    def _hedge(
+        self,
+        cluster: str,
+        target: int,
+        compute: Callable[[int], np.ndarray],
+        token: tuple[int, int],
+    ) -> np.ndarray | None:
+        """Fire the sub-batch at the ring successor ahead of the slow owner.
+
+        The deterministic analogue of first-response-wins hedging: the
+        owner's spike duration is known from the pure fault decision, so
+        instead of racing two in-flight calls the router asks the successor
+        first (at ``attempt=1`` — the same draw a ladder retry would see;
+        the shared read-only bank makes the answer bitwise identical to the
+        owner's) and takes its response when valid.  Any hedge failure
+        returns ``None`` and the normal ladder walks from the owner, which
+        still answers — late, but within the deadline budget.
+        """
+        health = self._health[target] if self._health is not None else None
+        if health is not None and not health.allow():
+            return None
+        with self._ladder_lock:
+            self._hedges += 1
+        try:
+            values = self._call_shard(
+                target, cluster, token, 1, lambda: compute(target)
+            )
+        except FeatureValidationError:
+            raise
+        except Exception as exc:
+            if health is not None:
+                health.record_failure(timeout=isinstance(exc, ShardTimeoutError))
+            return None
+        if self._resilience.validate_outputs and not self._values_ok(values):
+            if health is not None:
+                health.record_failure()
+            return None
+        if health is not None:
+            health.record_success()
+        with self._ladder_lock:
+            self._hedge_wins += 1
         return values
 
     def _token(self, n_rows: int, approx: int) -> tuple[int, int]:
@@ -649,19 +727,20 @@ class ShardedCleoRouter:
         """
         base = ServiceStats.aggregate(s.stats() for s in self._services())
         with self._ladder_lock:
-            retries, degraded = self._retries, self._degraded
+            retries, degraded, hedges = self._retries, self._degraded, self._hedges
         opens = (
             sum(h.breaker_opens for h in self._health)
             if self._health is not None
             else 0
         )
-        if not (retries or degraded or opens):
+        if not (retries or degraded or opens or hedges):
             return base
         return dataclass_replace(
             base,
             retries=base.retries + retries,
             breaker_opens=base.breaker_opens + opens,
             degraded_predictions=base.degraded_predictions + degraded,
+            hedged_requests=base.hedged_requests + hedges,
         )
 
     def resilience_stats(self) -> list[ShardHealthStats]:
@@ -675,6 +754,42 @@ class ShardedCleoRouter:
         if self._injector is None:
             return {}
         return self._injector.stats()
+
+    def hedge_stats(self) -> dict[str, int]:
+        """Hedged-request activity: fired and won (answered from the
+        successor instead of waiting out the owner's spike)."""
+        with self._ladder_lock:
+            return {"hedges": self._hedges, "hedge_wins": self._hedge_wins}
+
+    # ------------------------------------------------------------------ #
+    # Durable health state
+    # ------------------------------------------------------------------ #
+
+    def export_health(self) -> dict:
+        """Versioned snapshot of every shard's breaker for persistence.
+
+        Pair with :meth:`restore_health` on a freshly constructed router
+        (same shard count) after a process restart: breakers resume OPEN /
+        mid-cooldown / HALF_OPEN exactly where the dead process left them,
+        instead of every restart resetting the fleet to CLOSED and
+        re-exposing it to a still-failing shard.
+        """
+        if self._health is None:
+            raise ValueError("resilience is disabled; there is no health state")
+        return health_state_to_dict([h.snapshot() for h in self._health])
+
+    def restore_health(self, payload: dict) -> None:
+        """Resume breaker state exported by :meth:`export_health`."""
+        if self._health is None:
+            raise ValueError("resilience is disabled; there is no health state")
+        snapshots = health_state_from_dict(payload)
+        if len(snapshots) != len(self._health):
+            raise ValueError(
+                f"health state has {len(snapshots)} shards, router has "
+                f"{len(self._health)}"
+            )
+        for health, snapshot in zip(self._health, snapshots):
+            health.restore(snapshot)
 
     def stats_for(self, cluster: str) -> ServiceStats:
         self._check_cluster(cluster)
@@ -702,6 +817,8 @@ class ShardedCleoRouter:
         with self._ladder_lock:
             self._retries = 0
             self._degraded = 0
+            self._hedges = 0
+            self._hedge_wins = 0
         if self._health is not None:
             for health in self._health:
                 health.reset_stats()

@@ -1,0 +1,219 @@
+"""Tests for deterministic pipeline chaos (run-log poison, crash injection).
+
+Two contracts:
+
+* **Determinism** — poison and crash decisions are pure functions of the
+  policy seed and the content keys (day, job id, operator index / crash
+  point), so every chaos run replays bitwise.
+* **Shape** — poisoning preserves record validity invariants (frozen
+  dataclasses, non-negative static fields) while planting exactly the
+  corruption kinds the training gate is contracted to excise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+from repro.common.chaos import (
+    CRASH_POINTS,
+    POISON_KINDS,
+    POISON_SCENARIOS,
+    CrashPolicy,
+    PipelineChaos,
+    PoisonPolicy,
+    RunLogPoisoner,
+)
+from repro.common.errors import InjectedCrashError, ValidationError
+
+
+# ------------------------------------------------------------------ #
+# PoisonPolicy
+# ------------------------------------------------------------------ #
+
+
+class TestPoisonPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nan_rate": -0.1},
+            {"outlier_rate": 1.5},
+            {"nan_rate": 0.6, "duplicate_rate": 0.6},  # sum > 1
+            {"outlier_factor": 1.0},
+            {"drop_rate": 2.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            PoisonPolicy(**kwargs)
+
+    def test_noop_detection(self):
+        assert PoisonPolicy().is_noop
+        assert not PoisonPolicy(nan_rate=0.01).is_noop
+
+    def test_policy_is_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            PoisonPolicy().nan_rate = 0.5
+
+    def test_scenarios_are_named_consistently(self):
+        for name, policy in POISON_SCENARIOS.items():
+            assert policy.name == name
+        assert POISON_SCENARIOS["clean"].is_noop
+        assert not POISON_SCENARIOS["poisoned_runlog"].is_noop
+
+    def test_describe(self):
+        text = PoisonPolicy(name="x", nan_rate=0.1, days=(1, 3)).describe()
+        assert "nan=10%" in text and "[1, 3]" in text
+
+
+# ------------------------------------------------------------------ #
+# RunLogPoisoner
+# ------------------------------------------------------------------ #
+
+
+class TestRunLogPoisoner:
+    @pytest.fixture(scope="class")
+    def policy(self):
+        return replace(POISON_SCENARIOS["poisoned_runlog"], days=(1, 2))
+
+    def test_decide_is_pure(self, policy):
+        a = RunLogPoisoner(policy)
+        b = RunLogPoisoner(policy)
+        for day in (1, 2):
+            for op in range(50):
+                assert a.decide(day, "job-7", op) == b.decide(day, "job-7", op)
+
+    def test_decide_respects_day_scope(self, policy):
+        poisoner = RunLogPoisoner(policy)
+        assert all(
+            poisoner.decide(9, f"job-{j}", op) is None
+            for j in range(20)
+            for op in range(10)
+        )
+
+    def test_decide_kinds_are_known(self, policy):
+        poisoner = RunLogPoisoner(policy)
+        kinds = {
+            poisoner.decide(1, f"job-{j}", op)
+            for j in range(100)
+            for op in range(10)
+        }
+        kinds.discard(None)
+        assert kinds and kinds <= set(POISON_KINDS)
+
+    def test_seed_rekeys_decisions(self, policy):
+        a = RunLogPoisoner(policy)
+        b = RunLogPoisoner(replace(policy, seed=policy.seed + 1))
+        decisions_a = [a.decide(1, f"j{j}", 0) for j in range(200)]
+        decisions_b = [b.decide(1, f"j{j}", 0) for j in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_poison_is_replayable_bitwise(self, policy, tiny_bundle):
+        log_a, counts_a = RunLogPoisoner(policy).poison(tiny_bundle.log)
+        log_b, counts_b = RunLogPoisoner(policy).poison(tiny_bundle.log)
+        assert counts_a == counts_b
+        for job_a, job_b in zip(log_a.jobs, log_b.jobs):
+            # repr-compare: dataclass == is False for planted NaN latencies.
+            assert repr(job_a) == repr(job_b)
+
+    def test_poison_counts_match_planted_corruption(self, policy, tiny_bundle):
+        poisoned, counts = RunLogPoisoner(policy).poison(tiny_bundle.log)
+        assert counts["total"] == sum(counts[k] for k in POISON_KINDS)
+        assert counts["total"] > 0
+        nans = sum(
+            1
+            for job in poisoned.jobs
+            for op in job.operators
+            if math.isnan(op.actual_latency)
+        )
+        assert nans == counts["nan"]
+        n_before = sum(len(j.operators) for j in tiny_bundle.log.jobs)
+        n_after = sum(len(j.operators) for j in poisoned.jobs)
+        assert n_after - n_before == counts["duplicate"] - counts["drop"]
+
+    def test_duplicates_are_planted_adjacent(self, tiny_bundle):
+        policy = PoisonPolicy(name="dup", duplicate_rate=0.2, days=(1,))
+        poisoned, counts = RunLogPoisoner(policy).poison(tiny_bundle.log)
+        assert counts["duplicate"] > 0
+        adjacent = sum(
+            1
+            for job in poisoned.jobs
+            for a, b in zip(job.operators, job.operators[1:])
+            if a == b
+        )
+        assert adjacent >= counts["duplicate"]
+
+    def test_outliers_exceed_sane_bound(self, tiny_bundle):
+        from repro.features.table import MAX_SANE_LATENCY_S
+
+        policy = PoisonPolicy(name="out", outlier_rate=0.2, days=(1,))
+        poisoned, counts = RunLogPoisoner(policy).poison(tiny_bundle.log)
+        assert counts["outlier"] > 0
+        insane = sum(
+            1
+            for job in poisoned.jobs
+            for op in job.operators
+            if op.actual_latency > MAX_SANE_LATENCY_S
+        )
+        assert insane == counts["outlier"]
+
+    def test_clean_policy_is_identity(self, tiny_bundle):
+        poisoned, counts = RunLogPoisoner(POISON_SCENARIOS["clean"]).poison(
+            tiny_bundle.log
+        )
+        assert counts["total"] == 0
+        for job_a, job_b in zip(tiny_bundle.log.jobs, poisoned.jobs):
+            assert job_a == job_b
+
+
+# ------------------------------------------------------------------ #
+# CrashPolicy / PipelineChaos
+# ------------------------------------------------------------------ #
+
+
+class TestPipelineChaos:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"points": ("nowhere",)},
+            {"rate": -0.5},
+            {"rate": 1.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            CrashPolicy(**kwargs)
+
+    def test_decide_is_pure(self):
+        policy = CrashPolicy(name="c", points=CRASH_POINTS, rate=0.5)
+        a = PipelineChaos(policy)
+        b = PipelineChaos(policy)
+        for point in CRASH_POINTS:
+            for day in range(10):
+                assert a.decide(point, day) == b.decide(point, day)
+
+    def test_check_raises_once_per_point_and_day(self):
+        chaos = PipelineChaos(
+            CrashPolicy(name="c", points=("pre_publish",), days=(4,))
+        )
+        with pytest.raises(InjectedCrashError):
+            chaos.check("pre_publish", 4)
+        # The restarted process retries the same point: it must pass.
+        chaos.check("pre_publish", 4)
+        assert chaos.stats() == {"pre_publish@4": 1, "total": 1}
+
+    def test_check_scopes_to_points_and_days(self):
+        chaos = PipelineChaos(
+            CrashPolicy(name="c", points=("pre_publish",), days=(4,))
+        )
+        chaos.check("retrain_start", 4)
+        chaos.check("pre_publish", 5)
+        assert chaos.stats() == {"total": 0}
+
+    def test_fractional_rate_fires_on_some_days(self):
+        policy = CrashPolicy(name="c", points=("retrain_start",), rate=0.5)
+        chaos = PipelineChaos(policy)
+        fired = [day for day in range(40) if chaos.decide("retrain_start", day)]
+        assert 0 < len(fired) < 40

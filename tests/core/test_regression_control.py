@@ -133,3 +133,55 @@ class TestModelQuarantine:
         # Second pass: the model is already gone, nothing double-counts.
         assert quarantine.quarantine(store, kind, signature) is False
         assert store.count() == before - 1
+
+
+class TestQuarantineLedger:
+    def test_audit_records_removals_in_ledger(self, tiny_bundle):
+        import copy
+
+        import numpy as np
+
+        from repro.core.learned_model import LearnedCostModel
+        from repro.core.model_store import signature_for
+
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        record = next(tiny_bundle.test_log().operator_records())
+        signature = signature_for(ModelKind.OP_SUBGRAPH, record.signatures)
+        broken = LearnedCostModel(include_context=False)
+        broken.fit(
+            [record.features] * 6,
+            np.full(6, record.actual_latency * 1e4 + 1e3),
+        )
+        store.add(ModelKind.OP_SUBGRAPH, signature, broken)
+
+        quarantine = ModelQuarantine(tolerance_factor=10.0, min_observations=1)
+        quarantine.audit(store, tiny_bundle.test_log())
+        assert (ModelKind.OP_SUBGRAPH, signature) in quarantine.ledger()
+
+    def test_replay_reapplies_to_reloaded_store(self, tiny_bundle):
+        """A retrained model re-adding a ledgered signature is dropped again."""
+        import copy
+
+        store = copy.deepcopy(tiny_bundle.predictor().store)
+        signature = next(iter(store.models[ModelKind.OP_SUBGRAPH]))
+        quarantine = ModelQuarantine()
+        quarantine.record(ModelKind.OP_SUBGRAPH, signature)
+
+        assert quarantine.replay(store) == 1
+        assert quarantine.replay(store) == 0
+        # "Retrain" re-adds the signature: replay drops it again.
+        fresh = copy.deepcopy(tiny_bundle.predictor().store)
+        assert quarantine.replay(fresh) == 1
+        quarantine.clear_ledger()
+        assert quarantine.ledger() == ()
+        assert quarantine.replay(copy.deepcopy(store)) == 0
+
+    def test_record_is_idempotent_and_ordered(self):
+        quarantine = ModelQuarantine()
+        quarantine.record(ModelKind.OPERATOR, 7)
+        quarantine.record(ModelKind.OP_SUBGRAPH, 3)
+        quarantine.record(ModelKind.OPERATOR, 7)
+        assert quarantine.ledger() == (
+            (ModelKind.OPERATOR, 7),
+            (ModelKind.OP_SUBGRAPH, 3),
+        )

@@ -139,3 +139,109 @@ class TestRegistryRoundTrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError):
             load_registry(path)
+
+
+class TestAtomicSave:
+    def test_atomic_save_roundtrips(self, tmp_path):
+        import json
+
+        from repro.core.serialization import save_json_atomic
+
+        path = tmp_path / "state.json"
+        save_json_atomic({"a": 1}, path)
+        save_json_atomic({"a": 2}, path)
+        assert json.loads(path.read_text()) == {"a": 2}
+        # No temp-file litter left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_failed_payload_leaves_old_file(self, tmp_path):
+        import json
+
+        from repro.core.serialization import save_json_atomic
+
+        path = tmp_path / "state.json"
+        save_json_atomic({"a": 1}, path)
+        with pytest.raises(TypeError):
+            save_json_atomic({"bad": object()}, path)
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+
+class TestQuarantineRoundTrip:
+    def test_ledger_roundtrips(self):
+        from repro.core.config import ModelKind
+        from repro.core.regression_control import ModelQuarantine
+        from repro.core.serialization import (
+            quarantine_from_dict,
+            quarantine_to_dict,
+        )
+
+        quarantine = ModelQuarantine(tolerance_factor=3.0, min_observations=7)
+        quarantine.record(ModelKind.OP_SUBGRAPH, 123)
+        quarantine.record(ModelKind.OPERATOR, 456)
+        restored = quarantine_from_dict(quarantine_to_dict(quarantine))
+        assert restored.tolerance_factor == 3.0
+        assert restored.min_observations == 7
+        assert restored.ledger() == quarantine.ledger()
+
+    def test_restored_ledger_replays_on_fresh_store(self, tiny_predictor):
+        from repro.core.config import ModelKind
+        from repro.core.regression_control import ModelQuarantine
+        from repro.core.serialization import (
+            predictor_from_dict,
+            predictor_to_dict,
+            quarantine_from_dict,
+            quarantine_to_dict,
+        )
+
+        store = predictor_from_dict(predictor_to_dict(tiny_predictor)).store
+        signature = next(iter(store.models[ModelKind.OP_SUBGRAPH]))
+        quarantine = ModelQuarantine()
+        quarantine.record(ModelKind.OP_SUBGRAPH, signature)
+        restored = quarantine_from_dict(quarantine_to_dict(quarantine))
+        assert restored.replay(store) == 1
+        assert restored.replay(store) == 0  # idempotent second replay
+
+    def test_version_check(self):
+        from repro.core.regression_control import ModelQuarantine
+        from repro.core.serialization import (
+            quarantine_from_dict,
+            quarantine_to_dict,
+        )
+
+        payload = quarantine_to_dict(ModelQuarantine())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            quarantine_from_dict(payload)
+
+
+class TestHealthStateRoundTrip:
+    def test_snapshots_roundtrip(self):
+        from repro.core.serialization import (
+            health_state_from_dict,
+            health_state_to_dict,
+        )
+        from repro.serving.shard.health import ResilienceConfig, ShardHealth
+
+        health = ShardHealth(0, ResilienceConfig())
+        health.record_failure()
+        health.record_success()
+        payload = health_state_to_dict([health.snapshot()])
+        restored_snapshots = health_state_from_dict(payload)
+        fresh = ShardHealth(0, ResilienceConfig())
+        fresh.restore(restored_snapshots[0])
+        assert fresh.stats() == health.stats()
+
+    def test_torn_state_rejected(self):
+        from repro.core.serialization import (
+            health_state_from_dict,
+            health_state_to_dict,
+        )
+        from repro.serving.shard.health import ResilienceConfig, ShardHealth
+
+        payload = health_state_to_dict(
+            [ShardHealth(0, ResilienceConfig()).snapshot()]
+        )
+        payload["n_shards"] = 2
+        with pytest.raises(ValueError):
+            health_state_from_dict(payload)

@@ -208,6 +208,7 @@ class TestResilienceConfig:
             {"window": 0},
             {"cooldown_calls": 0},
             {"deadline_s": 0.0},
+            {"hedge_threshold_s": 0.0},
         ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
@@ -577,3 +578,193 @@ class TestFanOutFailure:
             )
             values = router.predict_batch("cluster1", requests)
         assert np.array_equal(values, expected)
+
+
+# ------------------------------------------------------------------ #
+# Hedged requests under a latency SLO
+# ------------------------------------------------------------------ #
+
+
+class TestHedging:
+    def hedged_resilience(self, threshold=0.001) -> ResilienceConfig:
+        return ResilienceConfig(hedge_threshold_s=threshold)
+
+    def _serve(self, router, requests):
+        """Per-request serving: each request is its own fault token, so a
+        15% latency rate actually produces spiking owners to hedge past
+        (one 400-row batch would only draw three sub-batch tokens)."""
+        return [
+            router.predict("cluster1", r.features, r.signatures)
+            for r in requests
+        ]
+
+    def test_hedged_answers_are_bitwise_identical(
+        self, tiny_predictor, requests, baseline
+    ):
+        """Hedging changes *when* an answer arrives, never *what* it is:
+        the ring successor prices from the same read-only model bank."""
+        subset = requests[:200]
+        expected = [
+            baseline.predict(r.features, r.signatures) for r in subset
+        ]
+        with make_router(
+            tiny_predictor,
+            n_shards=3,
+            fault_injector=FaultInjector(SCENARIOS["latency_spikes"]),
+            resilience=self.hedged_resilience(),
+        ) as hedged:
+            values = self._serve(hedged, subset)
+            hedge_stats = hedged.hedge_stats()
+            stats = hedged.stats()
+        assert values == expected
+        assert hedge_stats["hedges"] > 0
+        assert hedge_stats["hedge_wins"] == hedge_stats["hedges"]
+        assert stats.hedged_requests == hedge_stats["hedges"]
+
+    def test_hedged_run_matches_unhedged_run_bitwise(
+        self, tiny_predictor, requests
+    ):
+        subset = requests[:200]
+
+        def run(resilience):
+            injector = FaultInjector(SCENARIOS["latency_spikes"])
+            with make_router(
+                tiny_predictor,
+                n_shards=3,
+                fault_injector=injector,
+                resilience=resilience,
+            ) as router:
+                return self._serve(router, subset), router.hedge_stats()
+
+        unhedged_values, unhedged_stats = run(ResilienceConfig())
+        hedged_values, hedged_stats = run(self.hedged_resilience())
+        assert hedged_values == unhedged_values
+        assert unhedged_stats == {"hedges": 0, "hedge_wins": 0}
+        assert hedged_stats["hedges"] > 0
+
+    def test_zero_fault_path_never_hedges(
+        self, tiny_predictor, requests, baseline
+    ):
+        """A latency budget without an injector must cost nothing: outputs
+        and counters stay identical to the plain hardened router."""
+        expected = baseline.predict_batch(requests)
+        with make_router(
+            tiny_predictor, n_shards=3, resilience=self.hedged_resilience()
+        ) as router:
+            values = router.predict_batch("cluster1", requests)
+            hedge_stats = router.hedge_stats()
+            stats = router.stats()
+        with make_router(tiny_predictor, n_shards=3) as plain:
+            plain_stats_obj = plain.stats()
+            plain.predict_batch("cluster1", requests)
+            plain_stats = plain.stats()
+        assert np.array_equal(values, expected)
+        assert hedge_stats == {"hedges": 0, "hedge_wins": 0}
+        assert stats == plain_stats
+        assert stats.hedged_requests == 0
+
+    def test_single_shard_has_no_successor_to_hedge_to(
+        self, tiny_predictor, requests
+    ):
+        with make_router(
+            tiny_predictor,
+            n_shards=1,
+            fault_injector=FaultInjector(SCENARIOS["latency_spikes"]),
+            resilience=self.hedged_resilience(),
+        ) as router:
+            self._serve(router, requests[:100])
+            assert router.hedge_stats()["hedges"] == 0
+
+    def test_budget_above_the_spike_never_fires(self, tiny_predictor, requests):
+        """A spike inside the budget is not an SLO violation: wait it out."""
+        spike = SCENARIOS["latency_spikes"].latency_spike_s
+        with make_router(
+            tiny_predictor,
+            n_shards=3,
+            fault_injector=FaultInjector(SCENARIOS["latency_spikes"]),
+            resilience=self.hedged_resilience(threshold=spike * 10),
+        ) as router:
+            self._serve(router, requests[:100])
+            assert router.hedge_stats()["hedges"] == 0
+
+    def test_reset_stats_clears_hedge_counters(self, tiny_predictor, requests):
+        with make_router(
+            tiny_predictor,
+            n_shards=3,
+            fault_injector=FaultInjector(SCENARIOS["latency_spikes"]),
+            resilience=self.hedged_resilience(),
+        ) as router:
+            self._serve(router, requests[:200])
+            assert router.hedge_stats()["hedges"] > 0
+            router.reset_stats()
+            assert router.hedge_stats() == {"hedges": 0, "hedge_wins": 0}
+            assert router.stats().hedged_requests == 0
+
+
+# ------------------------------------------------------------------ #
+# Durable breaker state across router restarts
+# ------------------------------------------------------------------ #
+
+
+class TestHealthDurability:
+    def _open_breaker(self, router, requests):
+        for i in range(10):
+            router.predict_batch("cluster1", requests[i * 4 : i * 4 + 4])
+
+    def test_restart_resumes_breaker_state(self, tiny_predictor, requests):
+        """A restarted router restored from the dead process's snapshot
+        keeps the breaker OPEN instead of re-exposing the fleet."""
+        injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+        resilience = ResilienceConfig(failure_threshold=3, cooldown_calls=64)
+        with make_router(
+            tiny_predictor,
+            n_shards=1,
+            resilience=resilience,
+            fault_injector=injector,
+        ) as router:
+            self._open_breaker(router, requests)
+            assert router.resilience_stats()[0].state is BreakerState.OPEN
+            payload = router.export_health()
+
+        with make_router(
+            tiny_predictor, n_shards=1, resilience=resilience
+        ) as restarted:
+            assert restarted.resilience_stats()[0].state is BreakerState.CLOSED
+            restarted.restore_health(payload)
+            after = restarted.resilience_stats()[0]
+            # The full breaker state (incl. mid-cooldown position) survives.
+            assert restarted.export_health() == payload
+        assert after.state is BreakerState.OPEN
+        assert after.failures == router.resilience_stats()[0].failures
+
+    def test_export_without_resilience_raises(self, tiny_predictor):
+        with make_router(tiny_predictor, n_shards=2, resilience=None) as router:
+            with pytest.raises(ValueError):
+                router.export_health()
+            with pytest.raises(ValueError):
+                router.restore_health({})
+
+    def test_shard_count_mismatch_rejected(self, tiny_predictor):
+        with make_router(tiny_predictor, n_shards=3) as router:
+            payload = router.export_health()
+        with make_router(tiny_predictor, n_shards=2) as smaller:
+            with pytest.raises(ValueError):
+                smaller.restore_health(payload)
+
+    def test_half_open_probe_readmitted_after_restart(self):
+        """A probe that died with the old process must not wedge the
+        breaker: the restored HALF_OPEN state re-admits exactly one."""
+        config = ResilienceConfig(failure_threshold=2, cooldown_calls=3, window=8)
+        health = ShardHealth(0, config)
+        health.record_failure()
+        health.record_failure()
+        for _ in range(3):
+            health.allow()
+        assert health.allow()  # probe admitted, now in flight
+        assert health.state is BreakerState.HALF_OPEN
+
+        restored = ShardHealth(0, config)
+        restored.restore(health.snapshot())
+        assert restored.state is BreakerState.HALF_OPEN
+        assert restored.allow()  # the orphaned probe slot is re-admitted
+        assert not restored.allow()  # still one probe at a time

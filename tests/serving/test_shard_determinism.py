@@ -158,3 +158,135 @@ def test_chaos_replay_identical_across_hash_seeds():
         "under different PYTHONHASHSEED values - a salted hash or RNG "
         "leaked into the fault-decision path"
     )
+
+#: Restart round-trip: one process builds durable state — a stepped
+#: lifecycle manager, an OPEN breaker fleet, a quarantine ledger — and
+#: dies; a second process (different hash seed) resumes from disk alone
+#: and fingerprints what it serves.  Equal digests across seed orderings
+#: pin the save -> kill -> load -> serve path end to end.
+_RESTART_SAVE_SCRIPT = """
+import json
+from pathlib import Path
+from repro.core.config import ModelKind
+from repro.core.lifecycle import LifecycleManager, RetrainPolicy
+from repro.core.regression_control import ModelQuarantine
+from repro.core.serialization import quarantine_to_dict, save_json_atomic
+from repro.experiments.shared import get_bundle
+from repro.serving import PredictionRequest
+from repro.serving.faults import FaultInjector, FaultPolicy
+from repro.serving.shard import ShardedCleoRouter
+from repro.serving.shard.health import ResilienceConfig
+
+state = Path(__STATE_DIR__)
+bundle = get_bundle("cluster1", scale="tiny", seed=0)
+
+manager = LifecycleManager(
+    policy=RetrainPolicy(window_days=2, frequency_days=1),
+    state_path=state / "lifecycle.json",
+)
+for day in bundle.log.days[2:]:
+    manager.step(bundle.log, day)
+
+predictor = bundle.predictor()
+records = list(bundle.log.operator_records())[:100]
+requests = [PredictionRequest.for_record(r) for r in records]
+injector = FaultInjector(FaultPolicy(name="killall", error_rate=1.0))
+with ShardedCleoRouter(
+    {"cluster1": predictor},
+    n_shards=2,
+    resilience=ResilienceConfig(failure_threshold=3, cooldown_calls=64),
+    fault_injector=injector,
+) as router:
+    for i in range(10):
+        router.predict_batch("cluster1", requests[i * 4 : i * 4 + 4])
+    save_json_atomic(router.export_health(), state / "health.json")
+
+quarantine = ModelQuarantine(tolerance_factor=4.0, min_observations=1)
+store = predictor.store
+for signature in sorted(store.models[ModelKind.OP_SUBGRAPH])[:3]:
+    quarantine.record(ModelKind.OP_SUBGRAPH, signature)
+save_json_atomic(quarantine_to_dict(quarantine), state / "quarantine.json")
+print("saved")
+"""
+
+_RESTART_RESUME_SCRIPT = """
+import hashlib
+import json
+from pathlib import Path
+from repro.core.lifecycle import LifecycleManager, RetrainPolicy
+from repro.core.serialization import (
+    predictor_from_dict,
+    predictor_to_dict,
+    quarantine_from_dict,
+)
+from repro.experiments.shared import get_bundle
+from repro.serving import PredictionRequest
+from repro.serving.shard import ShardedCleoRouter
+from repro.serving.shard.health import ResilienceConfig
+
+state = Path(__STATE_DIR__)
+bundle = get_bundle("cluster1", scale="tiny", seed=0)
+records = list(bundle.log.operator_records())[:100]
+lines = []
+
+manager = LifecycleManager.resume(
+    state / "lifecycle.json",
+    policy=RetrainPolicy(window_days=2, frequency_days=1),
+)
+served = [
+    manager.registry.active().predictor.predict_record(r) for r in records
+]
+lines.append(repr((manager.registry.version_count, served)))
+
+predictor = bundle.predictor()
+requests = [PredictionRequest.for_record(r) for r in records]
+with ShardedCleoRouter(
+    {"cluster1": predictor},
+    n_shards=2,
+    resilience=ResilienceConfig(failure_threshold=3, cooldown_calls=64),
+) as router:
+    router.restore_health(json.loads((state / "health.json").read_text()))
+    health = router.resilience_stats()
+    values = router.predict_batch("cluster1", requests)
+lines.append(
+    repr([(h.state.value, h.failures, h.breaker_opens) for h in health])
+)
+lines.append(values.tobytes().hex())
+
+quarantine = quarantine_from_dict(
+    json.loads((state / "quarantine.json").read_text())
+)
+fresh = predictor_from_dict(predictor_to_dict(predictor))
+removed = quarantine.replay(fresh.store)
+lines.append(repr((removed, sorted(quarantine.ledger()))))
+print(hashlib.sha256("\\n".join(lines).encode()).hexdigest())
+"""
+
+
+def _restart_round_trip(tmp_path, save_seed: str, resume_seed: str) -> str:
+    state_dir = tmp_path / f"state-{save_seed}-{resume_seed}"
+    state_dir.mkdir()
+    assert (
+        _run_with_hash_seed(
+            _RESTART_SAVE_SCRIPT.replace("__STATE_DIR__", repr(str(state_dir))),
+            save_seed,
+        )
+        == "saved"
+    )
+    return _run_with_hash_seed(
+        _RESTART_RESUME_SCRIPT.replace("__STATE_DIR__", repr(str(state_dir))),
+        resume_seed,
+    )
+
+
+def test_restart_round_trip_identical_across_hash_seeds(tmp_path):
+    """Kill -> restart determinism: the process that resumes from durable
+    state serves the same versions, breaker states, quarantine ledger, and
+    prediction bytes no matter which hash seed either process ran under."""
+    digest_a = _restart_round_trip(tmp_path, "0", "42")
+    digest_b = _restart_round_trip(tmp_path, "42", "0")
+    assert digest_a == digest_b, (
+        "resuming from durable state produced different registry versions, "
+        "breaker states, or prediction bytes under different PYTHONHASHSEED "
+        "values - the save/load path is not deterministic"
+    )
