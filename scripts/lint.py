@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Run the determinism/concurrency lint pass (CI entry point).
+
+Equivalent to ``repro lint``; exists so CI and pre-commit hooks can run the
+pass without installing the package:
+
+    python scripts/lint.py src/repro
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""``repro lint`` — run the determinism/concurrency pass over the tree.
+
+Exit codes: 0 clean (or all findings baselined), 1 non-baselined findings,
+2 usage errors.  ``--json`` output is byte-identical across PYTHONHASHSEED
+values, which the test suite pins with subprocess runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    apply_baseline,
+)
+from repro.analysis.framework import AnalysisConfig, run_analysis
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options; shared by ``repro lint`` and ``scripts/lint.py``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to lint (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root that paths are reported relative to (default: .)",
+    )
+    parser.add_argument(
+        "--tests",
+        default=None,
+        help="tests tree for the reference-parity cross-check "
+        "(default: <root>/tests when present)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule by name (repeatable)",
+    )
+    parser.add_argument(
+        "--unscoped",
+        action="store_true",
+        help="apply every rule to every module, ignoring the per-rule "
+        "module scopes (used for fixture self-tests)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"lint: --root is not a directory: {root}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in (args.paths or [])]
+    if not paths:
+        default_target = root / "src" / "repro"
+        if not default_target.is_dir():
+            print(
+                f"lint: no paths given and {default_target} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default_target]
+
+    tests_path: Path | None
+    if args.tests is not None:
+        tests_path = Path(args.tests)
+        if not tests_path.exists():
+            print(f"lint: tests tree not found: {tests_path}", file=sys.stderr)
+            return 2
+    else:
+        candidate = root / "tests"
+        tests_path = candidate if candidate.is_dir() else None
+
+    config = (
+        AnalysisConfig.unscoped(ALL_RULES)
+        if args.unscoped
+        else AnalysisConfig.default(ALL_RULES)
+    )
+    known = {rule.name for rule in ALL_RULES}
+    for name in args.disable:
+        if name not in known:
+            print(
+                f"lint: unknown rule {name!r}; known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.disable:
+        config = config.without(*args.disable)
+
+    try:
+        report = run_analysis(
+            paths, ALL_RULES, config, root=root, tests_path=tests_path
+        )
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"lint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(report.findings)} grandfathered "
+            "finding(s))"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    report = apply_baseline(report, baseline)
+
+    output = render_json(report) if args.json else render_text(report)
+    sys.stdout.write(output if args.json else output + "\n")
+    return 1 if report.failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & concurrency invariant checker",
+    )
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts/lint.py
+    raise SystemExit(main())

@@ -1,0 +1,475 @@
+"""Core of the lint pass: findings, pragmas, rule registry, and the runner.
+
+The framework is deliberately dependency-free (stdlib ``ast`` only) and is
+itself held to the determinism rules it enforces: findings are totally
+ordered, every internal set is sorted before it reaches output, and reports
+are byte-identical across PYTHONHASHSEED values.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+Severity = str  # "error" | "warning"
+
+SEVERITY_ERROR: Severity = "error"
+SEVERITY_WARNING: Severity = "warning"
+
+#: Rule name used for malformed / unused pragma diagnostics emitted by the
+#: framework itself (not a registered rule; it cannot be pragma-suppressed).
+PRAGMA_RULE = "pragma"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, totally ordered for deterministic reports."""
+
+    path: str  # posix-style path relative to the analysis root
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = SEVERITY_ERROR
+
+    def fingerprint(self) -> str:
+        """Baseline identity: line-free so findings survive unrelated edits."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Pragmas
+# --------------------------------------------------------------------------- #
+
+#: Syntax (hash sign, then): ``repro: allow(rule-a, rule-b) -- why it is safe``
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[a-z0-9_,\s-]+?)\s*\)\s*"
+    r"(?:--\s*(?P<why>.*\S))?\s*$"
+)
+#: Anything that looks like a pragma attempt, for malformed-pragma reporting.
+_PRAGMA_ATTEMPT_RE = re.compile(r"#\s*repro\s*:")
+
+
+@dataclass
+class Pragma:
+    """One inline ``# repro: allow(...)`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    standalone: bool  # comment-only line: also covers the next source line
+    used: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every real comment token.
+
+    Tokenizing (rather than scanning raw lines) keeps pragma-looking text
+    inside strings and docstrings — e.g. this framework's own documentation
+    — from being parsed as pragmas.  Files the tokenizer rejects fall back
+    to empty: ``ast.parse`` will have raised on them earlier anyway.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def parse_pragmas(source: str, path: str) -> tuple[list[Pragma], list[Finding]]:
+    """Extract pragmas from ``source``; malformed ones become findings."""
+    pragmas: list[Pragma] = []
+    problems: list[Finding] = []
+    stripped_lines = [line.strip() for line in source.splitlines()]
+    for lineno, col, text in _iter_comments(source):
+        if not _PRAGMA_ATTEMPT_RE.search(text):
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule=PRAGMA_RULE,
+                    message=(
+                        "malformed pragma; expected "
+                        "'# repro: allow(<rule>) -- <justification>'"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            sorted({part.strip() for part in match.group("rules").split(",") if part.strip()})
+        )
+        justification = (match.group("why") or "").strip()
+        if not rules or not justification:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule=PRAGMA_RULE,
+                    message=(
+                        "pragma requires a non-empty rule list and a "
+                        "'-- <justification>' clause"
+                    ),
+                )
+            )
+            continue
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                rules=rules,
+                justification=justification,
+                standalone=stripped_lines[lineno - 1].startswith("#"),
+            )
+        )
+    return pragmas, problems
+
+
+# --------------------------------------------------------------------------- #
+# Import resolution
+# --------------------------------------------------------------------------- #
+
+
+class ImportMap:
+    """Maps local names to the dotted module/attribute they were bound from.
+
+    Lets rules resolve ``np.random.default_rng`` and
+    ``from time import time; time()`` to the same canonical dotted name.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._names[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted canonical name for a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._names.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+# --------------------------------------------------------------------------- #
+# Contexts
+# --------------------------------------------------------------------------- #
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name for ``path``; anchored at the ``repro`` package."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs about one source file."""
+
+    path: str  # posix path relative to the analysis root
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: list[Pragma]
+    imports: ImportMap
+
+    @classmethod
+    def from_file(cls, file_path: Path, root: Path) -> "ModuleContext":
+        source = file_path.read_text(encoding="utf-8")
+        rel: str
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        tree = ast.parse(source, filename=rel)
+        pragmas, _ = parse_pragmas(source, rel)
+        return cls(
+            path=rel,
+            module=module_name_for(file_path, root),
+            source=source,
+            tree=tree,
+            pragmas=pragmas,
+            imports=ImportMap(tree),
+        )
+
+    def finding(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        severity: Severity = SEVERITY_ERROR,
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+            severity=severity,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """All analyzed source modules plus (parsed, unanalyzed) test modules."""
+
+    modules: list[ModuleContext]
+    test_modules: list[ModuleContext]
+
+
+# --------------------------------------------------------------------------- #
+# Rules and configuration
+# --------------------------------------------------------------------------- #
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name``/``description``/``default_scope`` and override
+    :meth:`check_module` (per-file findings) and/or :meth:`finalize`
+    (whole-project findings, e.g. cross-referencing the tests tree).
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    severity: Severity = SEVERITY_ERROR
+    #: Module-name prefixes the rule applies to; ``None`` means everywhere.
+    default_scope: tuple[str, ...] | None = None
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule knobs; ``scope=None`` applies the rule to every module."""
+
+    enabled: bool = True
+    severity: Severity | None = None  # None: keep the rule's default
+    scope: tuple[str, ...] | None = None
+
+    def in_scope(self, module: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Which rules run, at what severity, over which modules."""
+
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls, all_rules: Sequence[Rule]) -> "AnalysisConfig":
+        """Repo defaults: every rule enabled over its own default scope."""
+        return cls(rules={rule.name: RuleConfig(scope=rule.default_scope) for rule in all_rules})
+
+    @classmethod
+    def unscoped(cls, all_rules: Sequence[Rule]) -> "AnalysisConfig":
+        """Every rule applies to every module (used by fixture self-tests)."""
+        return cls(rules={rule.name: RuleConfig(scope=None) for rule in all_rules})
+
+    def for_rule(self, rule: Rule) -> RuleConfig:
+        return self.rules.get(rule.name, RuleConfig(scope=rule.default_scope))
+
+    def without(self, *names: str) -> "AnalysisConfig":
+        rules = dict(self.rules)
+        for name in names:
+            rules[name] = replace(
+                rules.get(name, RuleConfig()), enabled=False
+            )
+        return AnalysisConfig(rules=rules)
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one lint run, pre-sorted for deterministic rendering."""
+
+    findings: list[Finding]  # actionable (non-baselined) findings
+    baselined: list[Finding]  # matched against the checked-in baseline
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def failed(self) -> bool:
+        """CI gate: any non-baselined error-severity finding fails the run."""
+        return bool(self.errors)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = path.rglob("*.py")
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return iter(sorted(out, key=lambda p: p.as_posix()))
+
+
+def load_project(
+    paths: Sequence[Path],
+    tests_path: Path | None,
+    root: Path,
+) -> tuple[ProjectContext, list[Finding]]:
+    """Parse every analyzed file (and test files for cross-referencing)."""
+    modules: list[ModuleContext] = []
+    parse_problems: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        modules.append(ModuleContext.from_file(file_path, root))
+        _, pragma_problems = parse_pragmas(modules[-1].source, modules[-1].path)
+        parse_problems.extend(pragma_problems)
+    test_modules: list[ModuleContext] = []
+    if tests_path is not None and tests_path.exists():
+        for file_path in iter_python_files([tests_path]):
+            test_modules.append(ModuleContext.from_file(file_path, root))
+    return ProjectContext(modules=modules, test_modules=test_modules), parse_problems
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    config: AnalysisConfig,
+    root: Path,
+    tests_path: Path | None = None,
+) -> AnalysisReport:
+    """Run ``rules`` over ``paths``; apply pragmas; return a sorted report.
+
+    Baseline filtering is a separate step (:func:`repro.analysis.baseline
+    .apply_baseline`) so callers can both check against and regenerate the
+    baseline from the same report.
+    """
+    project, findings = load_project(paths, tests_path, root)
+    active = [rule for rule in rules if config.for_rule(rule).enabled]
+    pragma_index = {ctx.path: ctx.pragmas for ctx in project.modules}
+
+    raw: list[Finding] = []
+    for rule in sorted(active, key=lambda r: r.name):
+        rule_config = config.for_rule(rule)
+        scoped = [ctx for ctx in project.modules if rule_config.in_scope(ctx.module)]
+        scoped_project = ProjectContext(
+            modules=scoped, test_modules=project.test_modules
+        )
+        for ctx in scoped:
+            raw.extend(rule.check_module(ctx))
+        raw.extend(rule.finalize(scoped_project))
+        if rule_config.severity is not None:
+            raw = [
+                replace(f, severity=rule_config.severity)
+                if f.rule == rule.name and f.severity != rule_config.severity
+                else f
+                for f in raw
+            ]
+
+    # Pragma suppression (framework pragma diagnostics are never suppressible).
+    for finding in raw:
+        suppressed = False
+        for pragma in pragma_index.get(finding.path, ()):
+            if pragma.covers(finding.rule, finding.line):
+                pragma.used = True
+                suppressed = True
+        if not suppressed:
+            findings.append(finding)
+
+    # Unused pragmas are stale documentation: surface them as warnings.
+    for ctx in project.modules:
+        for pragma in ctx.pragmas:
+            if not pragma.used:
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=pragma.line,
+                        col=0,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            "unused pragma for rule(s) "
+                            + ", ".join(pragma.rules)
+                            + "; no finding was suppressed"
+                        ),
+                        severity=SEVERITY_WARNING,
+                    )
+                )
+
+    return AnalysisReport(
+        findings=sorted(findings),
+        baselined=[],
+        files_checked=len(project.modules),
+        rules_run=tuple(sorted(rule.name for rule in active)),
+    )

@@ -1,0 +1,70 @@
+"""Text and JSON reporters for lint runs.
+
+Both renderers are deterministic: findings arrive pre-sorted from the
+framework and JSON is dumped with sorted keys, so `repro lint --json` is
+byte-identical across processes and PYTHONHASHSEED values (pinned by
+tests/analysis).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import AnalysisReport, Finding
+
+REPORT_VERSION = 1
+
+
+def _counts_by_rule(findings: list[Finding]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for finding in findings:
+        out[finding.rule] = out.get(finding.rule, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.severity}[{finding.rule}] {finding.message}"
+        )
+    if report.findings and report.baselined:
+        lines.append("")
+    if report.baselined:
+        lines.append(f"baselined findings ({len(report.baselined)} grandfathered):")
+        for finding in report.baselined:
+            lines.append(
+                f"  {finding.path}:{finding.line}: [{finding.rule}] {finding.message}"
+            )
+    summary = (
+        f"checked {report.files_checked} files, rules: {', '.join(report.rules_run)}"
+    )
+    verdict = (
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.baselined)} baselined"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-oriented report; stable bytes for a given tree."""
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": report.files_checked,
+        "rules_run": list(report.rules_run),
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "baselined": len(report.baselined),
+            "by_rule": _counts_by_rule(report.findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,209 @@
+"""lock-discipline: model compute under a lock, shared state outside one.
+
+PR 6's concurrency rule for the serving tier has two halves:
+
+* **no compute under a lock** — the per-shard services serialize only
+  counter bumps; holding a lock across a model-compute entry point
+  (``predict*``, ``price*``, ``plan_cost``) turns the fan-out back into a
+  sequential bottleneck and invites lock-ordering deadlocks between shards;
+* **no unlocked mutation of guarded state** — an attribute that is mutated
+  under a lock somewhere in a class is shared by definition, so a second,
+  unlocked mutation site in the same class (outside ``__init__``) is a lost
+  update waiting for a concurrency test to get lucky.
+
+The rule is heuristic by design: a "lock" is any context-manager expression
+whose terminal name contains ``lock`` (``self._stats_lock``,
+``_REPAIR_LOCK``, ...), which matches every lock in this repo.  Intentional
+single-threaded mutation sites carry a pragma with the reasoning.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleContext, Rule
+
+_LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)
+_COMPUTE_PREFIXES = ("predict", "price")
+_COMPUTE_EXACT = ("plan_cost",)
+#: Methods on containers that mutate in place.
+_MUTATING_METHODS = (
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+)
+#: Methods where unlocked mutation is expected: construction and teardown.
+_EXEMPT_METHODS = ("__init__", "__new__", "__enter__", "__exit__", "close")
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return None
+
+
+def _is_lock_expr(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and bool(_LOCK_NAME_RE.search(name))
+
+
+def _is_compute_call(node: ast.Call) -> bool:
+    name = _terminal_name(node.func)
+    if name is None:
+        return False
+    return name in _COMPUTE_EXACT or any(
+        name.startswith(prefix) for prefix in _COMPUTE_PREFIXES
+    )
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.x`` -> ``x`` (also unwraps ``self.x[...]`` subscripts)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Mutation:
+    __slots__ = ("attr", "method", "node", "locked")
+
+    def __init__(self, attr: str, method: str, node: ast.AST, locked: bool) -> None:
+        self.attr = attr
+        self.method = method
+        self.node = node
+        self.locked = locked
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "model compute (predict*/price*/plan_cost) called while holding a "
+        "lock, or lock-guarded shared state mutated outside any lock"
+    )
+    default_scope = (
+        "repro.serving",
+        "repro.common.chaos",
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                findings.extend(self._check_with(ctx, node))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # (a) compute under a lock
+    # ------------------------------------------------------------------ #
+
+    def _check_with(
+        self, ctx: ModuleContext, node: ast.With | ast.AsyncWith
+    ) -> Iterable[Finding]:
+        if not any(_is_lock_expr(item.context_expr) for item in node.items):
+            return
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Call) and _is_compute_call(inner):
+                    callee = _terminal_name(inner.func)
+                    yield ctx.finding(
+                        inner,
+                        self.name,
+                        f"{callee}() called while holding a lock; compute "
+                        "outside the lock and only publish results under it "
+                        "(PR 6 rule: locks never span model computation)",
+                    )
+
+    # ------------------------------------------------------------------ #
+    # (b) unlocked mutation of lock-guarded attributes
+    # ------------------------------------------------------------------ #
+
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        mutations: list[_Mutation] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._collect_mutations(method, mutations)
+
+        guarded = sorted(
+            {
+                m.attr
+                for m in mutations
+                if m.locked and m.method not in _EXEMPT_METHODS
+            }
+        )
+        for attr in guarded:
+            for mutation in mutations:
+                if (
+                    mutation.attr == attr
+                    and not mutation.locked
+                    and mutation.method not in _EXEMPT_METHODS
+                ):
+                    yield ctx.finding(
+                        mutation.node,
+                        self.name,
+                        f"self.{attr} is mutated under a lock elsewhere in "
+                        f"{cls.name} but mutated without one here; guard "
+                        "this site or justify why it cannot race",
+                    )
+
+    def _collect_mutations(
+        self,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        out: list[_Mutation],
+    ) -> None:
+        def walk(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inside = locked or any(
+                    _is_lock_expr(item.context_expr) for item in node.items
+                )
+                for stmt in node.body:
+                    walk(stmt, inside)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not method:
+                return  # nested defs get their own pass
+            attr: str | None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        out.append(_Mutation(attr, method.name, target, locked))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                attr = _self_attr(node.target)
+                if attr is not None:
+                    out.append(_Mutation(attr, method.name, node.target, locked))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                ):
+                    attr = _self_attr(func.value)
+                    if attr is not None:
+                        out.append(_Mutation(attr, method.name, node, locked))
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked)
+
+        walk(method, locked=False)

@@ -1,0 +1,70 @@
+"""reference-parity: every public ``*_reference`` function must be tested.
+
+The perf PRs (2-7) each kept a scalar reference implementation next to the
+batched fast path and pinned the two bitwise-identical.  That architecture
+only keeps its guarantee while the references are *exercised*: an untested
+reference silently rots until the day a parity investigation needs it, at
+which point it no longer matches anything.  This rule cross-references the
+tests AST and flags every public ``*_reference`` def with no test usage.
+
+A name counts as exercised if it appears anywhere in the tests tree as an
+attribute access or bare name (calls, ``getattr`` strings are not resolved
+— a plain mention is enough, which keeps the rule cheap and false-negative
+-averse rather than false-positive-prone).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleContext, ProjectContext, Rule
+
+
+def _public_reference_defs(
+    ctx: ModuleContext,
+) -> Iterable[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith("_reference") and not node.name.startswith("_"):
+                yield node.name, node
+
+
+def _test_identifiers(test_modules: list[ModuleContext]) -> set[str]:
+    used: set[str] = set()
+    for ctx in test_modules:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                used.add(node.attr)
+            elif isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # getattr(obj, "x_reference") / pytest parametrize ids.
+                used.add(node.value)
+    return used
+
+
+class ReferenceParityRule(Rule):
+    name = "reference-parity"
+    description = (
+        "public *_reference function with no usage anywhere in the tests "
+        "tree; retained scalar baselines must stay exercised"
+    )
+    default_scope = ("repro",)
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        used = _test_identifiers(project.test_modules)
+        findings: list[Finding] = []
+        for ctx in project.modules:
+            for name, node in _public_reference_defs(ctx):
+                if name not in used:
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            self.name,
+                            f"public reference '{name}' is not exercised by "
+                            "any test; add a parity test or it will rot "
+                            "silently",
+                        )
+                    )
+        return findings

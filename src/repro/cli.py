@@ -31,9 +31,16 @@ Eight commands cover the library's day-to-day loops without writing code:
 * ``bench-faults`` — replay the serving load through the hardened router
   under each deterministic fault scenario and write ``BENCH_faults.json``
   (availability, p99 under faults, degraded fraction, breaker activity,
-  zero-fault bitwise/counter parity).
+  zero-fault bitwise/counter parity);
+* ``lint``       — run the determinism & concurrency invariant checker
+  (:mod:`repro.analysis`) over the tree: builtin-``hash``/set-iteration
+  hazards, wall-clock/raw-RNG in deterministic modules, batch-variant
+  float reductions in parity-pinned code, lock discipline, and test
+  coverage of every ``*_reference`` baseline; fails on any finding not
+  pragma-justified or recorded in ``LINT_BASELINE.json``.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` (and ``lint`` given the
+tree: its JSON report is byte-identical across PYTHONHASHSEED values).
 """
 
 from __future__ import annotations
@@ -554,6 +561,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--out", default="BENCH_faults.json",
                           help="output JSON path (default: BENCH_faults.json)")
     p_faults.set_defaults(func=cmd_bench_faults)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism & concurrency invariant checker "
+        "(fails on non-baselined findings)",
+    )
+    from repro.analysis.cli import configure_parser as _configure_lint_parser
+
+    _configure_lint_parser(p_lint)
 
     return parser
 

@@ -243,6 +243,7 @@ class CleoTrainer:
         matrix = build_meta_matrix(store, table)
         target_arr = np.asarray(table.latency)
         if len(matrix) > self.config.max_meta_samples:
+            # repro: allow(wallclock-rng) -- raw config seed is intentional: the batched and scalar-reference trainers must draw the *identical* meta subsample, which sharing the explicit int seed guarantees (derive_rng would salt the two call sites apart)
             rng = np.random.default_rng(self.config.seed)
             take = rng.choice(
                 len(matrix), size=self.config.max_meta_samples, replace=False
@@ -269,6 +270,7 @@ class CleoTrainer:
         matrix = np.vstack(rows)
         target_arr = np.asarray(targets)
         if len(rows) > self.config.max_meta_samples:
+            # repro: allow(wallclock-rng) -- mirrors train_combined exactly: both paths replay the same raw-seed stream so the subsample (and therefore the fitted combined model) stays bitwise-identical
             rng = np.random.default_rng(self.config.seed)
             take = rng.choice(len(rows), size=self.config.max_meta_samples, replace=False)
             matrix, target_arr = matrix[take], target_arr[take]

@@ -74,6 +74,7 @@ class FeatureInput:
     @staticmethod
     def encode_params(params: tuple[float, ...]) -> float:
         """Numeric encoding of job parameters (mean value; 0 when absent)."""
+        # repro: allow(float-reduction) -- reduces one operator's fixed parameter tuple, computed once at featurization time by BOTH the scalar and columnar paths; batch size can never change its grouping
         return float(np.mean(params)) if params else 0.0
 
 

@@ -48,6 +48,7 @@ class RandomForestRegressor:
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
         features, targets = check_fit_inputs(features, targets)
         n_samples, n_features = features.shape
+        # repro: allow(wallclock-rng) -- self.seed is an explicit int hyperparameter; bootstrap draws must replay the historical stream so saved forests stay bitwise-reproducible (audited: per-tree seeds are offset by 1_000_003*t, so the bootstrap stream never collides with a tree's own stream)
         rng = np.random.default_rng(self.seed)
         max_features = self._resolve_max_features(n_features)
         self.trees_ = []

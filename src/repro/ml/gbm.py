@@ -150,6 +150,7 @@ class FastTreeRegressor:
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "FastTreeRegressor":
         features, targets = check_fit_inputs(features, targets)
         y = self._transform(targets)
+        # repro: allow(wallclock-rng) -- self.seed is an explicit int hyperparameter; subsample draws must replay the historical stream so saved FastTree stages stay bitwise-reproducible
         rng = np.random.default_rng(self.seed)
         n_samples = features.shape[0]
 

@@ -64,6 +64,7 @@ class MLPRegressor:
         self._y_std = float(y.std()) or 1.0
         y = (y - self._y_mean) / self._y_std
 
+        # repro: allow(wallclock-rng) -- self.seed is an explicit int hyperparameter; weight-init draws must replay the historical stream so saved MLPs stay bitwise-reproducible
         rng = np.random.default_rng(self.seed)
         n_samples, n_features = x.shape
         h = self.hidden_size

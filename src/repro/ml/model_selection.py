@@ -26,6 +26,7 @@ class KFold:
             raise ValueError(
                 f"need at least n_splits={self.n_splits} samples, got {n_samples}"
             )
+        # repro: allow(wallclock-rng) -- KFold's seed is an explicit int hyperparameter; the shuffle must replay the historical permutation so CV folds (and every paper table built on them) stay bitwise-stable
         rng = np.random.default_rng(self.seed)
         order = rng.permutation(n_samples)
         folds = np.array_split(order, self.n_splits)

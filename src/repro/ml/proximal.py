@@ -226,6 +226,7 @@ class ElasticNetMSLE:
         penalty strength is comparable across templates.
         """
         x = self._scaler.fit_transform(features)
+        # repro: allow(float-reduction) -- shared verbatim by scalar fit() and batched fit_elastic_nets (both call _prepare per segment on the same rows), so the reduction's grouping is independent of how many nets are batched
         self._y_scale = float(np.exp(np.mean(np.log1p(targets)))) or 1.0
         return x, np.log1p(targets / self._y_scale)
 
@@ -293,6 +294,7 @@ class ElasticNetMSLE:
         assert scale is not None and mean is not None
         raw = self.coef_ / scale * self._y_scale
         intercept = (
+            # repro: allow(float-reduction) -- 1-D pairwise sum over the model's fixed coefficient width; the packed bank replays the identical lane as a row of its (m, d).sum(axis=1), so the order matches bitwise (pinned by test_batched_resource_profiles)
             self.intercept_ - float((self.coef_ * mean / scale).sum())
         ) * self._y_scale
         return raw, intercept

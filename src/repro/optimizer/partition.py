@@ -202,6 +202,7 @@ class SamplingStrategy:
         if self.scheme == "uniform":
             grid = np.linspace(1, max_partitions, num=min(self.n_samples, max_partitions))
             return sorted({int(round(g)) for g in grid})
+        # repro: allow(wallclock-rng) -- the random sampling scheme's seed is an explicit strategy hyperparameter (Section 5.2 ablation knob); candidates must replay across processes, which the raw int seed guarantees
         rng = np.random.default_rng(self.seed)
         picks = rng.integers(1, max_partitions + 1, size=self.n_samples)
         return sorted({1, *map(int, picks)})
@@ -273,8 +274,10 @@ class AnalyticalStrategy:
             hi = min(max_partitions, max(int(current * self.trust_region), lo))
         chosen = context.optimal_partitions(max_partitions)
         chosen = min(max(chosen, lo), hi)
-        # Within the clamped range, re-check the boundary candidates.
-        return min({lo, chosen, hi}, key=context.stage_cost)
+        # Within the clamped range, re-check the boundary candidates.  The
+        # candidates are sorted so a stage-cost tie always resolves to the
+        # smallest partition count — never to set iteration order.
+        return min(sorted({lo, chosen, hi}), key=context.stage_cost)
 
 
 # --------------------------------------------------------------------- #

@@ -730,6 +730,7 @@ class CleoService:
                     model = store.get(kind, signature)
                     if model is None:
                         continue
+                    # repro: allow(lock-discipline) -- repair is deliberately serialized: probing must see a stable store so two threads cannot double-quarantine; it only runs on corrupt batches, where latency is irrelevant
                     if not _value_ok(model.predict_one(features)):
                         offenders[(kind, signature)] = None
             removed = sum(
@@ -742,12 +743,14 @@ class CleoService:
             for i, (features, bundle) in enumerate(zip(inputs, bundles)):
                 value: float | None = None
                 if combined is not None and combined.is_fitted:
+                    # repro: allow(lock-discipline) -- re-pricing stays under _REPAIR_LOCK so it prices against the post-quarantine store, not a store another thread is still repairing
                     candidate = float(combined.predict_one(features, bundle))
                     if _value_ok(candidate):
                         value = candidate
                 if value is None:
                     best = store.most_specific(bundle)
                     if best is not None:
+                        # repro: allow(lock-discipline) -- same repair-path reasoning: the fallback chain must read the store the quarantine pass just produced
                         candidate = float(best[1].predict_one(features))
                         if _value_ok(candidate):
                             value = candidate

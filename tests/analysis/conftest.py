@@ -1,0 +1,3 @@
+"""The fixtures tree is lint-rule input, not test code — never collect it."""
+
+collect_ignore = ["fixtures"]

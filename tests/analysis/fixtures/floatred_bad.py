@@ -1,0 +1,13 @@
+"""Known-bad fixture: shape-dependent reductions float-reduction flags."""
+
+import numpy as np
+
+
+def fold(matrix, weights):
+    total = np.sum(matrix)
+    centre = np.mean(matrix)
+    proj = matrix @ weights
+    dotted = np.dot(matrix, weights)
+    method_dot = matrix.dot(weights)
+    rowless = matrix.sum()
+    return total, centre, proj, dotted, method_dot, rowless

@@ -1,0 +1,28 @@
+"""Known-good twin of hashseed_bad: same logic, order-free constructs."""
+
+from repro.common.hashing import stable_hash
+
+
+def route(shard_names):
+    return stable_hash("route", *shard_names) % 8
+
+
+def plan_order(requirements):
+    pairs = [("sort", "hash"), ("merge", "range")]
+    chosen = []
+    for pair in pairs:
+        chosen.append(pair)
+    ordered = sorted({1, 2, 3})
+    labels = ",".join(sorted({"a", "b"}))
+    best = min(sorted({"x", "y"}), key=len)
+    has_sort = "sort" in {"sort", "merge"}
+    width = len({1, 2, 3})
+    return chosen, ordered, labels, best, has_sort, width
+
+
+class Planner:
+    def __init__(self):
+        self.pairs = [("broadcast", "none")]
+
+    def flips(self):
+        return [p for p in self.pairs]

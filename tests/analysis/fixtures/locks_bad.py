@@ -1,0 +1,19 @@
+"""Known-bad fixture: model compute under a lock + unlocked counter mutation."""
+
+from threading import Lock
+
+
+class ShardService:
+    def __init__(self):
+        self._stats_lock = Lock()
+        self._calls = 0
+        self.model = None
+
+    def serve(self, rows):
+        with self._stats_lock:
+            values = self.model.predict_batch(rows)
+            self._calls += 1
+        return values
+
+    def reset_counters(self):
+        self._calls = 0

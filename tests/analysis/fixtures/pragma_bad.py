@@ -1,0 +1,10 @@
+"""Fixture: malformed, justification-free, and unused pragmas."""
+
+
+def noop(x):
+    # repro: allow(wallclock-rng) -- nothing on the next line trips this rule
+    plain = x + 1
+    # repro:allow wallclock-rng missing parentheses entirely
+    also_plain = plain * 2
+    salted = hash(x)  # repro: allow(hashseed-hazard)
+    return also_plain + salted

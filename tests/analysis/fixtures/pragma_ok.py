@@ -1,0 +1,10 @@
+"""Fixture: flagged constructs suppressed by well-formed pragmas."""
+
+import numpy as np
+
+
+def sample(seed):
+    # repro: allow(wallclock-rng) -- fixture: strategy seed is an explicit int
+    rng = np.random.default_rng(seed)
+    total = np.sum(rng.normal(size=8))  # repro: allow(float-reduction) -- fixture: scalar draw
+    return total

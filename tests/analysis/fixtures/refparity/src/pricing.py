@@ -1,0 +1,28 @@
+"""Reference-parity fixture module: two public references, one private.
+
+``score_reference`` is exercised by the good tests tree; ``rank_reference``
+only by the good tree, so the bad tree leaves it orphaned.  The leading
+underscore exempts ``_probe_reference`` regardless of the tests tree.
+"""
+
+
+def score_fast(x):
+    return x * 2
+
+
+def score_reference(x):
+    return x + x
+
+
+def rank_fast(xs):
+    return sorted(xs)
+
+
+def rank_reference(xs):
+    out = list(xs)
+    out.sort()
+    return out
+
+
+def _probe_reference(x):
+    return x

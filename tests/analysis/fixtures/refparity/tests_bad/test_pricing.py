@@ -1,0 +1,7 @@
+"""Bad tests tree: exercises score_reference but leaves rank_reference orphaned."""
+
+from pricing import score_fast, score_reference
+
+
+def test_score_parity():
+    assert score_fast(3) == score_reference(3)

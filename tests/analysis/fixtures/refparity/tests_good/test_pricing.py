@@ -1,0 +1,11 @@
+"""Good tests tree: exercises both public references."""
+
+from pricing import rank_fast, rank_reference, score_fast, score_reference
+
+
+def test_score_parity():
+    assert score_fast(3) == score_reference(3)
+
+
+def test_rank_parity():
+    assert rank_fast([2, 1]) == rank_reference([2, 1])

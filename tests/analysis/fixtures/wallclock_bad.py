@@ -1,0 +1,16 @@
+"""Known-bad fixture: wall-clock and unseeded-RNG calls wallclock-rng flags."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def decide_fault(seed):
+    now = time.time()
+    stamp = datetime.now()
+    coin = random.random()
+    rng = np.random.default_rng(seed)
+    draw = np.random.normal()
+    return now, stamp, coin, rng, draw

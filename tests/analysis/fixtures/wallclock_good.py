@@ -1,0 +1,13 @@
+"""Known-good twin of wallclock_bad: derived RNG, perf_counter telemetry."""
+
+import time
+
+from repro.common.rng import derive_rng
+
+
+def decide_fault(seed):
+    started = time.perf_counter()
+    rng = derive_rng(seed, "faults")
+    draw = rng.normal()
+    elapsed = time.perf_counter() - started
+    return draw, elapsed

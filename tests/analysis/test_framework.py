@@ -1,0 +1,121 @@
+"""Framework-level tests: pragma parsing, suppression, baseline round-trip."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisConfig,
+    Baseline,
+    Finding,
+    apply_baseline,
+    run_analysis,
+)
+from repro.analysis.framework import PRAGMA_RULE, parse_pragmas
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(*names: str):
+    config = AnalysisConfig.unscoped(ALL_RULES)
+    return run_analysis(
+        [FIXTURES / name for name in names], ALL_RULES, config, root=FIXTURES
+    )
+
+
+class TestPragmaParsing:
+    def test_inline_pragma(self):
+        pragmas, problems = parse_pragmas(
+            "x = hash(y)  # repro: allow(hashseed-hazard) -- y is an int\n", "m.py"
+        )
+        assert problems == []
+        (pragma,) = pragmas
+        assert pragma.rules == ("hashseed-hazard",)
+        assert pragma.justification == "y is an int"
+        assert not pragma.standalone
+        assert pragma.covers("hashseed-hazard", 1)
+        assert not pragma.covers("hashseed-hazard", 2)  # inline: same line only
+        assert not pragma.covers("wallclock-rng", 1)
+
+    def test_standalone_pragma_covers_next_line(self):
+        source = "# repro: allow(wallclock-rng) -- explicit strategy seed\nr = f(s)\n"
+        pragmas, problems = parse_pragmas(source, "m.py")
+        assert problems == []
+        (pragma,) = pragmas
+        assert pragma.standalone
+        assert pragma.covers("wallclock-rng", 1)
+        assert pragma.covers("wallclock-rng", 2)
+        assert not pragma.covers("wallclock-rng", 3)
+
+    def test_multi_rule_pragma_sorted(self):
+        pragmas, _ = parse_pragmas(
+            "# repro: allow(wallclock-rng, hashseed-hazard) -- both safe here\n",
+            "m.py",
+        )
+        assert pragmas[0].rules == ("hashseed-hazard", "wallclock-rng")
+
+    def test_malformed_pragma_is_a_finding(self):
+        _, problems = parse_pragmas("# repro:allow wallclock-rng oops\n", "m.py")
+        (problem,) = problems
+        assert problem.rule == PRAGMA_RULE
+        assert "malformed" in problem.message
+
+    def test_justification_is_mandatory(self):
+        _, problems = parse_pragmas("x = 1  # repro: allow(hashseed-hazard)\n", "m.py")
+        (problem,) = problems
+        assert "justification" in problem.message
+
+    def test_pragma_text_inside_strings_is_ignored(self):
+        source = 's = "# repro: allow(bogus)"\n'
+        pragmas, problems = parse_pragmas(source, "m.py")
+        assert pragmas == [] and problems == []
+
+
+class TestPragmaSuppression:
+    def test_well_formed_pragmas_suppress_findings(self):
+        report = lint_fixture("pragma_ok.py")
+        assert report.findings == []
+        assert not report.failed
+
+    def test_bad_pragma_fixture_surfaces_everything(self):
+        report = lint_fixture("pragma_bad.py")
+        assert report.failed
+        rules = sorted(f.rule for f in report.findings)
+        # Malformed pragma + justification-free pragma (both framework
+        # errors), the hash() the rejected pragma failed to suppress, and
+        # the unused-pragma warning.
+        assert rules == ["hashseed-hazard", PRAGMA_RULE, PRAGMA_RULE, PRAGMA_RULE]
+        assert [w.severity for w in report.warnings] == ["warning"]
+        assert "unused pragma" in report.warnings[0].message
+
+
+class TestBaseline:
+    def test_round_trip_and_apply(self, tmp_path):
+        report = lint_fixture("floatred_bad.py")
+        assert report.failed
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+        reloaded = Baseline.load(path)
+        filtered = apply_baseline(lint_fixture("floatred_bad.py"), reloaded)
+        assert filtered.findings == []
+        assert len(filtered.baselined) == len(report.findings)
+        assert not filtered.failed
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        report = lint_fixture("floatred_bad.py")
+        assert apply_baseline(report, baseline).failed
+
+    def test_extra_occurrences_surface_as_new(self, tmp_path):
+        report = lint_fixture("floatred_bad.py")
+        first_only = Baseline.from_findings(report.findings[:1])
+        filtered = apply_baseline(report, first_only)
+        assert len(filtered.baselined) == 1
+        assert len(filtered.findings) == len(report.findings) - 1
+        assert filtered.failed
+
+    def test_fingerprint_is_line_free(self):
+        a = Finding("p.py", 3, 0, "r", "m")
+        b = Finding("p.py", 99, 4, "r", "m")
+        assert a.fingerprint() == b.fingerprint()

@@ -1,0 +1,99 @@
+"""Per-rule fixture tests: each bad fixture flags, each good twin is clean.
+
+Fixtures live outside the rules' default module scopes, so these run the
+analyzer with :meth:`AnalysisConfig.unscoped` — the same switch the CLI
+exposes as ``--unscoped``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, AnalysisConfig, run_analysis
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(*names: str, tests: str | None = None):
+    config = AnalysisConfig.unscoped(ALL_RULES)
+    return run_analysis(
+        [FIXTURES / name for name in names],
+        ALL_RULES,
+        config,
+        root=FIXTURES,
+        tests_path=FIXTURES / tests if tests else None,
+    )
+
+
+class TestHashSeedHazard:
+    def test_bad_fixture_flags_every_construct(self):
+        report = lint_fixture("hashseed_bad.py")
+        assert report.failed
+        assert {f.rule for f in report.findings} == {"hashseed-hazard"}
+        # hash(), for-over-set, list(set), join(set), min(set, key=),
+        # comprehension over a set-valued attribute.
+        assert len(report.findings) == 6
+
+    def test_good_twin_is_clean(self):
+        report = lint_fixture("hashseed_good.py")
+        assert report.findings == []
+        assert not report.failed
+
+
+class TestWallClockRng:
+    def test_bad_fixture_flags_every_call(self):
+        report = lint_fixture("wallclock_bad.py")
+        assert report.failed
+        assert {f.rule for f in report.findings} == {"wallclock-rng"}
+        # time.time, datetime.now, random.random, default_rng, np.random.normal
+        assert len(report.findings) == 5
+        assert any("derive_rng" in f.message for f in report.findings)
+
+    def test_good_twin_is_clean(self):
+        report = lint_fixture("wallclock_good.py")
+        assert report.findings == []
+
+
+class TestFloatReduction:
+    def test_bad_fixture_flags_every_reduction(self):
+        report = lint_fixture("floatred_bad.py")
+        assert report.failed
+        assert {f.rule for f in report.findings} == {"float-reduction"}
+        # np.sum, np.mean, @, np.dot, .dot(), axis-less .sum()
+        assert len(report.findings) == 6
+
+    def test_good_twin_is_clean(self):
+        report = lint_fixture("floatred_good.py")
+        assert report.findings == []
+
+
+class TestLockDiscipline:
+    def test_bad_fixture_flags_both_halves(self):
+        report = lint_fixture("locks_bad.py")
+        assert report.failed
+        assert {f.rule for f in report.findings} == {"lock-discipline"}
+        messages = " | ".join(f.message for f in report.findings)
+        assert "predict_batch" in messages  # compute under the lock
+        assert "_calls" in messages  # unlocked mutation of guarded state
+        assert len(report.findings) == 2
+
+    def test_good_twin_is_clean(self):
+        report = lint_fixture("locks_good.py")
+        assert report.findings == []
+
+
+class TestReferenceParity:
+    def test_orphaned_reference_is_flagged(self):
+        report = lint_fixture("refparity/src", tests="refparity/tests_bad")
+        assert report.failed
+        assert {f.rule for f in report.findings} == {"reference-parity"}
+        assert len(report.findings) == 1
+        assert "rank_reference" in report.findings[0].message
+
+    def test_exercised_references_are_clean(self):
+        report = lint_fixture("refparity/src", tests="refparity/tests_good")
+        assert report.findings == []
+
+    def test_private_reference_is_never_required(self):
+        report = lint_fixture("refparity/src", tests="refparity/tests_bad")
+        assert not any("_probe_reference" in f.message for f in report.findings)

@@ -55,6 +55,36 @@ class TestTrainerParity:
             trainer.train_combined(trainer.train_individual(RunLog()), RunLog())
 
 
+class TestStageReferences:
+    """Per-stage references must stay exercised (reference-parity lint rule).
+
+    ``train_reference`` covers the end-to-end path; these pin the two
+    stage-level references bitwise against their batched twins so neither
+    can rot unnoticed.
+    """
+
+    def test_train_individual_reference_bitwise(self, tiny_bundle):
+        trainer = CleoTrainer(CleoConfig())
+        fast = trainer.train_individual(tiny_bundle.log)
+        slow = trainer.train_individual_reference(tiny_bundle.log)
+        assert fast.count() == slow.count() > 0
+        for kind in ModelKind:
+            assert set(fast.models[kind]) == set(slow.models[kind])
+            for signature, model in fast.models[kind].items():
+                twin = slow.models[kind][signature]
+                assert np.array_equal(model._net.coef_, twin._net.coef_)
+                assert model._net.intercept_ == twin._net.intercept_
+
+    def test_train_combined_reference_bitwise(self, tiny_bundle):
+        trainer = CleoTrainer(CleoConfig())
+        store = trainer.train_individual(tiny_bundle.log)
+        fast = trainer.train_combined(store, tiny_bundle.log)
+        slow = trainer.train_combined_reference(store, tiny_bundle.log)
+        table = tiny_bundle.test_log().to_table()
+        rows = build_meta_matrix(store, table)
+        assert np.array_equal(fast.predict_rows(rows), slow.predict_rows(rows))
+
+
 class TestMetaMatrix:
     def test_matches_scalar_meta_rows(self, tiny_bundle, parity_predictors):
         columnar, _ = parity_predictors
